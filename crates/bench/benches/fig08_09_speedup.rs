@@ -1,0 +1,62 @@
+//! Fig 8 & 9 — normalized weighted speedup of CD/ROD/DCA, with and
+//! without the XOR remapping, for both cache organisations.
+//!
+//! The bench measures full-system simulation throughput per design and
+//! prints the figure rows at bench scale. For publication-scale numbers
+//! run `cargo run -p dca-bench --bin figures --release -- --fig8 --fig9`
+//! (optionally with `DCA_FULL=1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca::Design;
+use dca_bench::{evaluate, AloneIpc, RunSpec};
+use dca_dram_cache::OrgKind;
+
+const MIXES: [u32; 2] = [1, 13];
+
+fn bench_spec(insts: u64) -> impl Fn(Design, OrgKind) -> RunSpec {
+    move |design, org| {
+        let mut s = RunSpec::new(design, org);
+        s.insts = insts;
+        s.warmup = 400_000;
+        s
+    }
+}
+
+fn fig8_9(c: &mut Criterion) {
+    let make = bench_spec(60_000);
+
+    // Print the figure rows once (bench-scale).
+    for (fig, remap) in [("fig8", false), ("fig9", true)] {
+        for org in [OrgKind::paper_set_assoc(), OrgKind::DirectMapped] {
+            let alone = AloneIpc::new();
+            let base = evaluate(make(Design::Cd, org), &MIXES, &alone, "CD");
+            let mut row = format!("{fig} {}:", org.label());
+            for d in Design::ALL {
+                let mut spec = make(d, org);
+                spec.remap = remap;
+                let s = evaluate(spec, &MIXES, &alone, d.label());
+                row += &format!("  {}={:.3}", d.label(), s.ws_geomean() / base.ws_geomean());
+            }
+            println!("{row}");
+        }
+    }
+
+    // Criterion: simulation cost per design (direct-mapped, one mix).
+    let mut g = c.benchmark_group("fig08_09/sim");
+    g.sample_size(10);
+    for design in Design::ALL {
+        g.bench_function(design.label(), |b| {
+            b.iter(|| {
+                let mut spec = make(design, OrgKind::DirectMapped);
+                spec.insts = 20_000;
+                spec.warmup = 100_000;
+                std::hint::black_box(spec.run_mix(1))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8_9);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig 12 & 13 — L2 miss latency improvement of each design over CD, for
+//! both organisations, with and without remapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca::Design;
+use dca_bench::{evaluate, AloneIpc, RunSpec};
+use dca_dram_cache::OrgKind;
+
+const MIXES: [u32; 2] = [1, 22];
+
+fn fig12_13(c: &mut Criterion) {
+    let alone = AloneIpc::new();
+    for (fig, org) in [
+        ("fig12", OrgKind::paper_set_assoc()),
+        ("fig13", OrgKind::DirectMapped),
+    ] {
+        let mk = |d: Design, remap: bool| {
+            let mut s = RunSpec::new(d, org);
+            s.insts = 60_000;
+            s.warmup = 400_000;
+            s.remap = remap;
+            s
+        };
+        let base = evaluate(mk(Design::Cd, false), &MIXES, &alone, "CD");
+        let mut row = format!("{fig} ({})  base={:.1}ns:", org.label(), base.mean_latency());
+        for d in Design::ALL {
+            let s = evaluate(mk(d, false), &MIXES, &alone, d.label());
+            row += &format!("  {}={:.3}", d.label(), base.mean_latency() / s.mean_latency());
+        }
+        for d in Design::ALL {
+            let s = evaluate(mk(d, true), &MIXES, &alone, d.label());
+            row += &format!(
+                "  XOR+{}={:.3}",
+                d.label(),
+                base.mean_latency() / s.mean_latency()
+            );
+        }
+        println!("{row}");
+    }
+
+    // Criterion: latency accounting overhead via a short DCA run.
+    let mut g = c.benchmark_group("fig12_13/sim");
+    g.sample_size(10);
+    g.bench_function("dca_sa_short", |b| {
+        b.iter(|| {
+            let mut spec = RunSpec::new(Design::Dca, OrgKind::paper_set_assoc());
+            spec.insts = 20_000;
+            spec.warmup = 100_000;
+            std::hint::black_box(spec.run_mix(1).l2_miss_latency.mean_ns())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig12_13);
+criterion_main!(benches);

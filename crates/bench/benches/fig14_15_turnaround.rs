@@ -1,0 +1,56 @@
+//! Fig 14 & 15 — read/write accesses per bus turnaround. CD batches best,
+//! ROD turns the bus around roughly 3x as often, DCA sits near CD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca::Design;
+use dca_bench::{evaluate, AloneIpc, RunSpec};
+use dca_dram::{AccessKind, DataBus, TimingParams};
+use dca_dram_cache::OrgKind;
+use dca_sim_core::SimTime;
+
+const MIXES: [u32; 2] = [1, 6];
+
+fn fig14_15(c: &mut Criterion) {
+    let alone = AloneIpc::new();
+    for (fig, org) in [
+        ("fig14", OrgKind::paper_set_assoc()),
+        ("fig15", OrgKind::DirectMapped),
+    ] {
+        let mut row = format!("{fig} ({}):", org.label());
+        for d in Design::ALL {
+            let mut spec = RunSpec::new(d, org);
+            spec.insts = 60_000;
+            spec.warmup = 400_000;
+            let s = evaluate(spec, &MIXES, &alone, d.label());
+            row += &format!("  {}={:.2}", d.label(), s.mean_apt());
+        }
+        println!("{row}");
+    }
+
+    // Criterion: raw bus model cost.
+    let mut g = c.benchmark_group("fig14_15/bus");
+    g.bench_function("reserve_alternating", |b| {
+        let p = TimingParams::paper_stacked();
+        b.iter(|| {
+            let mut bus = DataBus::new();
+            let mut now = SimTime::ZERO;
+            for i in 0..1000u64 {
+                let kind = if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let start = bus.earliest_start(kind, &p).max(now);
+                let end = start + p.t_burst;
+                bus.reserve(kind, start, end, &p);
+                now = end;
+            }
+            std::hint::black_box(bus.accesses_per_turnaround())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig14_15);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig 16 & 17 — row-buffer hit rate for read accesses, with/without the
+//! XOR remapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca::Design;
+use dca_bench::{evaluate, AloneIpc, RunSpec};
+use dca_dram::{DramAccess, DramChannel, Organization, TimingParams};
+use dca_dram_cache::OrgKind;
+use dca_sim_core::SimTime;
+
+const MIXES: [u32; 2] = [13, 17];
+
+fn fig16_17(c: &mut Criterion) {
+    let alone = AloneIpc::new();
+    for (fig, org) in [
+        ("fig16", OrgKind::paper_set_assoc()),
+        ("fig17", OrgKind::DirectMapped),
+    ] {
+        let mut row = format!("{fig} ({}):", org.label());
+        for remap in [false, true] {
+            for d in Design::ALL {
+                let mut spec = RunSpec::new(d, org);
+                spec.insts = 60_000;
+                spec.warmup = 400_000;
+                spec.remap = remap;
+                let s = evaluate(spec, &MIXES, &alone, d.label());
+                row += &format!(
+                    "  {}{}={:.3}",
+                    if remap { "XOR+" } else { "" },
+                    d.label(),
+                    s.mean_row_hit()
+                );
+            }
+        }
+        println!("{row}");
+    }
+
+    // Criterion: bank/row state machine cost under a conflict-heavy
+    // pattern (the per-access hot path of the device model).
+    let mut g = c.benchmark_group("fig16_17/device");
+    g.bench_function("issue_conflict_stream", |b| {
+        b.iter(|| {
+            let mut ch = DramChannel::new(TimingParams::paper_stacked(), &Organization::paper());
+            let mut now = SimTime::ZERO;
+            for i in 0..500u32 {
+                let acc = DramAccess::read(i % 16, i % 7);
+                let info = ch.issue(acc, now);
+                now = info.burst_end;
+            }
+            std::hint::black_box(ch.stats().read_row_hit_rate())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig16_17);
+criterion_main!(benches);

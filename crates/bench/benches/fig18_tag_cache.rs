@@ -1,0 +1,60 @@
+//! Fig 18 — DRAM tag accesses under an ATCache-style SRAM tag cache,
+//! normalized to no tag cache. The paper's point: because tag blocks have
+//! little temporal locality and ATCache prefetches neighbours, the DRAM
+//! tag traffic roughly *doubles* even at 192 KB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca_cpu::{mix, TraceGen};
+use dca_dram::MappingScheme;
+use dca_dram_cache::{CacheGeometry, OrgKind, TagCache};
+
+fn set_stream(ops: usize) -> Vec<u64> {
+    let geom = CacheGeometry::paper(OrgKind::paper_set_assoc(), MappingScheme::Direct);
+    let m = mix(1);
+    let mut gens: Vec<TraceGen> = m
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| TraceGen::new(b.profile(), (i as u64 + 1) << 26, 7))
+        .collect();
+    let mut out = Vec::with_capacity(ops * 4);
+    for _ in 0..ops {
+        for g in gens.iter_mut() {
+            out.push(geom.place(g.next_op().block).set);
+        }
+    }
+    out
+}
+
+fn fig18(c: &mut Criterion) {
+    let stream = set_stream(100_000);
+    let mut row = String::from("fig18 tag accesses normalized:");
+    for kb in [24usize, 48, 96, 192] {
+        let mut tc = TagCache::new(kb * 1024, 1);
+        for (i, &s) in stream.iter().enumerate() {
+            tc.access(s, i % 3 == 0);
+        }
+        row += &format!(
+            "  {}KB={:.2}",
+            kb,
+            tc.stats().dram_tag_accesses() as f64 / stream.len() as f64
+        );
+    }
+    println!("{row}");
+
+    let mut g = c.benchmark_group("fig18/tag_cache");
+    g.bench_function("access_192kb", |b| {
+        b.iter(|| {
+            let mut tc = TagCache::new(192 * 1024, 1);
+            for (i, &s) in stream.iter().take(20_000).enumerate() {
+                tc.access(s, i % 3 == 0);
+            }
+            std::hint::black_box(tc.stats().dram_tag_accesses())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig18);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig 19 — speedups when the L2 uses Lee et al.'s DRAM-aware writeback.
+//! The writeback stream arrives row-batched, yet DCA keeps its edge over
+//! CD because the tag *reads* of writebacks still invert priorities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca::Design;
+use dca_bench::{evaluate, AloneIpc, RunSpec};
+use dca_dram_cache::OrgKind;
+
+const MIXES: [u32; 2] = [6, 22];
+
+fn fig19(c: &mut Criterion) {
+    let org = OrgKind::DirectMapped;
+    let alone = AloneIpc::new();
+    let mk = |d: Design| {
+        let mut s = RunSpec::new(d, org).with_lee();
+        s.insts = 60_000;
+        s.warmup = 400_000;
+        s
+    };
+    let base = evaluate(mk(Design::Cd), &MIXES, &alone, "LEE+CD");
+    let mut row = String::from("fig19 (DM, Lee writeback):  LEE+CD=1.000");
+    for d in [Design::Rod, Design::Dca] {
+        let s = evaluate(mk(d), &MIXES, &alone, d.label());
+        row += &format!("  LEE+{}={:.3}", d.label(), s.ws_geomean() / base.ws_geomean());
+    }
+    println!("{row}");
+
+    let mut g = c.benchmark_group("fig19/sim");
+    g.sample_size(10);
+    g.bench_function("lee_dca_short", |b| {
+        b.iter(|| {
+            let mut spec = RunSpec::new(Design::Dca, org).with_lee();
+            spec.insts = 20_000;
+            spec.warmup = 100_000;
+            std::hint::black_box(spec.run_mix(6))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig19);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the simulator's hot components: the event queue,
+//! the BLISS arbiter, the bank state machine, the cache geometry and the
+//! translation FSM. These guard simulation throughput (the full figure
+//! harness runs hundreds of simulations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dca_dram::MappingScheme;
+use dca_dram_cache::{CacheGeometry, CacheReqKind, CacheRequest, OrgKind, RequestFsm, TagArray};
+use dca_sched::{AccessQueue, Bliss, QueueEntry, ReadClass};
+use dca_sim_core::{EventQueue, SimTime};
+
+fn micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime(i * 37 % 911), i as u32);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v as u64;
+            }
+            std::hint::black_box(sum)
+        })
+    });
+
+    g.bench_function("bliss_pick_64", |b| {
+        let bliss = Bliss::new();
+        let mut q = AccessQueue::new(64);
+        for i in 0..64u64 {
+            q.push(QueueEntry {
+                id: i,
+                access: dca_dram::DramAccess::read((i % 16) as u32, (i % 7) as u32),
+                app: (i % 4) as u8,
+                class: ReadClass::Priority,
+                enqueued_at: SimTime(i),
+            })
+            .unwrap();
+        }
+        b.iter(|| {
+            std::hint::black_box(bliss.pick(q.iter(), |e| {
+                if e.access.row == 3 {
+                    dca_dram::RowOutcome::Hit
+                } else {
+                    dca_dram::RowOutcome::Conflict
+                }
+            }))
+        })
+    });
+
+    g.bench_function("geometry_place_sa", |b| {
+        let geom = CacheGeometry::paper(OrgKind::paper_set_assoc(), MappingScheme::XorRemap);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            std::hint::black_box(geom.place(x % (1 << 32)))
+        })
+    });
+
+    g.bench_function("fsm_read_hit_sa", |b| {
+        let geom = CacheGeometry::paper(OrgKind::paper_set_assoc(), MappingScheme::Direct);
+        let mut tags = TagArray::new(geom.num_sets(), 15);
+        let place = geom.place(1234);
+        tags.insert(place.set, place.tag, false);
+        b.iter(|| {
+            let (mut fsm, first) = RequestFsm::start(
+                CacheRequest {
+                    id: 1,
+                    kind: CacheReqKind::Read,
+                    block: 1234,
+                    app: 0,
+                    pc: 0x40,
+                },
+                &geom,
+            );
+            let mut pending: Vec<_> = first;
+            let mut steps = 0;
+            while let Some(spec) = pending.pop() {
+                let out = fsm.on_access_done(spec.role, &mut tags, &geom);
+                pending.extend(out.enqueue);
+                steps += 1;
+            }
+            std::hint::black_box(steps)
+        })
+    });
+
+    g.bench_function("tag_array_lookup_insert", |b| {
+        let mut tags = TagArray::new(1 << 18, 15);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(7919);
+            let set = x % (1 << 18);
+            let tag = (x >> 18) as u32 & 0xFFFF;
+            match tags.lookup(set, tag) {
+                Some(w) => tags.touch(set, w),
+                None => {
+                    tags.insert(set, tag, x.is_multiple_of(3));
+                }
+            }
+            std::hint::black_box(())
+        })
+    });
+
+    g.bench_function("channel_issue_mixed", |b| {
+        use dca_dram::{DramAccess, DramChannel, Organization, TimingParams};
+        b.iter(|| {
+            let mut ch = DramChannel::new(TimingParams::paper_stacked(), &Organization::paper());
+            let mut now = SimTime::ZERO;
+            for i in 0..200u32 {
+                let acc = if i % 4 == 0 {
+                    DramAccess::write(i % 16, i % 9)
+                } else {
+                    DramAccess::read(i % 16, i % 5)
+                };
+                now = ch.issue(acc, now).burst_end;
+            }
+            std::hint::black_box(now)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,471 @@
+//! `figures` — regenerate every table and figure of the DCA paper.
+//!
+//! ```text
+//! cargo run -p dca-bench --bin figures --release -- --all
+//! cargo run -p dca-bench --bin figures --release -- --fig8 --fig9
+//! DCA_FULL=1 cargo run -p dca-bench --bin figures --release -- --all
+//! ```
+//!
+//! Output goes to stdout and `results/<figure>.md`.
+
+use std::fs;
+use std::path::Path;
+
+use dca::{Design, System, SystemConfig};
+use dca_bench::{evaluate, AloneIpc, RunSpec, Scale};
+use dca_cpu::{mix, Benchmark, TraceGen};
+use dca_dram_cache::{OrgKind, TagCache};
+use dca_metrics::Table;
+
+fn out(name: &str, title: &str, table: &Table) {
+    let md = format!("# {title}\n\n{}\n", table.to_markdown());
+    println!("\n== {title} ==\n{}", table.to_markdown());
+    fs::create_dir_all("results").ok();
+    fs::write(Path::new("results").join(format!("{name}.md")), &md).ok();
+    fs::write(
+        Path::new("results").join(format!("{name}.csv")),
+        table.to_csv(),
+    )
+    .ok();
+}
+
+fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Table I: the thirty 4-core mixes.
+fn table1() {
+    let mut t = Table::new(vec!["mix", "benchmarks"]);
+    for id in 1..=30 {
+        t.row(vec![id.to_string(), mix(id).name()]);
+    }
+    out("table1", "Table I — workload groupings", &t);
+}
+
+/// Table II: system parameters as configured.
+fn table2() {
+    let cfg = SystemConfig::paper(Design::Dca, OrgKind::paper_set_assoc());
+    let t_ = cfg.timing;
+    let mut t = Table::new(vec!["parameter", "value"]);
+    t.row(vec!["processor", "4 GHz, x86, 192 ROB, 8-wide"]);
+    t.row(vec!["L1 I/D", "32KB/2-way, 2 cycles, private"]);
+    t.row(vec!["L2", "8MB, 20 cycles, shared"]);
+    t.row(vec!["L3", "DRAM cache, 256MB (240MB data), 1/15-way"]);
+    t.row(vec![
+        "tRCD-tCAS-tRP-tRAS".to_string(),
+        format!(
+            "{}-{}-{}-{} ns",
+            t_.t_rcd.as_ns_f64(),
+            t_.t_cas.as_ns_f64(),
+            t_.t_rp.as_ns_f64(),
+            t_.t_ras.as_ns_f64()
+        ),
+    ]);
+    t.row(vec![
+        "tWTR-tRTP-tRTW".to_string(),
+        format!(
+            "{}-{}-{} ns",
+            t_.t_wtr.as_ns_f64(),
+            t_.t_rtp.as_ns_f64(),
+            t_.t_rtw.as_ns_f64()
+        ),
+    ]);
+    t.row(vec![
+        "tWR-tBURST".to_string(),
+        format!("{}-{} ns", t_.t_wr.as_ns_f64(), t_.t_burst.as_ns_f64()),
+    ]);
+    t.row(vec![
+        "organisation".to_string(),
+        format!(
+            "{} banks/rank, {} rank/ch, {} channels, 4KB row, RoBaRaChCo, open page",
+            cfg.dram_org.banks_per_rank, cfg.dram_org.ranks, cfg.dram_org.channels
+        ),
+    ]);
+    t.row(vec![
+        "read queue".to_string(),
+        format!(
+            "{} entries/ch (32 for ROD); DCA flush 75%/85%; BLISS",
+            cfg.read_q_cap
+        ),
+    ]);
+    t.row(vec![
+        "write queue".to_string(),
+        format!(
+            "{} entries/ch (96 for ROD); flush 50%/85%; BLISS",
+            cfg.write_q_cap
+        ),
+    ]);
+    t.row(vec!["memory latency", "50 ns + 2 GHz x 64-bit bus"]);
+    out("table2", "Table II — system and stacked-DRAM parameters", &t);
+}
+
+/// Fig 7: service-order narrative for the three designs (abstract study).
+fn fig7() {
+    let mut t = Table::new(vec![
+        "design",
+        "first accesses issued (role/class, ! = row conflict)",
+    ]);
+    for design in Design::ALL {
+        let mut cfg = SystemConfig::paper(design, OrgKind::paper_set_assoc());
+        cfg.record_timeline = true;
+        cfg.target_insts = 40_000;
+        cfg.warmup_ops = 400_000;
+        let r = System::new(cfg, &[Benchmark::Libquantum, Benchmark::Lbm]).run();
+        let tl = r.timeline.expect("timeline");
+        let line: Vec<String> = tl
+            .entries()
+            .iter()
+            .take(10)
+            .map(|e| {
+                format!(
+                    "{:?}/{:?}{}",
+                    e.role,
+                    e.class,
+                    if e.outcome.is_conflict() { "!" } else { "" }
+                )
+            })
+            .collect();
+        t.row(vec![design.label().to_string(), line.join(" → ")]);
+    }
+    out("fig7", "Fig 7 — CD vs ROD vs DCA service behaviour", &t);
+}
+
+/// Figs 8 & 9: average normalized weighted speedup, without/with remap.
+fn fig8_9(scale: &Scale) {
+    for (figname, remap) in [("fig8", false), ("fig9", true)] {
+        let mut t = Table::new(vec!["organisation", "CD", "ROD", "DCA"]);
+        for org in [OrgKind::paper_set_assoc(), OrgKind::DirectMapped] {
+            let alone = AloneIpc::new();
+            alone.prime(&scale.mixes, org);
+            // Baseline: CD *without* remap, as in the paper's Fig 9.
+            let base = evaluate(
+                RunSpec::new(Design::Cd, org),
+                &scale.mixes,
+                &alone,
+                "CD-base",
+            );
+            let mut cells = vec![org.label().to_string()];
+            for design in Design::ALL {
+                let mut spec = RunSpec::new(design, org);
+                if remap {
+                    spec = spec.with_remap();
+                }
+                let s = evaluate(spec, &scale.mixes, &alone, design.label());
+                cells.push(fmt(s.ws_geomean() / base.ws_geomean()));
+            }
+            t.row(cells);
+        }
+        let title = if remap {
+            "Fig 9 — average speedup with XOR remapping (normalized to CD without remapping)"
+        } else {
+            "Fig 8 — average normalized weighted speedup"
+        };
+        out(figname, title, &t);
+    }
+}
+
+/// Figs 10 & 11: per-workload speedups.
+fn fig10_11(scale: &Scale) {
+    for (figname, org, title) in [
+        (
+            "fig10",
+            OrgKind::paper_set_assoc(),
+            "Fig 10 — per-workload speedup (set-associative)",
+        ),
+        (
+            "fig11",
+            OrgKind::DirectMapped,
+            "Fig 11 — per-workload speedup (direct-mapped)",
+        ),
+    ] {
+        let alone = AloneIpc::new();
+        alone.prime(&scale.mixes, org);
+        let mut summaries = Vec::new();
+        for design in Design::ALL {
+            summaries.push(evaluate(
+                RunSpec::new(design, org),
+                &scale.mixes,
+                &alone,
+                design.label(),
+            ));
+        }
+        for design in Design::ALL {
+            summaries.push(evaluate(
+                RunSpec::new(design, org).with_remap(),
+                &scale.mixes,
+                &alone,
+                &format!("XOR+{}", design.label()),
+            ));
+        }
+        let base_ws = summaries[0].ws.clone();
+        let mut header = vec!["mix".to_string()];
+        header.extend(summaries.iter().map(|s| s.label.clone()));
+        let mut t = Table::new(header);
+        for (i, &mid) in scale.mixes.iter().enumerate() {
+            let mut row = vec![mix(mid).name()];
+            for s in &summaries {
+                row.push(fmt(s.ws[i] / base_ws[i]));
+            }
+            t.row(row);
+        }
+        out(figname, title, &t);
+    }
+}
+
+/// Figs 12 & 13: L2 miss latency improvement over CD.
+fn fig12_13(scale: &Scale) {
+    for (figname, org, title) in [
+        (
+            "fig12",
+            OrgKind::paper_set_assoc(),
+            "Fig 12 — L2 miss latency improvement (set-associative)",
+        ),
+        (
+            "fig13",
+            OrgKind::DirectMapped,
+            "Fig 13 — L2 miss latency improvement (direct-mapped)",
+        ),
+    ] {
+        let alone = AloneIpc::new();
+        let mut t = Table::new(vec!["design", "mean miss latency (ns)", "improvement vs CD"]);
+        let base = evaluate(RunSpec::new(Design::Cd, org), &scale.mixes, &alone, "CD");
+        for design in Design::ALL {
+            let s = evaluate(
+                RunSpec::new(design, org),
+                &scale.mixes,
+                &alone,
+                design.label(),
+            );
+            t.row(vec![
+                design.label().to_string(),
+                format!("{:.1}", s.mean_latency()),
+                fmt(base.mean_latency() / s.mean_latency()),
+            ]);
+        }
+        for design in Design::ALL {
+            let s = evaluate(
+                RunSpec::new(design, org).with_remap(),
+                &scale.mixes,
+                &alone,
+                design.label(),
+            );
+            t.row(vec![
+                format!("XOR+{}", design.label()),
+                format!("{:.1}", s.mean_latency()),
+                fmt(base.mean_latency() / s.mean_latency()),
+            ]);
+        }
+        out(figname, title, &t);
+    }
+}
+
+/// Figs 14 & 15: accesses per turnaround.
+fn fig14_15(scale: &Scale) {
+    for (figname, org, title) in [
+        (
+            "fig14",
+            OrgKind::paper_set_assoc(),
+            "Fig 14 — accesses per turnaround (set-associative)",
+        ),
+        (
+            "fig15",
+            OrgKind::DirectMapped,
+            "Fig 15 — accesses per turnaround (direct-mapped)",
+        ),
+    ] {
+        let alone = AloneIpc::new();
+        let mut t = Table::new(vec!["design", "accesses/turnaround"]);
+        for design in Design::ALL {
+            let s = evaluate(
+                RunSpec::new(design, org),
+                &scale.mixes,
+                &alone,
+                design.label(),
+            );
+            t.row(vec![
+                design.label().to_string(),
+                format!("{:.2}", s.mean_apt()),
+            ]);
+        }
+        out(figname, title, &t);
+    }
+}
+
+/// Figs 16 & 17: read row-buffer hit rate.
+fn fig16_17(scale: &Scale) {
+    for (figname, org, title) in [
+        (
+            "fig16",
+            OrgKind::paper_set_assoc(),
+            "Fig 16 — row buffer hit rate (set-associative)",
+        ),
+        (
+            "fig17",
+            OrgKind::DirectMapped,
+            "Fig 17 — row buffer hit rate (direct-mapped)",
+        ),
+    ] {
+        let alone = AloneIpc::new();
+        let mut t = Table::new(vec!["design", "no remap", "with remap"]);
+        for design in Design::ALL {
+            let s = evaluate(
+                RunSpec::new(design, org),
+                &scale.mixes,
+                &alone,
+                design.label(),
+            );
+            let sr = evaluate(
+                RunSpec::new(design, org).with_remap(),
+                &scale.mixes,
+                &alone,
+                design.label(),
+            );
+            t.row(vec![
+                design.label().to_string(),
+                fmt(s.mean_row_hit()),
+                fmt(sr.mean_row_hit()),
+            ]);
+        }
+        out(figname, title, &t);
+    }
+}
+
+/// Fig 18: DRAM tag accesses vs tag-cache size, normalized to no tag
+/// cache (offline study over the set-access stream, as in ATCache \[4\]).
+fn fig18(scale: &Scale) {
+    let geom = dca_dram_cache::CacheGeometry::paper(
+        OrgKind::paper_set_assoc(),
+        dca_dram::MappingScheme::Direct,
+    );
+    // Build the set-access stream a mix presents to the cache.
+    let m = mix(scale.mixes[0]);
+    let mut gens: Vec<TraceGen> = m
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| TraceGen::new(b.profile(), (i as u64 + 1) << 26, 7))
+        .collect();
+    let ops = scale.insts.max(200_000);
+    let mut requests: Vec<u64> = Vec::with_capacity(ops as usize * 4);
+    for _ in 0..ops {
+        for g in gens.iter_mut() {
+            requests.push(geom.place(g.next_op().block).set);
+        }
+    }
+    let mut t = Table::new(vec!["tag cache size", "DRAM tag accesses (normalized)"]);
+    t.row(vec!["none".to_string(), fmt(1.0)]);
+    for kb in [24usize, 48, 96, 192] {
+        let mut tc = TagCache::new(kb * 1024, 1);
+        for (i, &set) in requests.iter().enumerate() {
+            tc.access(set, i % 3 == 0);
+        }
+        t.row(vec![
+            format!("{kb} KB"),
+            fmt(tc.stats().dram_tag_accesses() as f64 / requests.len() as f64),
+        ]);
+    }
+    out(
+        "fig18",
+        "Fig 18 — DRAM tag accesses vs SRAM tag-cache size (normalized to no tag cache)",
+        &t,
+    );
+}
+
+/// Fig 19: speedup under Lee's DRAM-aware L2 writeback (direct-mapped).
+fn fig19(scale: &Scale) {
+    let org = OrgKind::DirectMapped;
+    let alone = AloneIpc::new();
+    alone.prime(&scale.mixes, org);
+    let base = evaluate(
+        RunSpec::new(Design::Cd, org).with_lee(),
+        &scale.mixes,
+        &alone,
+        "LEE+CD",
+    );
+    let mut t = Table::new(vec!["design (with Lee writeback)", "speedup vs LEE+CD"]);
+    t.row(vec!["LEE+CD".to_string(), fmt(1.0)]);
+    for design in [Design::Rod, Design::Dca] {
+        let s = evaluate(
+            RunSpec::new(design, org).with_lee(),
+            &scale.mixes,
+            &alone,
+            design.label(),
+        );
+        t.row(vec![
+            format!("LEE+{}", design.label()),
+            fmt(s.ws_geomean() / base.ws_geomean()),
+        ]);
+    }
+    out(
+        "fig19",
+        "Fig 19 — speedup under DRAM-aware writeback (direct-mapped)",
+        &t,
+    );
+}
+
+/// §IV-C ablation: flushing-factor sensitivity (FF-1..FF-5).
+fn ablation_ff(scale: &Scale) {
+    let org = OrgKind::paper_set_assoc();
+    let alone = AloneIpc::new();
+    alone.prime(&scale.mixes, org);
+    let mut t = Table::new(vec!["flushing factor", "WS geomean (normalized to FF-4)"]);
+    let mut results = Vec::new();
+    for ff in 1..=5u8 {
+        let mut spec = RunSpec::new(Design::Dca, org);
+        spec.flushing_factor = ff;
+        let s = evaluate(spec, &scale.mixes, &alone, &format!("FF-{ff}"));
+        results.push((ff, s.ws_geomean()));
+    }
+    let base = results.iter().find(|(ff, _)| *ff == 4).unwrap().1;
+    for (ff, ws) in results {
+        t.row(vec![format!("FF-{ff}"), fmt(ws / base)]);
+    }
+    out(
+        "ablation_ff",
+        "§IV-C — flushing-factor sensitivity (DCA, set-associative)",
+        &t,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag || a == "--all");
+    let scale = Scale::from_env();
+    eprintln!(
+        "figures: insts/core={}, mixes={:?} (set DCA_FULL=1 for paper scale)",
+        scale.insts, scale.mixes
+    );
+    if want("--table1") {
+        table1();
+    }
+    if want("--table2") {
+        table2();
+    }
+    if want("--fig7") {
+        fig7();
+    }
+    if want("--fig8") || want("--fig9") {
+        fig8_9(&scale);
+    }
+    if want("--fig10") || want("--fig11") {
+        fig10_11(&scale);
+    }
+    if want("--fig12") || want("--fig13") {
+        fig12_13(&scale);
+    }
+    if want("--fig14") || want("--fig15") {
+        fig14_15(&scale);
+    }
+    if want("--fig16") || want("--fig17") {
+        fig16_17(&scale);
+    }
+    if want("--fig18") {
+        fig18(&scale);
+    }
+    if want("--fig19") {
+        fig19(&scale);
+    }
+    if want("--ff") {
+        ablation_ff(&scale);
+    }
+}

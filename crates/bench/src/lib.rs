@@ -1,0 +1,342 @@
+//! # dca-bench — harness regenerating every table and figure of the paper
+//!
+//! Shared machinery for the Criterion benches and the `figures` binary:
+//! run specifications, the weighted-speedup protocol (§V), parallel
+//! execution over the Table I mixes, and result tables.
+//!
+//! ## Scaling
+//!
+//! The paper simulates 500 M instructions per core over 30 mixes; a full
+//! regeneration at that scale is hours of CPU. The harness defaults to a
+//! calibrated reduced scale (400 k instructions, 8 mixes) that preserves
+//! the figures' *shapes*, and reads three environment variables:
+//!
+//! * `DCA_FULL=1` — paper scale (2 M instructions/core, all 30 mixes).
+//! * `DCA_INSTS=n` — instructions per core.
+//! * `DCA_MIXES=a,b,c` — explicit mix ids (1..=30).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dca::{Design, System, SystemConfig, SystemReport};
+use dca_cpu::{mix, Benchmark, Mix};
+use dca_dram::MappingScheme;
+use dca_dram_cache::OrgKind;
+use dca_metrics::{geomean, weighted_speedup};
+
+/// Everything that defines one simulation run (minus the workload).
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Controller design.
+    pub design: Design,
+    /// Cache organisation.
+    pub org: OrgKind,
+    /// XOR remapping on/off.
+    pub remap: bool,
+    /// Lee DRAM-aware L2 writeback on/off (Fig 19).
+    pub lee: bool,
+    /// DCA flushing factor (ablation; paper default 4).
+    pub flushing_factor: u8,
+    /// Instructions per core.
+    pub insts: u64,
+    /// Warm-up ops per core.
+    pub warmup: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Paper-default spec at the harness scale.
+    pub fn new(design: Design, org: OrgKind) -> Self {
+        let scale = Scale::from_env();
+        RunSpec {
+            design,
+            org,
+            remap: false,
+            lee: false,
+            flushing_factor: 4,
+            insts: scale.insts,
+            warmup: scale.warmup,
+            seed: 0xDCA_2016,
+        }
+    }
+
+    /// Enable the XOR remapping.
+    pub fn with_remap(mut self) -> Self {
+        self.remap = true;
+        self
+    }
+
+    /// Enable Lee DRAM-aware writeback.
+    pub fn with_lee(mut self) -> Self {
+        self.lee = true;
+        self
+    }
+
+    /// Materialise the system configuration.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::paper(self.design, self.org);
+        if self.remap {
+            cfg.mapping = MappingScheme::XorRemap;
+        }
+        cfg.lee_writeback = self.lee;
+        cfg.dca.flushing_factor = self.flushing_factor;
+        cfg.target_insts = self.insts;
+        cfg.warmup_ops = self.warmup;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Run one Table I mix under this spec.
+    pub fn run_mix(&self, mix_id: u32) -> SystemReport {
+        let m = mix(mix_id);
+        System::new(self.config(), &m.benches).run()
+    }
+
+    /// Run an explicit benchmark list (1–4 cores).
+    pub fn run_benches(&self, benches: &[Benchmark]) -> SystemReport {
+        System::new(self.config(), benches).run()
+    }
+}
+
+/// Harness scale, from the environment.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Instructions per core.
+    pub insts: u64,
+    /// Warm-up ops per core.
+    pub warmup: u64,
+    /// Mix ids to evaluate.
+    pub mixes: Vec<u32>,
+}
+
+impl Scale {
+    /// Read `DCA_FULL` / `DCA_INSTS` / `DCA_MIXES`.
+    pub fn from_env() -> Scale {
+        let full = std::env::var("DCA_FULL").map(|v| v == "1").unwrap_or(false);
+        let insts = std::env::var("DCA_INSTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if full { 2_000_000 } else { 400_000 });
+        let warmup = (insts / 2).clamp(400_000, 1_000_000);
+        let mixes = std::env::var("DCA_MIXES")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect::<Vec<u32>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| {
+                if full {
+                    (1..=30).collect()
+                } else {
+                    // A representative slice: streaming-heavy, chase-heavy
+                    // and mixed mixes, including GemsFDTD/bwaves aliasing.
+                    vec![1, 2, 6, 13, 17, 22, 25, 27]
+                }
+            });
+        Scale {
+            insts,
+            warmup,
+            mixes,
+        }
+    }
+}
+
+/// Alone-IPC table for the weighted-speedup protocol: each benchmark's
+/// IPC running alone on the **CD / no-remap** baseline of the same
+/// organisation (the denominator is shared by all designs so design
+/// deltas come from the shared runs only).
+pub struct AloneIpc {
+    cache: Mutex<HashMap<(Benchmark, &'static str), f64>>,
+    insts: u64,
+    warmup: u64,
+    seed: u64,
+}
+
+impl AloneIpc {
+    /// Empty table at the harness scale.
+    pub fn new() -> Self {
+        let scale = Scale::from_env();
+        AloneIpc {
+            cache: Mutex::new(HashMap::new()),
+            insts: scale.insts,
+            warmup: scale.warmup,
+            seed: 0xDCA_2016,
+        }
+    }
+
+    /// Alone IPC of `bench` under organisation `org` (cached).
+    pub fn get(&self, bench: Benchmark, org: OrgKind) -> f64 {
+        let key = (bench, org.label());
+        if let Some(&v) = self.cache.lock().unwrap().get(&key) {
+            return v;
+        }
+        let spec = RunSpec {
+            design: Design::Cd,
+            org,
+            remap: false,
+            lee: false,
+            flushing_factor: 4,
+            insts: self.insts,
+            warmup: self.warmup,
+            seed: self.seed,
+        };
+        let r = spec.run_benches(&[bench]);
+        let v = r.cores[0].ipc;
+        self.cache.lock().unwrap().insert(key, v);
+        v
+    }
+
+    /// Pre-compute alone IPCs for every benchmark of the given mixes, in
+    /// parallel.
+    pub fn prime(&self, mixes: &[u32], org: OrgKind) {
+        let mut benches: Vec<Benchmark> = mixes
+            .iter()
+            .flat_map(|&id| mix(id).benches)
+            .collect();
+        benches.sort();
+        benches.dedup();
+        run_parallel(benches, |b| {
+            self.get(b, org);
+        });
+    }
+
+    /// Weighted speedup of a report, per §V.
+    pub fn weighted_speedup(&self, report: &SystemReport, m: &Mix, org: OrgKind) -> f64 {
+        let shared: Vec<f64> = report.cores.iter().map(|c| c.ipc).collect();
+        let alone: Vec<f64> = m.benches.iter().map(|&b| self.get(b, org)).collect();
+        weighted_speedup(&shared, &alone)
+    }
+}
+
+impl Default for AloneIpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Run `f` over `items` with bounded std::thread parallelism, preserving
+/// input order in the result.
+pub fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = work.lock().unwrap().pop();
+                match item {
+                    Some((i, t)) => {
+                        let r = f(t);
+                        *results[i].lock().unwrap() = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed"))
+        .collect()
+}
+
+/// Per-design summary over a set of mixes.
+#[derive(Clone, Debug)]
+pub struct DesignSummary {
+    /// Design label (possibly with remap prefix, e.g. "XOR+DCA").
+    pub label: String,
+    /// Per-mix weighted speedups, in mix order.
+    pub ws: Vec<f64>,
+    /// Per-mix mean L2 miss latency (ns).
+    pub miss_latency_ns: Vec<f64>,
+    /// Per-mix accesses per turnaround.
+    pub apt: Vec<f64>,
+    /// Per-mix read row-buffer hit rate.
+    pub row_hit: Vec<f64>,
+}
+
+impl DesignSummary {
+    /// Geometric-mean weighted speedup.
+    pub fn ws_geomean(&self) -> f64 {
+        geomean(&self.ws)
+    }
+
+    /// Arithmetic-mean miss latency.
+    pub fn mean_latency(&self) -> f64 {
+        self.miss_latency_ns.iter().sum::<f64>() / self.miss_latency_ns.len().max(1) as f64
+    }
+
+    /// Arithmetic-mean accesses per turnaround.
+    pub fn mean_apt(&self) -> f64 {
+        self.apt.iter().sum::<f64>() / self.apt.len().max(1) as f64
+    }
+
+    /// Arithmetic-mean read row-buffer hit rate.
+    pub fn mean_row_hit(&self) -> f64 {
+        self.row_hit.iter().sum::<f64>() / self.row_hit.len().max(1) as f64
+    }
+}
+
+/// Evaluate `spec` over `mixes` (parallel), producing a summary.
+pub fn evaluate(spec: RunSpec, mixes: &[u32], alone: &AloneIpc, label: &str) -> DesignSummary {
+    let reports = run_parallel(mixes.to_vec(), |id| (id, spec.run_mix(id)));
+    let mut ws = Vec::new();
+    let mut lat = Vec::new();
+    let mut apt = Vec::new();
+    let mut rhr = Vec::new();
+    for (id, r) in &reports {
+        let m = mix(*id);
+        ws.push(alone.weighted_speedup(r, &m, spec.org));
+        lat.push(r.l2_miss_latency.mean_ns());
+        apt.push(r.accesses_per_turnaround());
+        rhr.push(r.read_row_hit_rate());
+    }
+    DesignSummary {
+        label: label.to_string(),
+        ws,
+        miss_latency_ns: lat,
+        apt,
+        row_hit: rhr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let out = run_parallel((0..32).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn scale_defaults_are_sane() {
+        let s = Scale::from_env();
+        assert!(s.insts >= 50_000);
+        assert!(!s.mixes.is_empty());
+        assert!(s.mixes.iter().all(|&m| (1..=30).contains(&m)));
+    }
+
+    #[test]
+    fn spec_config_round_trips() {
+        let spec = RunSpec::new(Design::Dca, OrgKind::DirectMapped)
+            .with_remap()
+            .with_lee();
+        let cfg = spec.config();
+        assert_eq!(cfg.design, Design::Dca);
+        assert!(cfg.lee_writeback);
+        assert_eq!(cfg.mapping, MappingScheme::XorRemap);
+    }
+}

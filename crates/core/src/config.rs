@@ -1,0 +1,192 @@
+//! System configuration (paper Table II).
+
+use dca_dram::{MappingScheme, Organization, TimingParams};
+use dca_dram_cache::OrgKind;
+
+/// The three controller designs compared in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Conventional Design (§III-A): queue by access type.
+    Cd,
+    /// Request-Oriented Design (§III-B): queue by request type.
+    Rod,
+    /// DRAM-Cache-Aware (§IV): CD queues + PR/LR split + OFS.
+    Dca,
+}
+
+impl Design {
+    /// All designs, in the paper's presentation order.
+    pub const ALL: [Design; 3] = [Design::Cd, Design::Rod, Design::Dca];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Cd => "CD",
+            Design::Rod => "ROD",
+            Design::Dca => "DCA",
+        }
+    }
+}
+
+/// Which base arbitration algorithm orders candidates within a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Arbiter {
+    /// BLISS \[11\] — the paper's choice for all designs.
+    Bliss,
+    /// FR-FCFS — ablation only.
+    FrFcfs,
+}
+
+/// DCA-specific knobs (§IV).
+#[derive(Clone, Copy, Debug)]
+pub struct DcaParams {
+    /// Flushing factor: an LR with a row conflict may still issue when
+    /// its bank's RRPC is below this (paper default FF-4).
+    pub flushing_factor: u8,
+    /// Algorithm 1 ScheduleAll turn-on occupancy (paper: 85 %).
+    pub read_q_hi: f64,
+    /// Algorithm 1 ScheduleAll turn-off occupancy (paper: 75 %).
+    pub read_q_lo: f64,
+}
+
+impl Default for DcaParams {
+    fn default() -> Self {
+        DcaParams {
+            flushing_factor: 4,
+            read_q_hi: 0.85,
+            read_q_lo: 0.75,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Controller design under test.
+    pub design: Design,
+    /// DRAM-cache organisation (set-associative / direct-mapped).
+    pub org_kind: OrgKind,
+    /// Bank-index mapping (plain or XOR remap \[9\]).
+    pub mapping: MappingScheme,
+    /// Base arbiter (paper: BLISS for everything).
+    pub arbiter: Arbiter,
+    /// Stacked-DRAM timing.
+    pub timing: TimingParams,
+    /// Stacked-DRAM organisation.
+    pub dram_org: Organization,
+    /// Read-queue entries per channel (Table II: 64; 32 for ROD).
+    pub read_q_cap: usize,
+    /// Write-queue entries per channel (Table II: 64; 96 for ROD).
+    pub write_q_cap: usize,
+    /// Write-queue drain thresholds (Table II: 50 %/85 %).
+    pub write_lo: f64,
+    /// See [`SystemConfig::write_lo`].
+    pub write_hi: f64,
+    /// DCA knobs.
+    pub dca: DcaParams,
+    /// Enable Lee et al. DRAM-aware L2 writeback \[20\] (Fig 19).
+    pub lee_writeback: bool,
+    /// Enable the MAP-I hit/miss predictor \[7\] (paper: on).
+    pub predictor: bool,
+    /// Instructions per core for the timing run.
+    pub target_insts: u64,
+    /// Functional warm-up memory operations per core before timing.
+    pub warmup_ops: u64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// L1 hit latency in CPU cycles (Table II: 2).
+    pub l1_lat_cycles: u64,
+    /// L2 hit latency in CPU cycles (Table II: 20).
+    pub l2_lat_cycles: u64,
+    /// Shared L2 MSHR count.
+    pub mshrs: usize,
+    /// Record a detailed access timeline (examples/diagnostics only).
+    pub record_timeline: bool,
+}
+
+impl SystemConfig {
+    /// Table II configuration for `design` × `org_kind`.
+    pub fn paper(design: Design, org_kind: OrgKind) -> Self {
+        let (read_q_cap, write_q_cap) = match design {
+            Design::Rod => (32, 96),
+            _ => (64, 64),
+        };
+        SystemConfig {
+            design,
+            org_kind,
+            mapping: MappingScheme::Direct,
+            arbiter: Arbiter::Bliss,
+            timing: TimingParams::paper_stacked(),
+            dram_org: Organization::paper(),
+            read_q_cap,
+            write_q_cap,
+            write_lo: 0.50,
+            write_hi: 0.85,
+            dca: DcaParams::default(),
+            lee_writeback: false,
+            predictor: true,
+            target_insts: 2_000_000,
+            warmup_ops: 400_000,
+            seed: 0xDCA_2016,
+            l1_lat_cycles: 2,
+            l2_lat_cycles: 20,
+            mshrs: 32,
+            record_timeline: false,
+        }
+    }
+
+    /// Convenience: the paper config with the XOR remapping enabled.
+    pub fn paper_remap(design: Design, org_kind: OrgKind) -> Self {
+        let mut cfg = Self::paper(design, org_kind);
+        cfg.mapping = MappingScheme::XorRemap;
+        cfg
+    }
+
+    /// Scale the run length (both warm-up and timing) by `factor` — used
+    /// by tests and quick benches.
+    pub fn scaled(mut self, insts: u64, warmup: u64) -> Self {
+        self.target_insts = insts;
+        self.warmup_ops = warmup;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rod_gets_asymmetric_queues() {
+        let cd = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped);
+        let rod = SystemConfig::paper(Design::Rod, OrgKind::DirectMapped);
+        let dca = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+        assert_eq!((cd.read_q_cap, cd.write_q_cap), (64, 64));
+        assert_eq!((rod.read_q_cap, rod.write_q_cap), (32, 96));
+        assert_eq!((dca.read_q_cap, dca.write_q_cap), (64, 64));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Design::Cd.label(), "CD");
+        assert_eq!(Design::Rod.label(), "ROD");
+        assert_eq!(Design::Dca.label(), "DCA");
+        assert_eq!(Design::ALL.len(), 3);
+    }
+
+    #[test]
+    fn dca_defaults_match_paper() {
+        let d = DcaParams::default();
+        assert_eq!(d.flushing_factor, 4);
+        assert_eq!(d.read_q_hi, 0.85);
+        assert_eq!(d.read_q_lo, 0.75);
+    }
+
+    #[test]
+    fn remap_variant_flips_mapping_only() {
+        let a = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+        let b = SystemConfig::paper_remap(Design::Dca, OrgKind::DirectMapped);
+        assert_eq!(a.mapping, MappingScheme::Direct);
+        assert_eq!(b.mapping, MappingScheme::XorRemap);
+        assert_eq!(a.read_q_cap, b.read_q_cap);
+    }
+}

@@ -1,0 +1,62 @@
+//! # dca — the DRAM-Cache-Aware DRAM controller
+//!
+//! A full-system reproduction of **Huang, Nagarajan & Joshi, "DCA: a
+//! DRAM-Cache-Aware DRAM Controller" (SC '16)**.
+//!
+//! A request to a tags-in-DRAM cache expands into several DRAM accesses
+//! (tag read, data read, tag write, ...). How a controller queues and
+//! schedules those accesses decides whether critical demand reads wait
+//! behind writeback bookkeeping. This crate implements the paper's three
+//! designs over the shared substrate crates:
+//!
+//! * **CD** (conventional design, §III-A) — classify by *access type*:
+//!   reads to the read queue, writes to the write queue. Minimises
+//!   turnarounds but suffers **read priority inversion** and
+//!   **read-read conflicts** (RRC).
+//! * **ROD** (request-oriented design, §III-B) — classify by *request
+//!   type*: everything belonging to a demand read goes to the read queue,
+//!   everything belonging to a writeback/refill to the write queue (tag
+//!   writes of read requests excepted, per the paper's footnote).
+//!   Avoids inversion but triples turnarounds and stretches write-queue
+//!   flushes.
+//! * **DCA** (§IV) — CD's queues plus a **PR/LR split** in the read
+//!   queue: priority reads are demand-read accesses, low-priority reads
+//!   are tag/victim reads of writebacks and refills. LRs are held back
+//!   like writes and flushed by the **Opportunistic Flushing Scheme**:
+//!   an LR may issue when its bank has no row conflict, or when the
+//!   bank's 3-bit **re-reference prediction counter (RRPC)** says the
+//!   bank has not been touched by PRs recently (below the flushing
+//!   factor FF). Algorithm 1's 85 %/75 % occupancy hysteresis lets LRs
+//!   compete when the read queue backs up.
+//!
+//! [`System`] wires 4 cores → private L1s → shared L2 (+MSHRs) → the
+//! per-channel controllers → the stacked-DRAM device → main memory, and
+//! runs the deterministic event loop. [`SystemConfig`] reproduces
+//! Table II; [`SystemReport`] carries every statistic the paper's figures
+//! need.
+//!
+//! ```
+//! use dca::{Design, SystemConfig, System};
+//! use dca_dram_cache::OrgKind;
+//! use dca_cpu::Benchmark;
+//!
+//! let mut cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+//! cfg.target_insts = 50_000; // tiny demo run
+//! cfg.warmup_ops = 10_000;
+//! let report = dca::System::new(cfg, &[Benchmark::Libquantum, Benchmark::Mcf]).run();
+//! assert!(report.cores[0].ipc > 0.0);
+//! ```
+
+pub mod config;
+pub mod controller;
+pub mod report;
+pub mod rrpc;
+pub mod system;
+pub mod timeline;
+
+pub use config::{Arbiter, DcaParams, Design, SystemConfig};
+pub use controller::{ChannelController, CtrlStats};
+pub use report::{ChannelReport, CoreReport, SystemReport};
+pub use rrpc::Rrpc;
+pub use system::System;
+pub use timeline::{Timeline, TimelineEntry};

@@ -1,0 +1,110 @@
+//! Per-run reports: everything the paper's figures consume.
+
+use dca_metrics::LatencyStat;
+use dca_sim_core::SimTime;
+
+use crate::controller::CtrlStats;
+use crate::timeline::Timeline;
+
+/// Per-core outcome.
+#[derive(Clone, Debug)]
+pub struct CoreReport {
+    /// Benchmark name on this core.
+    pub bench: String,
+    /// Instructions retired.
+    pub insts: u64,
+    /// Cycles at 4 GHz.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Per-channel device + controller outcome.
+#[derive(Clone, Debug)]
+pub struct ChannelReport {
+    /// Read accesses issued to the device.
+    pub reads: u64,
+    /// Write accesses issued to the device.
+    pub writes: u64,
+    /// Bus direction switches.
+    pub turnarounds: u64,
+    /// Accesses per turnaround (Figs 14–15 metric).
+    pub accesses_per_turnaround: f64,
+    /// Row-buffer hit rate over read accesses (Figs 16–17 metric).
+    pub read_row_hit_rate: f64,
+    /// Read accesses that row-conflicted.
+    pub read_row_conflicts: u64,
+    /// Controller counters.
+    pub ctrl: CtrlStats,
+}
+
+/// The full result of one simulation.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// Per-core results, in core order.
+    pub cores: Vec<CoreReport>,
+    /// Per-channel results.
+    pub channels: Vec<ChannelReport>,
+    /// L2 miss latency (demand reads to the DRAM cache), Figs 12–13.
+    pub l2_miss_latency: LatencyStat,
+    /// DRAM-cache demand-read hits.
+    pub cache_read_hits: u64,
+    /// DRAM-cache demand-read misses.
+    pub cache_read_misses: u64,
+    /// MAP-I prediction accuracy.
+    pub predictor_accuracy: f64,
+    /// Main-memory reads.
+    pub mem_reads: u64,
+    /// Main-memory writes.
+    pub mem_writes: u64,
+    /// Writeback requests presented to the DRAM cache.
+    pub writeback_requests: u64,
+    /// Refill requests presented to the DRAM cache.
+    pub refill_requests: u64,
+    /// Final simulated time.
+    pub end_time: SimTime,
+    /// Optional detailed access timeline (when configured).
+    pub timeline: Option<Timeline>,
+}
+
+impl SystemReport {
+    /// DRAM-cache demand-read hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_read_hits + self.cache_read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_read_hits as f64 / total as f64
+        }
+    }
+
+    /// Per-core IPC vector (weighted-speedup input).
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(|c| c.ipc).collect()
+    }
+
+    /// Device-wide accesses per turnaround (weighted by accesses).
+    pub fn accesses_per_turnaround(&self) -> f64 {
+        let accesses: u64 = self.channels.iter().map(|c| c.reads + c.writes).sum();
+        let turnarounds: u64 = self.channels.iter().map(|c| c.turnarounds).sum();
+        if turnarounds == 0 {
+            accesses as f64
+        } else {
+            accesses as f64 / turnarounds as f64
+        }
+    }
+
+    /// Device-wide read row-buffer hit rate (weighted by reads).
+    pub fn read_row_hit_rate(&self) -> f64 {
+        let reads: u64 = self.channels.iter().map(|c| c.reads).sum();
+        if reads == 0 {
+            return 0.0;
+        }
+        let hits: f64 = self
+            .channels
+            .iter()
+            .map(|c| c.read_row_hit_rate * c.reads as f64)
+            .sum();
+        hits / reads as f64
+    }
+}

@@ -1,0 +1,105 @@
+//! Bank re-reference prediction counters (RRPC, §IV-C).
+//!
+//! One 3-bit counter per bank across the whole device (64 banks ⇒ 24
+//! bytes of state, as the paper highlights). The counters track how
+//! recently each bank was touched by a *priority read*: on every PR
+//! issue, all counters decay by one (floored at 0) and the accessed
+//! bank's counter is set to 7. The Opportunistic Flushing Scheme then
+//! treats a bank with RRPC below the flushing factor as "cold" — safe to
+//! disturb with a low-priority read even if that read row-conflicts.
+
+/// The per-bank recency counters.
+#[derive(Clone, Debug)]
+pub struct Rrpc {
+    counters: Vec<u8>,
+}
+
+/// Counter ceiling (3 bits).
+pub const RRPC_MAX: u8 = 7;
+
+impl Rrpc {
+    /// Counters for `banks` banks, all initialised to 0 (paper: "initially
+    /// the counter is set to 0").
+    pub fn new(banks: u32) -> Self {
+        Rrpc {
+            counters: vec![0; banks as usize],
+        }
+    }
+
+    /// Number of banks tracked.
+    pub fn banks(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Current counter for `bank`.
+    pub fn get(&self, bank: u32) -> u8 {
+        self.counters[bank as usize]
+    }
+
+    /// A priority read was issued to `bank`: decay everyone, promote the
+    /// touched bank to the maximum.
+    pub fn on_priority_read(&mut self, bank: u32) {
+        for c in self.counters.iter_mut() {
+            *c = c.saturating_sub(1);
+        }
+        self.counters[bank as usize] = RRPC_MAX;
+    }
+
+    /// Whether `bank` is colder than the flushing factor `ff` — the OFS
+    /// admission test for a row-conflicting LR.
+    pub fn is_cold(&self, bank: u32, ff: u8) -> bool {
+        self.get(bank) < ff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_cold() {
+        let r = Rrpc::new(64);
+        assert_eq!(r.banks(), 64);
+        for b in 0..64 {
+            assert_eq!(r.get(b), 0);
+            assert!(r.is_cold(b, 4));
+        }
+    }
+
+    #[test]
+    fn pr_heats_bank_and_decays_others() {
+        let mut r = Rrpc::new(4);
+        r.on_priority_read(2);
+        assert_eq!(r.get(2), RRPC_MAX);
+        r.on_priority_read(1);
+        assert_eq!(r.get(1), RRPC_MAX);
+        assert_eq!(r.get(2), RRPC_MAX - 1);
+        assert_eq!(r.get(0), 0, "decay floors at zero");
+    }
+
+    #[test]
+    fn bank_cools_after_seven_decays() {
+        let mut r = Rrpc::new(2);
+        r.on_priority_read(0);
+        for _ in 0..4 {
+            r.on_priority_read(1);
+        }
+        // Bank 0 decayed 4 times: 7-4 = 3 < FF-4 → cold again.
+        assert_eq!(r.get(0), 3);
+        assert!(r.is_cold(0, 4));
+        assert!(!r.is_cold(1, 4), "freshly PR'd bank is hot");
+    }
+
+    #[test]
+    fn ff_boundary_is_strict() {
+        let mut r = Rrpc::new(1);
+        r.on_priority_read(0);
+        for _ in 0..3 {
+            r.on_priority_read(0);
+        }
+        assert_eq!(r.get(0), RRPC_MAX);
+        // ff = 8 would admit anything; ff = 0 admits nothing.
+        assert!(r.is_cold(0, 8));
+        assert!(!r.is_cold(0, 0));
+    }
+}

@@ -1,0 +1,822 @@
+//! The full simulated system and its event loop.
+//!
+//! Wiring (Table II): 4 cores (4 GHz, 192-entry ROB, 8-wide) with private
+//! L1s (32 KB/2-way, 2 cycles) → shared L2 (8 MB, 20 cycles, MSHRs) →
+//! the DRAM-cache controller (one [`ChannelController`] per channel) →
+//! the stacked-DRAM device (4 channels × 16 banks, open page) → main
+//! memory (50 ns + off-chip bus).
+//!
+//! ## Flow of a demand read
+//! L2 miss → MSHR → `CacheRequest{Read}` to the block's channel → FSM
+//! emits the tag (or TAD) read → controller schedules it per design →
+//! tag resolution → hit: data read (+ replacement-bit tag write), data
+//! answers the cores; miss: main-memory fetch (overlapped with the tag
+//! check when MAP-I predicted a miss), the returned block answers the
+//! cores immediately and a `Refill` request installs it in the cache.
+//!
+//! ## Flow of a writeback
+//! L2 dirty eviction → `CacheRequest{Writeback}` → tag read (the LR the
+//! whole paper is about) → data+tag writes; a displaced dirty victim is
+//! read out and written to main memory.
+//!
+//! Determinism: one event queue with (time, insertion) ordering; all
+//! randomness comes from the seeded workload generators.
+
+use std::collections::{HashMap, VecDeque};
+
+use dca_cpu::{Benchmark, Core, CoreConfig, MemOp, MemPort, PortResponse, TraceGen};
+use dca_dram::DramChannel;
+use dca_dram_cache::{
+    CacheGeometry, CacheReqKind, CacheRequest, MapI, OrgKind, RequestFsm, RequestId,
+    TagArray,
+};
+use dca_mem_hier::{collect_same_row_dirty, MainMemory, Mshr, MshrOutcome, SramCache};
+use dca_metrics::LatencyStat;
+use dca_sim_core::{Duration, EventQueue, SeedSplitter, SimTime};
+
+use crate::config::SystemConfig;
+use crate::controller::{AccessMeta, ChannelController};
+use crate::report::{ChannelReport, CoreReport, SystemReport};
+use crate::rrpc::Rrpc;
+use crate::timeline::{Timeline, TimelineEntry};
+
+/// Events driving the simulation.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// (Re-)advance a core.
+    CoreWake(u8),
+    /// Deliver load data to a core, then advance it.
+    Deliver { core: u8, token: u64 },
+    /// Run a channel's admission + scheduling.
+    Pump(u8),
+    /// A DRAM access's burst completed.
+    AccessDone { ch: u8, access_id: u64 },
+    /// Main-memory data for a demand-read miss arrived.
+    MemData { req: RequestId },
+}
+
+/// An L2-miss waiter (who to answer when the block arrives).
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    core: u8,
+    token: u64,
+    is_store: bool,
+}
+
+/// Bookkeeping for an outstanding demand read.
+#[derive(Clone, Copy, Debug)]
+struct ReadState {
+    block: u64,
+    app: u8,
+    arrival: SimTime,
+    predicted_hit: bool,
+    /// Completion time of the speculative memory fetch, if one launched.
+    prefetch_done: Option<SimTime>,
+}
+
+/// Everything below the cores. Split from [`System`] so the core loop can
+/// borrow it as the cores' memory port.
+struct Uncore {
+    cfg: SystemConfig,
+    geom: CacheGeometry,
+    l1: Vec<SramCache>,
+    l2: SramCache,
+    mshr: Mshr<Waiter>,
+    mshr_overflow: VecDeque<(u64, Waiter, u32)>,
+    channels: Vec<DramChannel>,
+    ctrls: Vec<ChannelController>,
+    rrpc: Rrpc,
+    tags: TagArray,
+    predictor: MapI,
+    memory: MainMemory,
+    fsms: HashMap<RequestId, RequestFsm>,
+    access_meta: HashMap<u64, AccessMeta>,
+    pending_reqs: Vec<VecDeque<CacheRequest>>,
+    read_state: HashMap<RequestId, ReadState>,
+    next_req_id: RequestId,
+    next_access_id: u64,
+    inflight: Vec<u32>,
+    poll_armed: Vec<bool>,
+    /// Events produced while the event queue is not borrowable
+    /// (inside the cores' port callbacks).
+    outbox: Vec<(SimTime, Ev)>,
+    // Statistics.
+    latency: LatencyStat,
+    cache_read_hits: u64,
+    cache_read_misses: u64,
+    wb_requests: u64,
+    refill_requests: u64,
+    wasted_prefetches: u64,
+    timeline: Option<Timeline>,
+}
+
+impl Uncore {
+    fn l1_latency(&self) -> Duration {
+        Duration::from_cpu_cycles(self.cfg.l1_lat_cycles)
+    }
+
+    fn l2_latency(&self) -> Duration {
+        Duration::from_cpu_cycles(self.cfg.l2_lat_cycles)
+    }
+
+    /// Install `block` into a core's L1, spilling dirty victims into L2.
+    fn fill_l1(&mut self, core: u8, block: u64, dirty: bool) {
+        if let Some((victim, vdirty)) = self.l1[core as usize].allocate(block, dirty) {
+            if vdirty {
+                // L1 victim writes back into the (almost surely present)
+                // L2 copy; if L2 already lost it, the update is dropped —
+                // data values are not modelled, only traffic.
+                self.l2.probe(victim, true);
+            }
+        }
+    }
+
+    /// Create and queue a demand-read request for `block`.
+    fn submit_read(&mut self, block: u64, app: u8, pc: u32, at: SimTime) {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let predicted_hit = if self.cfg.predictor {
+            self.predictor.predict_hit(pc)
+        } else {
+            true
+        };
+        let prefetch_done = if !predicted_hit {
+            // MAP-I predicted a miss: overlap the memory fetch with the
+            // tag check (the Alloy-style hit-speculation path).
+            Some(self.memory.read(at))
+        } else {
+            None
+        };
+        self.read_state.insert(
+            id,
+            ReadState {
+                block,
+                app,
+                arrival: at,
+                predicted_hit,
+                prefetch_done,
+            },
+        );
+        let req = CacheRequest {
+            id,
+            kind: CacheReqKind::Read,
+            block,
+            app,
+            pc,
+        };
+        let ch = self.geom.place(block).loc.channel;
+        self.pending_reqs[ch as usize].push_back(req);
+        self.outbox.push((at, Ev::Pump(ch as u8)));
+    }
+
+    /// Create and queue a writeback request for `block`.
+    fn submit_writeback(&mut self, block: u64, app: u8, at: SimTime) {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.wb_requests += 1;
+        let req = CacheRequest {
+            id,
+            kind: CacheReqKind::Writeback,
+            block,
+            app,
+            pc: 0,
+        };
+        let ch = self.geom.place(block).loc.channel;
+        self.pending_reqs[ch as usize].push_back(req);
+        self.outbox.push((at, Ev::Pump(ch as u8)));
+    }
+
+    /// Create and queue a refill request for `block`.
+    fn submit_refill(&mut self, block: u64, app: u8, at: SimTime) {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.refill_requests += 1;
+        let req = CacheRequest {
+            id,
+            kind: CacheReqKind::Refill,
+            block,
+            app,
+            pc: 0,
+        };
+        let ch = self.geom.place(block).loc.channel;
+        self.pending_reqs[ch as usize].push_back(req);
+        self.outbox.push((at, Ev::Pump(ch as u8)));
+    }
+}
+
+impl MemPort for Uncore {
+    fn access(&mut self, op: MemOp, at: SimTime) -> PortResponse {
+        // L1.
+        if self.l1[op.core as usize].probe(op.block, op.is_store) {
+            return PortResponse::Complete(at + self.l1_latency());
+        }
+        let l2_time = at + self.l1_latency() + self.l2_latency();
+        // Shared L2.
+        if self.l2.probe(op.block, op.is_store) {
+            self.fill_l1(op.core, op.block, op.is_store);
+            return PortResponse::Complete(l2_time);
+        }
+        // L2 miss: take an MSHR and (for the first miss) go to the DRAM
+        // cache.
+        let waiter = Waiter {
+            core: op.core,
+            token: op.token,
+            is_store: op.is_store,
+        };
+        match self.mshr.allocate(op.block, waiter) {
+            MshrOutcome::Merged => PortResponse::Pending,
+            MshrOutcome::Full => {
+                self.mshr_overflow.push_back((op.block, waiter, op.pc));
+                PortResponse::Pending
+            }
+            MshrOutcome::New => {
+                self.submit_read(op.block, op.core, op.pc, l2_time);
+                PortResponse::Pending
+            }
+        }
+    }
+}
+
+/// The complete simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    bench_names: Vec<String>,
+    uncore: Uncore,
+    queue: EventQueue<Ev>,
+}
+
+impl System {
+    /// Build a system running `benches` (one per core, 1–4 of them) under
+    /// `cfg`, and perform the functional warm-up.
+    pub fn new(cfg: SystemConfig, benches: &[Benchmark]) -> Self {
+        assert!(
+            !benches.is_empty() && benches.len() <= 4,
+            "1 to 4 cores supported"
+        );
+        let geom = CacheGeometry::new(cfg.org_kind, cfg.dram_org, cfg.mapping);
+        let seeds = SeedSplitter::new(cfg.seed);
+
+        // Build generators; each core gets a disjoint 4 GiB-aligned
+        // block-address region so multiprogrammed workloads never share.
+        let mut gens: Vec<TraceGen> = benches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let base = (i as u64 + 1) << 26;
+                TraceGen::new(
+                    b.profile(),
+                    base,
+                    seeds.split("core").split_index(i as u64).seed(),
+                )
+            })
+            .collect();
+
+        let ways = cfg.org_kind.ways();
+        let mut uncore = Uncore {
+            cfg,
+            geom,
+            l1: benches.iter().map(|_| SramCache::paper_l1()).collect(),
+            l2: SramCache::paper_l2(),
+            mshr: Mshr::new(cfg.mshrs),
+            mshr_overflow: VecDeque::new(),
+            channels: (0..cfg.dram_org.channels)
+                .map(|_| DramChannel::new(cfg.timing, &cfg.dram_org))
+                .collect(),
+            ctrls: (0..cfg.dram_org.channels)
+                .map(|c| ChannelController::new(&cfg, c))
+                .collect(),
+            rrpc: Rrpc::new(cfg.dram_org.total_banks()),
+            tags: TagArray::new(geom.num_sets(), ways),
+            predictor: MapI::paper(),
+            memory: MainMemory::paper(),
+            fsms: HashMap::new(),
+            access_meta: HashMap::new(),
+            pending_reqs: (0..cfg.dram_org.channels).map(|_| VecDeque::new()).collect(),
+            read_state: HashMap::new(),
+            next_req_id: 0,
+            next_access_id: 0,
+            inflight: vec![0; cfg.dram_org.channels as usize],
+            poll_armed: vec![false; cfg.dram_org.channels as usize],
+            outbox: Vec::new(),
+            latency: LatencyStat::new(),
+            cache_read_hits: 0,
+            cache_read_misses: 0,
+            wb_requests: 0,
+            refill_requests: 0,
+            wasted_prefetches: 0,
+            timeline: cfg.record_timeline.then(|| Timeline::new(100_000)),
+        };
+
+        // Functional warm-up: run each generator's prefix through the
+        // caches with no timing, so the 256 MB cache starts warm (the
+        // paper fast-forwards 4 B instructions with warm caches).
+        Self::warmup(&mut uncore, &mut gens);
+
+        let cores = gens
+            .into_iter()
+            .enumerate()
+            .map(|(i, gen)| Core::new(i as u8, CoreConfig::paper(cfg.target_insts), gen))
+            .collect();
+
+        System {
+            cfg,
+            cores,
+            bench_names: benches.iter().map(|b| b.name().to_string()).collect(),
+            uncore,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Functional (timing-free) cache warm-up.
+    fn warmup(uncore: &mut Uncore, gens: &mut [TraceGen]) {
+        let ops = uncore.cfg.warmup_ops;
+        let geom = uncore.geom;
+        for _ in 0..ops {
+            for (i, gen) in gens.iter_mut().enumerate() {
+                let op = gen.next_op();
+                if uncore.l1[i].probe(op.block, op.is_store) {
+                    continue;
+                }
+                if !uncore.l2.probe(op.block, op.is_store) {
+                    // Warm the DRAM-cache tags.
+                    let p = geom.place(op.block);
+                    match uncore.tags.lookup(p.set, p.tag) {
+                        Some(w) => uncore.tags.touch(p.set, w),
+                        None => {
+                            uncore.tags.insert(p.set, p.tag, false);
+                        }
+                    }
+                    if let Some((victim, vdirty)) = uncore.l2.allocate(op.block, op.is_store) {
+                        if vdirty {
+                            let q = geom.place(victim);
+                            match uncore.tags.lookup(q.set, q.tag) {
+                                Some(w) => uncore.tags.set_dirty(q.set, w, true),
+                                None => {
+                                    uncore.tags.insert(q.set, q.tag, true);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some((victim, vdirty)) = uncore.l1[i].allocate(op.block, op.is_store) {
+                    if vdirty {
+                        uncore.l2.probe(victim, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain deferred events produced inside port callbacks.
+    fn drain_outbox(&mut self) {
+        let now = self.queue.now();
+        for (at, ev) in self.uncore.outbox.drain(..) {
+            self.queue.push(at.max(now), ev);
+        }
+    }
+
+    /// Advance core `i` and flush whatever it produced.
+    fn wake_core(&mut self, i: u8, now: SimTime) {
+        let state = self.cores[i as usize].advance(&mut self.uncore, now);
+        let _ = state; // Waiting/Finished both handled by future events.
+        self.drain_outbox();
+    }
+
+    /// Admission + scheduling for channel `ch`.
+    fn pump(&mut self, ch: u8, now: SimTime) {
+        self.uncore.poll_armed[ch as usize] = false;
+
+        // Admit pending requests while the queues have room.
+        loop {
+            if !self.uncore.ctrls[ch as usize].can_admit() {
+                break;
+            }
+            let Some(req) = self.uncore.pending_reqs[ch as usize].pop_front() else {
+                break;
+            };
+            let (fsm, specs) = RequestFsm::start(req, &self.uncore.geom);
+            self.uncore.fsms.insert(req.id, fsm);
+            for spec in specs {
+                let id = self.uncore.next_access_id;
+                self.uncore.next_access_id += 1;
+                self.uncore.access_meta.insert(
+                    id,
+                    AccessMeta {
+                        request: req.id,
+                        role: spec.role,
+                    },
+                );
+                self.uncore.ctrls[ch as usize].enqueue(id, spec, req.kind, req.app, now);
+            }
+        }
+
+        // Issue as much as the design allows.
+        loop {
+            let uncore = &mut self.uncore;
+            let Some(issued) = uncore.ctrls[ch as usize].schedule_one(
+                &mut uncore.channels[ch as usize],
+                &mut uncore.rrpc,
+                now,
+            ) else {
+                break;
+            };
+            uncore.inflight[ch as usize] += 1;
+            if let Some(tl) = uncore.timeline.as_mut() {
+                let meta = uncore.access_meta[&issued.entry.id];
+                let req_kind = uncore
+                    .fsms
+                    .get(&meta.request)
+                    .map(|f| f.request().kind)
+                    .unwrap_or(CacheReqKind::Read);
+                tl.push(TimelineEntry {
+                    burst_start: issued.info.burst_start,
+                    burst_end: issued.info.burst_end,
+                    channel: ch as u32,
+                    bank: issued.entry.access.bank,
+                    row: issued.entry.access.row,
+                    kind: issued.entry.access.kind,
+                    role: meta.role,
+                    req_kind,
+                    class: issued.entry.class,
+                    outcome: issued.info.outcome,
+                });
+            }
+            self.queue.push(
+                issued.info.burst_end,
+                Ev::AccessDone {
+                    ch,
+                    access_id: issued.entry.id,
+                },
+            );
+        }
+
+        // Poll fallback: queued work, nothing in flight, nothing
+        // schedulable right now (e.g. OFS holding LRs). Re-pump shortly —
+        // conditions change only with PR traffic or time.
+        let u = &mut self.uncore;
+        if u.inflight[ch as usize] == 0
+            && (u.ctrls[ch as usize].backlog() > 0 || !u.pending_reqs[ch as usize].is_empty())
+            && !u.poll_armed[ch as usize]
+        {
+            u.poll_armed[ch as usize] = true;
+            self.queue.push(now + Duration::from_ns(20), Ev::Pump(ch));
+        }
+    }
+
+    /// Answer the cores waiting on `block` and install it in L2.
+    fn fill_l2_and_respond(&mut self, block: u64, app: u8, now: SimTime) {
+        let waiters = self.uncore.mshr.complete(block);
+        let dirty = waiters.iter().any(|w| w.is_store);
+        if let Some((victim, vdirty)) = self.uncore.l2.allocate(block, dirty) {
+            if vdirty {
+                self.spill_l2_victim(victim, app, now);
+            }
+        }
+        for w in waiters {
+            self.uncore.fill_l1(w.core, block, w.is_store);
+            if !w.is_store {
+                self.queue.push(
+                    now,
+                    Ev::Deliver {
+                        core: w.core,
+                        token: w.token,
+                    },
+                );
+            }
+        }
+        // MSHRs freed: retry overflowed misses.
+        while let Some((blk, waiter, pc)) = self.uncore.mshr_overflow.pop_front() {
+            match self.uncore.mshr.allocate(blk, waiter) {
+                MshrOutcome::New => {
+                    self.uncore.submit_read(blk, waiter.core, pc, now);
+                }
+                MshrOutcome::Merged => {}
+                MshrOutcome::Full => {
+                    self.uncore.mshr_overflow.push_front((blk, waiter, pc));
+                    break;
+                }
+            }
+        }
+        self.drain_outbox();
+    }
+
+    /// An L2 dirty victim leaves for the DRAM cache — with the Lee
+    /// DRAM-aware policy, row-mates ride along (§VII, Fig 19).
+    fn spill_l2_victim(&mut self, victim: u64, app: u8, now: SimTime) {
+        self.uncore.submit_writeback(victim, app, now);
+        if self.cfg.lee_writeback {
+            let geom = self.uncore.geom;
+            let blocks_per_row = match self.cfg.org_kind {
+                OrgKind::SetAssoc { .. } => 4,
+                OrgKind::DirectMapped => 60,
+            };
+            let mates = collect_same_row_dirty(
+                &self.uncore.l2,
+                victim,
+                |b| geom.place(b).frame,
+                blocks_per_row,
+                8,
+            );
+            for mate in mates {
+                if self.uncore.l2.clean(mate) {
+                    self.uncore.submit_writeback(mate, app, now);
+                }
+            }
+        }
+        self.drain_outbox();
+    }
+
+    /// A demand read has its data: record latency and answer the cores.
+    fn finish_demand_read(&mut self, req: RequestId, now: SimTime) {
+        let rs = self
+            .uncore
+            .read_state
+            .remove(&req)
+            .expect("read state must exist");
+        self.uncore.latency.record(rs.arrival, now);
+        self.fill_l2_and_respond(rs.block, rs.app, now);
+    }
+
+    /// Handle one completed DRAM access.
+    fn access_done(&mut self, ch: u8, access_id: u64, now: SimTime) {
+        self.uncore.inflight[ch as usize] -= 1;
+        let meta = self
+            .uncore
+            .access_meta
+            .remove(&access_id)
+            .expect("access metadata");
+        let geom = self.uncore.geom;
+        let out = {
+            let fsm = self
+                .uncore
+                .fsms
+                .get_mut(&meta.request)
+                .expect("request FSM");
+            fsm.on_access_done(meta.role, &mut self.uncore.tags, &geom)
+        };
+        let (req_kind, req_app, req_pc) = {
+            let fsm = &self.uncore.fsms[&meta.request];
+            let r = fsm.request();
+            (r.kind, r.app, r.pc)
+        };
+
+        // Follow-up accesses.
+        for spec in &out.enqueue {
+            let id = self.uncore.next_access_id;
+            self.uncore.next_access_id += 1;
+            self.uncore.access_meta.insert(
+                id,
+                AccessMeta {
+                    request: meta.request,
+                    role: spec.role,
+                },
+            );
+            self.uncore.ctrls[ch as usize].enqueue(id, *spec, req_kind, req_app, now);
+        }
+
+        // Predictor training + hit statistics (demand reads only).
+        if let Some(hit) = out.hit_known {
+            if req_kind == CacheReqKind::Read {
+                if self.cfg.predictor {
+                    self.uncore.predictor.update(req_pc, hit);
+                    let predicted = self.uncore.read_state[&meta.request].predicted_hit;
+                    self.uncore.predictor.record_outcome(predicted, hit);
+                    if hit && !predicted {
+                        self.uncore.wasted_prefetches += 1;
+                    }
+                }
+                if hit {
+                    self.uncore.cache_read_hits += 1;
+                } else {
+                    self.uncore.cache_read_misses += 1;
+                }
+            }
+        }
+
+        // Dirty victim evicted from the DRAM cache → main memory.
+        if out.evict_dirty.is_some() {
+            self.uncore.memory.write(now);
+        }
+
+        if out.respond_hit {
+            self.finish_demand_read(meta.request, now);
+        }
+        if out.respond_miss {
+            let rs = self.uncore.read_state[&meta.request];
+            match rs.prefetch_done {
+                Some(t) if t <= now => {
+                    // Speculative fetch already landed: answer now, and
+                    // install via a refill request.
+                    self.finish_demand_read(meta.request, now);
+                    self.uncore.submit_refill(rs.block, rs.app, now);
+                }
+                Some(t) => {
+                    self.queue.push(t, Ev::MemData { req: meta.request });
+                }
+                None => {
+                    let t = self.uncore.memory.read(now);
+                    self.queue.push(t, Ev::MemData { req: meta.request });
+                }
+            }
+        }
+        if out.done {
+            self.uncore.fsms.remove(&meta.request);
+        }
+
+        self.drain_outbox();
+        self.pump(ch, now);
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> SystemReport {
+        for i in 0..self.cores.len() {
+            self.queue.push(SimTime::ZERO, Ev::CoreWake(i as u8));
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::CoreWake(i) => self.wake_core(i, now),
+                Ev::Deliver { core, token } => {
+                    self.cores[core as usize].on_data(token, now);
+                    self.wake_core(core, now);
+                }
+                Ev::Pump(ch) => self.pump(ch, now),
+                Ev::AccessDone { ch, access_id } => self.access_done(ch, access_id, now),
+                Ev::MemData { req } => {
+                    let rs = self.uncore.read_state[&req];
+                    self.finish_demand_read(req, now);
+                    self.uncore.submit_refill(rs.block, rs.app, now);
+                    self.drain_outbox();
+                }
+            }
+            if self.cores.iter().all(|c| c.finished()) {
+                break;
+            }
+        }
+        assert!(
+            self.cores.iter().all(|c| c.finished()),
+            "event queue drained with unfinished cores — model deadlock"
+        );
+        self.report()
+    }
+
+    fn report(self) -> SystemReport {
+        let cores = self
+            .cores
+            .iter()
+            .zip(&self.bench_names)
+            .map(|(c, name)| CoreReport {
+                bench: name.clone(),
+                insts: c.insts(),
+                cycles: c.cycles(),
+                ipc: c.ipc(),
+            })
+            .collect();
+        let channels = self
+            .uncore
+            .channels
+            .iter()
+            .zip(&self.uncore.ctrls)
+            .map(|(ch, ctrl)| ChannelReport {
+                reads: ch.stats().reads.get(),
+                writes: ch.stats().writes.get(),
+                turnarounds: ch.bus().turnarounds(),
+                accesses_per_turnaround: ch.bus().accesses_per_turnaround(),
+                read_row_hit_rate: ch.stats().read_row_hit_rate(),
+                read_row_conflicts: ch.stats().read_row_conflicts.get(),
+                ctrl: ctrl.stats().clone(),
+            })
+            .collect();
+        SystemReport {
+            cores,
+            channels,
+            l2_miss_latency: self.uncore.latency.clone(),
+            cache_read_hits: self.uncore.cache_read_hits,
+            cache_read_misses: self.uncore.cache_read_misses,
+            predictor_accuracy: self.uncore.predictor.accuracy(),
+            mem_reads: self.uncore.memory.reads(),
+            mem_writes: self.uncore.memory.writes(),
+            writeback_requests: self.uncore.wb_requests,
+            refill_requests: self.uncore.refill_requests,
+            end_time: self.queue.now(),
+            timeline: self.uncore.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+
+    fn tiny(design: Design, org: OrgKind) -> SystemReport {
+        // Warm-up long enough to fill the shared 8 MB L2 (131 072 blocks)
+        // so evictions — and hence writebacks — flow from the start.
+        let cfg = SystemConfig::paper(design, org).scaled(60_000, 300_000);
+        System::new(cfg, &[Benchmark::Libquantum, Benchmark::Mcf]).run()
+    }
+
+    #[test]
+    fn cd_runs_to_completion_dm() {
+        let r = tiny(Design::Cd, OrgKind::DirectMapped);
+        assert!(r.cores.iter().all(|c| c.insts >= 60_000));
+        assert!(r.cores.iter().all(|c| c.ipc > 0.0));
+        assert!(r.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn rod_runs_to_completion_dm() {
+        let r = tiny(Design::Rod, OrgKind::DirectMapped);
+        assert!(r.cores.iter().all(|c| c.insts >= 60_000));
+    }
+
+    #[test]
+    fn dca_runs_to_completion_dm() {
+        let r = tiny(Design::Dca, OrgKind::DirectMapped);
+        assert!(r.cores.iter().all(|c| c.insts >= 60_000));
+        // DCA must actually serve both classes.
+        let pr: u64 = r.channels.iter().map(|c| c.ctrl.pr_served.get()).sum();
+        let lr: u64 = r.channels.iter().map(|c| c.ctrl.lr_served.get()).sum();
+        assert!(pr > 0, "priority reads served");
+        assert!(lr > 0, "low-priority reads served");
+    }
+
+    #[test]
+    fn all_designs_run_set_assoc() {
+        for d in Design::ALL {
+            let r = tiny(d, OrgKind::paper_set_assoc());
+            assert!(
+                r.cores.iter().all(|c| c.insts >= 60_000),
+                "{} SA run incomplete",
+                d.label()
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_is_plausible() {
+        let r = tiny(Design::Cd, OrgKind::DirectMapped);
+        let reads: u64 = r.channels.iter().map(|c| c.reads).sum();
+        let writes: u64 = r.channels.iter().map(|c| c.writes).sum();
+        assert!(reads > 100, "some DRAM-cache reads, got {reads}");
+        assert!(writes > 100, "some DRAM-cache writes, got {writes}");
+        assert!(r.l2_miss_latency.count() > 100, "L2 misses measured");
+        assert!(r.writeback_requests > 0, "writebacks flow");
+        assert!(r.cache_read_hits + r.cache_read_misses > 0);
+    }
+
+    #[test]
+    fn warmup_makes_hits() {
+        // Warm-up must exceed the 131 072-block shared L2 several times
+        // over before far-reuse revisits can miss L2 and hit the DRAM
+        // cache (the paper warms across 4 B fast-forwarded instructions).
+        let cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(60_000, 400_000);
+        let r = System::new(cfg, &[Benchmark::Libquantum, Benchmark::Mcf]).run();
+        assert!(
+            r.cache_hit_rate() > 0.1,
+            "warmed cache should hit, rate={:.3}",
+            r.cache_hit_rate()
+        );
+    }
+
+    #[test]
+    fn single_core_runs() {
+        let cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped).scaled(40_000, 10_000);
+        let r = System::new(cfg, &[Benchmark::Gcc]).run();
+        assert_eq!(r.cores.len(), 1);
+        assert!(r.cores[0].insts >= 40_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = tiny(Design::Dca, OrgKind::DirectMapped);
+        let b = tiny(Design::Dca, OrgKind::DirectMapped);
+        assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+        assert_eq!(a.cores[1].cycles, b.cores[1].cycles);
+        assert_eq!(a.mem_reads, b.mem_reads);
+        let ra: Vec<u64> = a.channels.iter().map(|c| c.reads).collect();
+        let rb: Vec<u64> = b.channels.iter().map(|c| c.reads).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 to 4 cores")]
+    fn five_cores_rejected() {
+        let cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped);
+        System::new(cfg, &[Benchmark::Gcc; 5]);
+    }
+
+    #[test]
+    fn timeline_recording_works() {
+        let mut cfg =
+            SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(30_000, 5_000);
+        cfg.record_timeline = true;
+        let r = System::new(cfg, &[Benchmark::Libquantum]).run();
+        let tl = r.timeline.expect("timeline requested");
+        assert!(!tl.entries().is_empty());
+        // Entries are in issue order with sane windows.
+        for e in tl.entries() {
+            assert!(e.burst_end > e.burst_start);
+        }
+    }
+}

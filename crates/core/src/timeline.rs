@@ -1,0 +1,148 @@
+//! Optional access-level timeline recording, for the worked examples
+//! (the paper's Figs 4, 5 and 7 are exactly such timelines).
+
+use dca_dram::{AccessKind, RowOutcome};
+use dca_dram_cache::{AccessRole, CacheReqKind};
+use dca_sched::ReadClass;
+use dca_sim_core::SimTime;
+
+/// One issued access, annotated with everything the narrative needs.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineEntry {
+    /// When the data burst started.
+    pub burst_start: SimTime,
+    /// When the data burst ended.
+    pub burst_end: SimTime,
+    /// Channel index.
+    pub channel: u32,
+    /// Bank within the channel.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Role within its request (RT/RD/WT/WD/TAD...).
+    pub role: AccessRole,
+    /// Owning request kind (read/writeback/refill).
+    pub req_kind: CacheReqKind,
+    /// PR/LR classification.
+    pub class: ReadClass,
+    /// How the access met the row buffer.
+    pub outcome: RowOutcome,
+}
+
+/// Bounded in-memory recording of issued accesses.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+    cap: usize,
+}
+
+impl Timeline {
+    /// A recorder holding at most `cap` entries (oldest kept).
+    pub fn new(cap: usize) -> Self {
+        Timeline {
+            entries: Vec::with_capacity(cap.min(4096)),
+            cap,
+        }
+    }
+
+    /// Record one entry if room remains.
+    pub fn push(&mut self, e: TimelineEntry) {
+        if self.entries.len() < self.cap {
+            self.entries.push(e);
+        }
+    }
+
+    /// Recorded entries in issue order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Entries overlapping the window `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<&TimelineEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.burst_end > from && e.burst_start < to)
+            .collect()
+    }
+
+    /// Human-readable one-line rendering of an entry.
+    pub fn describe(e: &TimelineEntry) -> String {
+        let dir = match e.kind {
+            AccessKind::Read => "RD",
+            AccessKind::Write => "WR",
+        };
+        let req = match e.req_kind {
+            CacheReqKind::Read => "read",
+            CacheReqKind::Writeback => "wb",
+            CacheReqKind::Refill => "refill",
+        };
+        let class = match e.class {
+            ReadClass::Priority => "PR",
+            ReadClass::LowPriority => "LR",
+        };
+        let outcome = match e.outcome {
+            RowOutcome::Hit => "hit",
+            RowOutcome::Closed => "closed",
+            RowOutcome::Conflict => "CONFLICT",
+        };
+        format!(
+            "{:>10} - {:>10}  ch{} bank{:2} row{:4}  {dir} {:?} ({req}/{class}) [{outcome}]",
+            format!("{}", e.burst_start),
+            format!("{}", e.burst_end),
+            e.channel,
+            e.bank,
+            e.row,
+            e.role,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(start: u64, end: u64) -> TimelineEntry {
+        TimelineEntry {
+            burst_start: SimTime(start),
+            burst_end: SimTime(end),
+            channel: 0,
+            bank: 1,
+            row: 2,
+            kind: AccessKind::Read,
+            role: AccessRole::TagRead,
+            req_kind: CacheReqKind::Writeback,
+            class: ReadClass::LowPriority,
+            outcome: RowOutcome::Conflict,
+        }
+    }
+
+    #[test]
+    fn respects_cap() {
+        let mut t = Timeline::new(2);
+        t.push(entry(0, 10));
+        t.push(entry(10, 20));
+        t.push(entry(20, 30));
+        assert_eq!(t.entries().len(), 2);
+    }
+
+    #[test]
+    fn window_filters() {
+        let mut t = Timeline::new(10);
+        t.push(entry(0, 10));
+        t.push(entry(10, 20));
+        t.push(entry(20, 30));
+        assert_eq!(t.window(SimTime(10), SimTime(20)).len(), 1);
+        assert_eq!(t.window(SimTime(0), SimTime(30)).len(), 3);
+        assert_eq!(t.window(SimTime(100), SimTime(200)).len(), 0);
+    }
+
+    #[test]
+    fn describe_mentions_the_interesting_bits() {
+        let s = Timeline::describe(&entry(0, 10));
+        assert!(s.contains("TagRead"));
+        assert!(s.contains("wb/LR"));
+        assert!(s.contains("CONFLICT"));
+    }
+}

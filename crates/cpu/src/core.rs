@@ -1,0 +1,444 @@
+//! The out-of-order-approximating core model.
+//!
+//! Table II: 4 GHz, x86, 192 ROB entries, 8-wide. The model keeps the
+//! three structural effects that shape the memory request stream:
+//!
+//! 1. **Issue/retire bandwidth** — `gap+1` instructions cost
+//!    `ceil((gap+1)/width)` cycles of frontend time.
+//! 2. **ROB-bounded lookahead** — a load blocks retirement until its data
+//!    returns; once it is `rob_size` instructions old, the frontend
+//!    stalls on it. Independent loads inside the window overlap (MLP).
+//! 3. **Dependent loads serialise** — a pointer-chase load cannot issue
+//!    before its chain predecessor's data arrives.
+//!
+//! Stores retire through the write buffer without stalling the core (they
+//! still traverse the hierarchy and dirty the caches, producing the
+//! writeback stream the paper's study depends on).
+//!
+//! The core runs on *virtual time* (`vt`): it executes as far ahead as
+//! its window allows in one call, returning `Waiting` only when blocked
+//! on outstanding data. All issued requests carry absolute timestamps,
+//! so the event-driven system stays causally consistent.
+
+use std::collections::VecDeque;
+
+use dca_sim_core::{Duration, SimTime};
+
+use crate::port::{MemOp, MemPort, PortResponse};
+use crate::trace::{TraceGen, TraceOp};
+
+/// Static core parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Reorder-buffer capacity in instructions (Table II: 192).
+    pub rob_size: u64,
+    /// Issue/retire width (Table II: 8).
+    pub width: u32,
+    /// Maximum loads outstanding past the SRAM hierarchy.
+    pub mlp_limit: usize,
+    /// Instructions to execute before finishing.
+    pub target_insts: u64,
+}
+
+impl CoreConfig {
+    /// The paper's core with the given instruction budget.
+    pub fn paper(target_insts: u64) -> Self {
+        CoreConfig {
+            rob_size: 192,
+            width: 8,
+            mlp_limit: 16,
+            target_insts,
+        }
+    }
+}
+
+/// Result of driving a core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreState {
+    /// Blocked on outstanding memory data; re-advance after `on_data`.
+    Waiting,
+    /// Instruction budget reached.
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InflightLoad {
+    inst_idx: u64,
+    token: u64,
+    done: Option<SimTime>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ChainDep {
+    Known(SimTime),
+    Pending(u64),
+}
+
+/// Per-core statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Loads issued to the hierarchy.
+    pub loads: u64,
+    /// Stores issued to the hierarchy.
+    pub stores: u64,
+    /// Loads that resolved past the SRAM hierarchy (DRAM cache or memory).
+    pub long_loads: u64,
+    /// Times the frontend stalled with the ROB full.
+    pub rob_stalls: u64,
+    /// Times issue stopped at the MLP limit.
+    pub mlp_stalls: u64,
+}
+
+/// One simulated core.
+pub struct Core {
+    id: u8,
+    cfg: CoreConfig,
+    gen: TraceGen,
+    vt: SimTime,
+    inst_count: u64,
+    next_token: u64,
+    inflight: VecDeque<InflightLoad>,
+    pending_unknown: usize,
+    chains: [ChainDep; 8],
+    staged: Option<TraceOp>,
+    finished: bool,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// A core executing `gen`'s stream under `cfg`.
+    pub fn new(id: u8, cfg: CoreConfig, gen: TraceGen) -> Self {
+        Core {
+            id,
+            cfg,
+            gen,
+            vt: SimTime::ZERO,
+            inst_count: 0,
+            next_token: 0,
+            inflight: VecDeque::with_capacity(cfg.mlp_limit + 1),
+            pending_unknown: 0,
+            chains: [ChainDep::Known(SimTime::ZERO); 8],
+            staged: None,
+            finished: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core id.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Instructions completed.
+    pub fn insts(&self) -> u64 {
+        self.inst_count
+    }
+
+    /// Frontend virtual time (the core's notion of elapsed time).
+    pub fn time(&self) -> SimTime {
+        self.vt
+    }
+
+    /// Cycles elapsed at 4 GHz.
+    pub fn cycles(&self) -> u64 {
+        self.vt.as_cpu_cycles().max(1)
+    }
+
+    /// Instructions per cycle so far.
+    pub fn ipc(&self) -> f64 {
+        self.inst_count as f64 / self.cycles() as f64
+    }
+
+    /// Whether the instruction budget has been reached.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Completion callback: the load identified by `token` has its data
+    /// at `done`.
+    pub fn on_data(&mut self, token: u64, done: SimTime) {
+        for l in self.inflight.iter_mut() {
+            if l.token == token {
+                debug_assert!(l.done.is_none());
+                l.done = Some(done);
+                self.pending_unknown -= 1;
+                break;
+            }
+        }
+        for c in self.chains.iter_mut() {
+            if let ChainDep::Pending(t) = c {
+                if *t == token {
+                    *c = ChainDep::Known(done);
+                }
+            }
+        }
+    }
+
+    /// Run the core forward as far as its window allows, issuing memory
+    /// ops through `port`. `now` is the simulation time of the event that
+    /// woke the core; the core's virtual clock never runs behind it.
+    pub fn advance(&mut self, port: &mut impl MemPort, now: SimTime) -> CoreState {
+        // Waking implies whatever blocked us resolved no earlier than now.
+        self.vt = self.vt.max(now);
+        loop {
+            if self.finished {
+                return CoreState::Finished;
+            }
+
+            // Stage the next op. Completed loads are retired lazily by
+            // the ROB-window check below, which charges their completion
+            // time to the frontend exactly when the window forces a wait
+            // (in-order retirement at the ROB head).
+            let op = match self.staged.take() {
+                Some(op) => op,
+                None => self.gen.next_op(),
+            };
+
+            // Frontend time for the gap + the op itself.
+            let insts = op.gap as u64 + 1;
+            let cycles = insts.div_ceil(self.cfg.width as u64);
+            let mut issue_at = self.vt + Duration::from_cpu_cycles(cycles);
+
+            // ROB: the op cannot enter while a load older than
+            // (inst_count + insts - rob_size) is still outstanding.
+            let window_floor = (self.inst_count + insts).saturating_sub(self.cfg.rob_size);
+            while let Some(front) = self.inflight.front() {
+                if front.inst_idx >= window_floor {
+                    break;
+                }
+                match front.done {
+                    Some(done) => {
+                        issue_at = issue_at.max(done);
+                        self.inflight.pop_front();
+                    }
+                    None => {
+                        self.stats.rob_stalls += 1;
+                        self.staged = Some(op);
+                        return CoreState::Waiting;
+                    }
+                }
+            }
+
+            // MLP bound.
+            if !op.is_store && self.pending_unknown >= self.cfg.mlp_limit {
+                self.stats.mlp_stalls += 1;
+                self.staged = Some(op);
+                return CoreState::Waiting;
+            }
+
+            // Chain dependence.
+            if op.dependent && !op.is_store {
+                match self.chains[op.chain as usize % 8] {
+                    ChainDep::Known(t) => issue_at = issue_at.max(t),
+                    ChainDep::Pending(_) => {
+                        self.staged = Some(op);
+                        return CoreState::Waiting;
+                    }
+                }
+            }
+
+            // Commit frontend progress and issue.
+            self.vt = issue_at;
+            self.inst_count += insts;
+            let token = self.next_token;
+            self.next_token += 1;
+            let resp = port.access(
+                MemOp {
+                    core: self.id,
+                    token,
+                    block: op.block,
+                    is_store: op.is_store,
+                    pc: op.pc,
+                },
+                issue_at,
+            );
+            if op.is_store {
+                self.stats.stores += 1;
+            } else {
+                self.stats.loads += 1;
+                let done = match resp {
+                    PortResponse::Complete(t) => Some(t),
+                    PortResponse::Pending => {
+                        self.stats.long_loads += 1;
+                        self.pending_unknown += 1;
+                        None
+                    }
+                };
+                self.inflight.push_back(InflightLoad {
+                    inst_idx: self.inst_count,
+                    token,
+                    done,
+                });
+                let dep = match done {
+                    Some(t) => ChainDep::Known(t),
+                    None => ChainDep::Pending(token),
+                };
+                self.chains[op.chain as usize % 8] = dep;
+            }
+
+            if self.inst_count >= self.cfg.target_insts {
+                self.finished = true;
+                return CoreState::Finished;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+    use crate::trace::TraceGen;
+
+    /// A hierarchy that serves everything with a fixed latency.
+    struct FixedPort {
+        latency: Duration,
+        accesses: u64,
+    }
+
+    impl MemPort for FixedPort {
+        fn access(&mut self, _op: MemOp, at: SimTime) -> PortResponse {
+            self.accesses += 1;
+            PortResponse::Complete(at + self.latency)
+        }
+    }
+
+    /// A hierarchy that never answers (everything pends).
+    struct BlackholePort {
+        seen: Vec<MemOp>,
+    }
+
+    impl MemPort for BlackholePort {
+        fn access(&mut self, op: MemOp, _at: SimTime) -> PortResponse {
+            self.seen.push(op);
+            PortResponse::Pending
+        }
+    }
+
+    fn core_for(b: Benchmark, insts: u64) -> Core {
+        let gen = TraceGen::new(b.profile(), 0, 42);
+        Core::new(0, CoreConfig::paper(insts), gen)
+    }
+
+    #[test]
+    fn runs_to_completion_on_fast_memory() {
+        let mut c = core_for(Benchmark::Gcc, 100_000);
+        let mut port = FixedPort {
+            latency: Duration::from_cpu_cycles(2),
+            accesses: 0,
+        };
+        assert_eq!(c.advance(&mut port, SimTime::ZERO), CoreState::Finished);
+        assert!(c.insts() >= 100_000);
+        assert!(c.ipc() > 1.0, "fast memory: high IPC, got {}", c.ipc());
+        assert!(port.accesses > 10_000);
+    }
+
+    #[test]
+    fn mlp_limit_blocks_independent_misses() {
+        let mut c = core_for(Benchmark::Libquantum, 1_000_000);
+        let mut port = BlackholePort { seen: Vec::new() };
+        assert_eq!(c.advance(&mut port, SimTime::ZERO), CoreState::Waiting);
+        // Streaming loads are independent: exactly mlp_limit outstanding.
+        assert_eq!(
+            (c.stats().loads as usize),
+            port.seen.iter().filter(|o| !o.is_store).count()
+        );
+        assert_eq!(c.stats().long_loads as usize, 16);
+    }
+
+    #[test]
+    fn dependent_loads_block_immediately() {
+        let mut c = core_for(Benchmark::Mcf, 1_000_000);
+        let mut port = BlackholePort { seen: Vec::new() };
+        assert_eq!(c.advance(&mut port, SimTime::ZERO), CoreState::Waiting);
+        // A chase exposes at most chain-count + a few independent
+        // far-reuse loads before the dependence wall stops issue.
+        let loads = port.seen.iter().filter(|o| !o.is_store).count();
+        assert!(loads <= 16, "mcf MLP bounded by chains+reuse, got {loads}");
+    }
+
+    #[test]
+    fn on_data_unblocks_and_makes_progress() {
+        let mut c = core_for(Benchmark::Mcf, 10_000);
+        let mut port = BlackholePort { seen: Vec::new() };
+        let mut now = SimTime::ZERO;
+        let mut rounds = 0;
+        loop {
+            match c.advance(&mut port, now) {
+                CoreState::Finished => break,
+                CoreState::Waiting => {
+                    rounds += 1;
+                    assert!(rounds < 100_000, "no forward progress");
+                    // Answer every outstanding load 100ns later.
+                    now += Duration::from_ns(100);
+                    let pending: Vec<u64> = port
+                        .seen
+                        .drain(..)
+                        .filter(|o| !o.is_store)
+                        .map(|o| o.token)
+                        .collect();
+                    for t in pending {
+                        c.on_data(t, now);
+                    }
+                }
+            }
+        }
+        assert!(c.insts() >= 10_000);
+        assert!(c.ipc() < 1.0, "100ns serialised loads: low IPC");
+    }
+
+    #[test]
+    fn ipc_falls_with_latency() {
+        let run = |lat_cycles: u64| {
+            let mut c = core_for(Benchmark::Omnetpp, 200_000);
+            let mut port = FixedPort {
+                latency: Duration::from_cpu_cycles(lat_cycles),
+                accesses: 0,
+            };
+            c.advance(&mut port, SimTime::ZERO);
+            c.ipc()
+        };
+        let fast = run(2);
+        let slow = run(200);
+        assert!(
+            fast > slow * 1.5,
+            "latency must hurt IPC: fast={fast:.3} slow={slow:.3}"
+        );
+    }
+
+    #[test]
+    fn stores_never_block() {
+        // A core fed only by pending stores should still finish.
+        let mut c = core_for(Benchmark::Lbm, 50_000);
+        struct StorePendPort;
+        impl MemPort for StorePendPort {
+            fn access(&mut self, op: MemOp, at: SimTime) -> PortResponse {
+                if op.is_store {
+                    PortResponse::Pending
+                } else {
+                    PortResponse::Complete(at + Duration::from_cpu_cycles(2))
+                }
+            }
+        }
+        assert_eq!(
+            c.advance(&mut StorePendPort, SimTime::ZERO),
+            CoreState::Finished
+        );
+    }
+
+    #[test]
+    fn virtual_time_is_monotonic_and_respects_now() {
+        let mut c = core_for(Benchmark::Gcc, 1000);
+        let mut port = FixedPort {
+            latency: Duration::from_cpu_cycles(2),
+            accesses: 0,
+        };
+        c.advance(&mut port, SimTime(5_000_000));
+        assert!(c.time() >= SimTime(5_000_000));
+    }
+}

@@ -1,0 +1,40 @@
+//! The memory port: how a core talks to the cache hierarchy.
+//!
+//! The system crate implements [`MemPort`] over L1/L2/DRAM-cache/memory.
+//! Hits resolve inline (`Complete` with the absolute completion time);
+//! anything that leaves the SRAM hierarchy returns `Pending` and the
+//! system calls [`Core::on_data`](crate::core::Core::on_data) when the
+//! data lands.
+
+use dca_sim_core::SimTime;
+
+/// One memory operation presented to the hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct MemOp {
+    /// Issuing core.
+    pub core: u8,
+    /// Core-local token identifying the op in completion callbacks.
+    pub token: u64,
+    /// 64-byte block address.
+    pub block: u64,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// Synthetic instruction address.
+    pub pc: u32,
+}
+
+/// Outcome of presenting an op to the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortResponse {
+    /// Served within the SRAM hierarchy; data at the given instant.
+    Complete(SimTime),
+    /// Left for the DRAM cache / main memory; completion arrives via
+    /// `Core::on_data`.
+    Pending,
+}
+
+/// The hierarchy interface exposed to cores.
+pub trait MemPort {
+    /// Present `op`, issued at absolute time `at`.
+    fn access(&mut self, op: MemOp, at: SimTime) -> PortResponse;
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the core model and trace generators.
+
+use dca_cpu::{Benchmark, Core, CoreConfig, MemOp, MemPort, PortResponse, TraceGen};
+use dca_sim_core::{Duration, SimTime};
+use proptest::prelude::*;
+
+struct FixedPort(Duration);
+impl MemPort for FixedPort {
+    fn access(&mut self, _op: MemOp, at: SimTime) -> PortResponse {
+        PortResponse::Complete(at + self.0)
+    }
+}
+
+fn arb_bench() -> impl Strategy<Value = Benchmark> {
+    (0usize..Benchmark::ALL.len()).prop_map(|i| Benchmark::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generators are reproducible and stay inside their address region
+    /// for every benchmark and seed.
+    #[test]
+    fn generators_deterministic_and_bounded(bench in arb_bench(), seed in any::<u64>()) {
+        let base = 1u64 << 30;
+        let ws = bench.profile().ws_blocks;
+        let mut a = TraceGen::new(bench.profile(), base, seed);
+        let mut b = TraceGen::new(bench.profile(), base, seed);
+        for _ in 0..2000 {
+            let (x, y) = (a.next_op(), b.next_op());
+            prop_assert_eq!(x.block, y.block);
+            prop_assert_eq!(x.gap, y.gap);
+            prop_assert!(x.block >= base && x.block < base + ws);
+            prop_assert!(x.chain < 8);
+        }
+    }
+
+    /// The core always completes its instruction budget on a responsive
+    /// hierarchy, and IPC is monotone in memory latency.
+    #[test]
+    fn core_completes_and_latency_hurts(bench in arb_bench(), seed in any::<u64>()) {
+        let run = |lat_cycles: u64| {
+            let gen = TraceGen::new(bench.profile(), 0, seed);
+            let mut core = Core::new(0, CoreConfig::paper(30_000), gen);
+            let mut port = FixedPort(Duration::from_cpu_cycles(lat_cycles));
+            let state = core.advance(&mut port, SimTime::ZERO);
+            prop_assert_eq!(state, dca_cpu::CoreState::Finished);
+            prop_assert!(core.insts() >= 30_000);
+            Ok(core.ipc())
+        };
+        let fast = run(1)?;
+        let slow = run(400)?;
+        prop_assert!(fast > slow, "ipc must fall with latency: {fast} vs {slow}");
+    }
+
+    /// Virtual time never runs behind the wake time handed to advance.
+    #[test]
+    fn core_time_respects_now(bench in arb_bench(), wake_ns in 0u64..1_000_000) {
+        let gen = TraceGen::new(bench.profile(), 0, 1);
+        let mut core = Core::new(0, CoreConfig::paper(5_000), gen);
+        let mut port = FixedPort(Duration::from_cpu_cycles(2));
+        let now = SimTime::ZERO + Duration::from_ns(wake_ns);
+        core.advance(&mut port, now);
+        prop_assert!(core.time() >= now);
+    }
+}

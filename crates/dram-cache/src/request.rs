@@ -1,0 +1,51 @@
+//! Cache-level request types.
+
+/// Unique id for a cache request, assigned by the controller front-end.
+pub type RequestId = u64;
+
+/// The three request kinds a DRAM cache services (§II-B2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheReqKind {
+    /// Demand read from the upper-level cache (L2 miss). Critical path.
+    Read,
+    /// Writeback of a dirty block evicted from the upper-level cache.
+    Writeback,
+    /// Refill: a block fetched from main memory being installed. The
+    /// paper treats its translation as identical to a writeback.
+    Refill,
+}
+
+impl CacheReqKind {
+    /// True for demand reads (the PR class in DCA).
+    pub fn is_demand_read(self) -> bool {
+        matches!(self, CacheReqKind::Read)
+    }
+}
+
+/// One request presented to the DRAM-cache controller.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheRequest {
+    /// Unique id.
+    pub id: RequestId,
+    /// Request kind.
+    pub kind: CacheReqKind,
+    /// 64-byte block address (byte address >> 6).
+    pub block: u64,
+    /// Issuing application / core (BLISS unit).
+    pub app: u8,
+    /// Synthetic instruction address of the triggering memory op, used by
+    /// the MAP-I predictor. Zero for writebacks/refills.
+    pub pc: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_read_classification() {
+        assert!(CacheReqKind::Read.is_demand_read());
+        assert!(!CacheReqKind::Writeback.is_demand_read());
+        assert!(!CacheReqKind::Refill.is_demand_read());
+    }
+}

@@ -1,0 +1,274 @@
+//! Functional tag / dirty / replacement state.
+//!
+//! This array answers "hit or miss, which way, who's the victim" — the
+//! *functional* half of the cache. The *timing* of reading and writing
+//! this state through the DRAM array is what the controller designs
+//! schedule; it is modelled by the access streams, not here.
+//!
+//! Replacement is SRRIP (Jaleel et al., the paper's citation \[12\] for
+//! re-reference prediction): 2-bit RRPV per way, hit promotes to 0,
+//! insertion at 2, victim = first way with RRPV 3 (aging increments all
+//! until one qualifies). For the direct-mapped organisation the set has
+//! one way and replacement is trivial.
+
+/// Outcome of inserting a block into a set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Way the block was placed in.
+    pub way: u16,
+    /// Evicted victim `(tag, was_dirty)` if a valid block was displaced.
+    pub evicted: Option<(u32, bool)>,
+}
+
+const RRPV_MAX: u8 = 3;
+const RRPV_INSERT: u8 = 2;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TagEntry {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    rrpv: u8,
+}
+
+/// The functional tag array: `sets × ways` entries, flat storage.
+#[derive(Clone, Debug)]
+pub struct TagArray {
+    entries: Vec<TagEntry>,
+    sets: u64,
+    ways: u16,
+}
+
+impl TagArray {
+    /// An all-invalid array.
+    pub fn new(sets: u64, ways: u16) -> Self {
+        assert!(ways >= 1);
+        assert!(sets >= 1);
+        TagArray {
+            entries: vec![TagEntry::default(); (sets * ways as u64) as usize],
+            sets,
+            ways,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u16 {
+        self.ways
+    }
+
+    #[inline]
+    fn base(&self, set: u64) -> usize {
+        debug_assert!(set < self.sets);
+        (set * self.ways as u64) as usize
+    }
+
+    /// Look up `tag` in `set`; returns the way on a hit. Pure.
+    pub fn lookup(&self, set: u64, tag: u32) -> Option<u16> {
+        let base = self.base(set);
+        self.entries[base..base + self.ways as usize]
+            .iter()
+            .position(|e| e.valid && e.tag == tag)
+            .map(|w| w as u16)
+    }
+
+    /// Whether (set, way) currently holds dirty data.
+    pub fn is_dirty(&self, set: u64, way: u16) -> bool {
+        self.entries[self.base(set) + way as usize].dirty
+    }
+
+    /// Record a hit on (set, way): promote its replacement state.
+    pub fn touch(&mut self, set: u64, way: u16) {
+        let base = self.base(set);
+        self.entries[base + way as usize].rrpv = 0;
+    }
+
+    /// Mark (set, way) dirty (hit by a writeback).
+    pub fn set_dirty(&mut self, set: u64, way: u16, dirty: bool) {
+        let base = self.base(set);
+        self.entries[base + way as usize].dirty = dirty;
+    }
+
+    /// Identify the victim way an insertion into `set` would use, without
+    /// modifying anything. Invalid ways win first; otherwise SRRIP aging
+    /// is *simulated* (the actual aging happens on insert).
+    pub fn victim_way(&self, set: u64) -> (u16, Option<(u32, bool)>) {
+        let base = self.base(set);
+        let ways = &self.entries[base..base + self.ways as usize];
+        if let Some(w) = ways.iter().position(|e| !e.valid) {
+            return (w as u16, None);
+        }
+        // SRRIP: pick the first way whose RRPV would reach MAX first —
+        // i.e. the way with the highest current RRPV; ties to lowest index.
+        let mut best = 0usize;
+        for (i, e) in ways.iter().enumerate().skip(1) {
+            if e.rrpv > ways[best].rrpv {
+                best = i;
+            }
+        }
+        let v = &ways[best];
+        (best as u16, Some((v.tag, v.dirty)))
+    }
+
+    /// Insert `tag` into `set`, evicting per SRRIP if needed.
+    pub fn insert(&mut self, set: u64, tag: u32, dirty: bool) -> InsertOutcome {
+        let base = self.base(set);
+        // Reuse an invalid way when available.
+        if let Some(w) = (0..self.ways as usize).find(|&w| !self.entries[base + w].valid) {
+            self.entries[base + w] = TagEntry {
+                tag,
+                valid: true,
+                dirty,
+                rrpv: RRPV_INSERT,
+            };
+            return InsertOutcome {
+                way: w as u16,
+                evicted: None,
+            };
+        }
+        // Age until some way reaches RRPV_MAX.
+        loop {
+            if let Some(w) =
+                (0..self.ways as usize).find(|&w| self.entries[base + w].rrpv >= RRPV_MAX)
+            {
+                let victim = self.entries[base + w];
+                self.entries[base + w] = TagEntry {
+                    tag,
+                    valid: true,
+                    dirty,
+                    rrpv: RRPV_INSERT,
+                };
+                return InsertOutcome {
+                    way: w as u16,
+                    evicted: Some((victim.tag, victim.dirty)),
+                };
+            }
+            for w in 0..self.ways as usize {
+                self.entries[base + w].rrpv += 1;
+            }
+        }
+    }
+
+    /// Invalidate (set, way); returns `(tag, was_dirty)` if it was valid.
+    pub fn invalidate(&mut self, set: u64, way: u16) -> Option<(u32, bool)> {
+        let base = self.base(set);
+        let e = &mut self.entries[base + way as usize];
+        if e.valid {
+            e.valid = false;
+            Some((e.tag, e.dirty))
+        } else {
+            None
+        }
+    }
+
+    /// Count of valid entries (test/diagnostic helper; O(sets×ways)).
+    pub fn valid_count(&self) -> u64 {
+        self.entries.iter().filter(|e| e.valid).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = TagArray::new(16, 4);
+        assert_eq!(t.lookup(3, 77), None);
+        let out = t.insert(3, 77, false);
+        assert_eq!(out.evicted, None);
+        assert_eq!(t.lookup(3, 77), Some(out.way));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut t = TagArray::new(4, 2);
+        let out = t.insert(1, 5, false);
+        assert!(!t.is_dirty(1, out.way));
+        t.set_dirty(1, out.way, true);
+        assert!(t.is_dirty(1, out.way));
+        t.set_dirty(1, out.way, false);
+        assert!(!t.is_dirty(1, out.way));
+    }
+
+    #[test]
+    fn fills_invalid_ways_before_evicting() {
+        let mut t = TagArray::new(1, 4);
+        for tag in 0..4 {
+            let out = t.insert(0, tag, false);
+            assert_eq!(out.evicted, None, "way {} should be free", tag);
+        }
+        let out = t.insert(0, 99, false);
+        assert!(out.evicted.is_some(), "5th insert must evict");
+        assert_eq!(t.valid_count(), 4);
+    }
+
+    #[test]
+    fn srrip_protects_recently_touched() {
+        let mut t = TagArray::new(1, 2);
+        let a = t.insert(0, 1, false);
+        let _b = t.insert(0, 2, false);
+        // Touch tag 1 so its RRPV drops to 0; tag 2 stays at insert RRPV.
+        t.touch(0, a.way);
+        let out = t.insert(0, 3, false);
+        let (victim_tag, _) = out.evicted.unwrap();
+        assert_eq!(victim_tag, 2, "untouched block is the victim");
+        assert_eq!(t.lookup(0, 1), Some(a.way));
+    }
+
+    #[test]
+    fn victim_way_predicts_insert() {
+        let mut t = TagArray::new(1, 4);
+        for tag in 0..4 {
+            t.insert(0, tag, tag % 2 == 1);
+        }
+        let (way, evicted) = t.victim_way(0);
+        let out = t.insert(0, 42, false);
+        assert_eq!(way, out.way);
+        assert_eq!(evicted, out.evicted);
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut t = TagArray::new(1, 1);
+        t.insert(0, 7, true);
+        let out = t.insert(0, 8, false);
+        assert_eq!(out.evicted, Some((7, true)));
+        let out = t.insert(0, 9, false);
+        assert_eq!(out.evicted, Some((8, false)));
+    }
+
+    #[test]
+    fn invalidate_round_trip() {
+        let mut t = TagArray::new(2, 2);
+        let out = t.insert(1, 3, true);
+        assert_eq!(t.invalidate(1, out.way), Some((3, true)));
+        assert_eq!(t.invalidate(1, out.way), None);
+        assert_eq!(t.lookup(1, 3), None);
+    }
+
+    #[test]
+    fn direct_mapped_single_way() {
+        let mut t = TagArray::new(8, 1);
+        t.insert(5, 1, false);
+        let out = t.insert(5, 2, true);
+        assert_eq!(out.way, 0);
+        assert_eq!(out.evicted, Some((1, false)));
+        assert_eq!(t.lookup(5, 2), Some(0));
+        assert_eq!(t.lookup(5, 1), None);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut t = TagArray::new(4, 1);
+        t.insert(0, 1, false);
+        t.insert(1, 2, false);
+        assert_eq!(t.lookup(0, 1), Some(0));
+        assert_eq!(t.lookup(1, 2), Some(0));
+        assert_eq!(t.lookup(2, 1), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: the functional tag array against a reference
+//! model, geometry round-trips, and FSM access-count invariants.
+
+use dca_dram::MappingScheme;
+use dca_dram_cache::{
+    CacheGeometry, CacheReqKind, CacheRequest, OrgKind, RequestFsm, TagArray,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// TagArray agrees with a reference map on membership after an
+    /// arbitrary interleaving of inserts, touches and invalidates, and
+    /// never exceeds its associativity per set.
+    #[test]
+    fn tag_array_matches_reference(
+        ops in prop::collection::vec((0u64..32, 0u32..64, any::<bool>()), 1..300)
+    ) {
+        let ways = 4u16;
+        let mut tags = TagArray::new(32, ways);
+        let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (set, tag, dirty) in ops {
+            match tags.lookup(set, tag) {
+                Some(way) => {
+                    tags.touch(set, way);
+                    tags.set_dirty(set, way, dirty);
+                    prop_assert!(reference.get(&set).is_some_and(|v| v.contains(&tag)));
+                }
+                None => {
+                    let out = tags.insert(set, tag, dirty);
+                    let entry = reference.entry(set).or_default();
+                    if let Some((victim, _)) = out.evicted {
+                        entry.retain(|&t| t != victim);
+                    }
+                    entry.push(tag);
+                    prop_assert!(entry.len() <= ways as usize, "set overflow");
+                }
+            }
+            // Membership check both ways.
+            for (&s, v) in &reference {
+                for &t in v {
+                    prop_assert!(tags.lookup(s, t).is_some(), "lost tag {t} in set {s}");
+                }
+            }
+        }
+    }
+
+    /// Block placement round-trips: set + tag uniquely reconstruct the
+    /// block, and all of a block's accesses land in one row frame.
+    #[test]
+    fn geometry_round_trip(blocks in prop::collection::vec(0u64..(1 << 34), 1..100), dm in any::<bool>()) {
+        let kind = if dm { OrgKind::DirectMapped } else { OrgKind::paper_set_assoc() };
+        let geom = CacheGeometry::paper(kind, MappingScheme::Direct);
+        for b in blocks {
+            let p = geom.place(b);
+            prop_assert_eq!(p.set + p.tag as u64 * geom.num_sets(), b);
+            prop_assert!(p.loc.channel < 4);
+            prop_assert!(p.loc.bank < 16);
+            prop_assert!((p.loc.row as u64) < 1024);
+        }
+    }
+
+    /// Fig 2 access-count invariants: a demand read is 1 access on a
+    /// miss and ≤3 on a hit (SA) or exactly 1 (DM); a writeback is ≤4.
+    #[test]
+    fn fsm_access_counts_match_fig2(
+        block in 0u64..(1 << 30),
+        dm in any::<bool>(),
+        warm in any::<bool>(),
+        wb in any::<bool>(),
+    ) {
+        let kind = if dm { OrgKind::DirectMapped } else { OrgKind::paper_set_assoc() };
+        let geom = CacheGeometry::paper(kind, MappingScheme::Direct);
+        let mut tags = TagArray::new(geom.num_sets(), kind.ways());
+        if warm {
+            let p = geom.place(block);
+            tags.insert(p.set, p.tag, false);
+        }
+        let req = CacheRequest {
+            id: 1,
+            kind: if wb { CacheReqKind::Writeback } else { CacheReqKind::Read },
+            block,
+            app: 0,
+            pc: 0,
+        };
+        let (mut fsm, first) = RequestFsm::start(req, &geom);
+        let mut pending = first;
+        let mut total = 0usize;
+        let mut guard = 0;
+        while !pending.is_empty() {
+            guard += 1;
+            prop_assert!(guard < 16, "fsm did not converge");
+            let spec = pending.remove(0);
+            total += 1;
+            let out = fsm.on_access_done(spec.role, &mut tags, &geom);
+            pending.extend(out.enqueue);
+        }
+        match (dm, wb, warm) {
+            (true, false, _) => prop_assert_eq!(total, 1),          // DM read: 1 TAD
+            (true, true, _) => prop_assert_eq!(total, 2),           // DM wb: TAD rd + TAD wr
+            (false, false, true) => prop_assert_eq!(total, 3),      // SA read hit: RT+RD+WT
+            (false, false, false) => prop_assert_eq!(total, 1),     // SA read miss: RT
+            (false, true, _) => prop_assert!((3..=4).contains(&total)), // SA wb: RT+WD+WT (+RDw)
+        }
+    }
+
+    /// Functional coherence: after a writeback to a block, a read of the
+    /// same block hits; after eviction it misses.
+    #[test]
+    fn writeback_then_read_hits(block in 0u64..(1 << 28)) {
+        let geom = CacheGeometry::paper(OrgKind::DirectMapped, MappingScheme::Direct);
+        let mut tags = TagArray::new(geom.num_sets(), 1);
+        let wb = CacheRequest { id: 1, kind: CacheReqKind::Writeback, block, app: 0, pc: 0 };
+        let (mut fsm, first) = RequestFsm::start(wb, &geom);
+        let mut pending = first;
+        while !pending.is_empty() {
+            let spec = pending.remove(0);
+            let out = fsm.on_access_done(spec.role, &mut tags, &geom);
+            pending.extend(out.enqueue);
+        }
+        let rd = CacheRequest { id: 2, kind: CacheReqKind::Read, block, app: 0, pc: 0 };
+        let (mut fsm2, first2) = RequestFsm::start(rd, &geom);
+        let out = fsm2.on_access_done(first2[0].role, &mut tags, &geom);
+        prop_assert!(out.respond_hit, "block written back must be readable");
+        // A conflicting block evicts it (direct-mapped).
+        let other = block + geom.num_sets();
+        let rf = CacheRequest { id: 3, kind: CacheReqKind::Refill, block: other, app: 0, pc: 0 };
+        let (mut fsm3, first3) = RequestFsm::start(rf, &geom);
+        let mut pending = first3;
+        while !pending.is_empty() {
+            let spec = pending.remove(0);
+            let out = fsm3.on_access_done(spec.role, &mut tags, &geom);
+            pending.extend(out.enqueue);
+        }
+        let rd2 = CacheRequest { id: 4, kind: CacheReqKind::Read, block, app: 0, pc: 0 };
+        let (mut fsm4, first4) = RequestFsm::start(rd2, &geom);
+        let out = fsm4.on_access_done(first4[0].role, &mut tags, &geom);
+        prop_assert!(out.respond_miss, "evicted block must miss");
+    }
+}

@@ -1,0 +1,117 @@
+//! DRAM access descriptors.
+
+use dca_sim_core::Duration;
+
+use crate::params::TimingParams;
+
+/// Direction of a DRAM array access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Array → controller (tag read, data read).
+    Read,
+    /// Controller → array (tag write, data write).
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+/// Data burst length of an access, in 16-byte quarters of the standard
+/// 64-byte block burst.
+///
+/// The set-associative organisation moves 64-byte tag or data blocks
+/// ([`BurstLen::Block64`]). The direct-mapped (Alloy-style) organisation
+/// streams a tag-and-data (TAD) unit in one slightly longer burst
+/// ([`BurstLen::Tad80`]), which is how it reads tag and data "in parallel"
+/// (§II-B1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BurstLen {
+    /// One 64-byte block: 4 quarter-units (exactly tBURST).
+    Block64,
+    /// One 80-byte TAD: 5 quarter-units (1.25 × tBURST).
+    Tad80,
+}
+
+impl BurstLen {
+    /// Quarter-units of bus time this burst occupies.
+    #[inline]
+    pub fn quarters(self) -> u64 {
+        match self {
+            BurstLen::Block64 => 4,
+            BurstLen::Tad80 => 5,
+        }
+    }
+
+    /// Bus occupancy for this burst under `params`.
+    #[inline]
+    pub fn duration(self, params: &TimingParams) -> Duration {
+        Duration::from_ps(params.t_burst.ps() * self.quarters() / 4)
+    }
+}
+
+/// One access to the DRAM array, as seen by a channel.
+///
+/// The channel does not care *why* the access exists (tag vs data, read
+/// request vs writeback) — that classification lives in the controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DramAccess {
+    /// Bank within the channel.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Burst length on the data bus.
+    pub burst: BurstLen,
+}
+
+impl DramAccess {
+    /// Convenience constructor for a standard 64-byte read.
+    pub fn read(bank: u32, row: u32) -> Self {
+        DramAccess {
+            bank,
+            row,
+            kind: AccessKind::Read,
+            burst: BurstLen::Block64,
+        }
+    }
+
+    /// Convenience constructor for a standard 64-byte write.
+    pub fn write(bank: u32, row: u32) -> Self {
+        DramAccess {
+            bank,
+            row,
+            kind: AccessKind::Write,
+            burst: BurstLen::Block64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_durations() {
+        let p = TimingParams::paper_stacked();
+        assert_eq!(BurstLen::Block64.duration(&p).ps(), 3_330);
+        // TAD is 25% longer (integer ps, truncating).
+        assert_eq!(BurstLen::Tad80.duration(&p).ps(), 4_162);
+    }
+
+    #[test]
+    fn constructors() {
+        let r = DramAccess::read(3, 17);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(r.kind.is_read());
+        let w = DramAccess::write(0, 0);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert!(!w.kind.is_read());
+        assert_eq!(w.burst, BurstLen::Block64);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-bank row-buffer state machine (open-page policy).
+
+use dca_sim_core::SimTime;
+
+use crate::params::TimingParams;
+
+/// How an access meets the bank's current row-buffer state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The target row is already open: CAS only.
+    Hit,
+    /// The bank has no open row: ACT + CAS.
+    Closed,
+    /// A different row is open: PRE + ACT + CAS. This is the expensive
+    /// case behind the paper's read-read-conflict (RRC) analysis.
+    Conflict,
+}
+
+impl RowOutcome {
+    /// True if this outcome required closing a previously open row.
+    pub fn is_conflict(self) -> bool {
+        matches!(self, RowOutcome::Conflict)
+    }
+}
+
+/// One DRAM bank under the open-page policy.
+///
+/// Tracks the open row plus the timestamps needed to honour tRAS (minimum
+/// row-open time), tRTP (read-to-precharge) and tWR (write recovery) when
+/// the next row conflict forces a precharge.
+#[derive(Clone, Copy, Debug)]
+pub struct Bank {
+    open_row: Option<u32>,
+    /// Bank is executing an access until this instant (its data burst end).
+    busy_until: SimTime,
+    /// Time of the last ACT on this bank.
+    act_at: SimTime,
+    /// CAS time of the last read on this bank.
+    last_read_cas: SimTime,
+    /// End of the last write burst on this bank.
+    last_write_end: SimTime,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A bank with all rows closed and no timing history.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            busy_until: SimTime::ZERO,
+            act_at: SimTime::ZERO,
+            last_read_cas: SimTime::ZERO,
+            last_write_end: SimTime::ZERO,
+        }
+    }
+
+    /// Currently open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// Whether the bank has finished its in-flight access by `now`.
+    #[inline]
+    pub fn is_free(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Instant at which the in-flight access (if any) completes.
+    #[inline]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Classify an access to `row` against the current row-buffer state.
+    #[inline]
+    pub fn classify(&self, row: u32) -> RowOutcome {
+        match self.open_row {
+            Some(open) if open == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Closed,
+        }
+    }
+
+    /// Earliest instant a precharge may be issued, per tRAS / tRTP / tWR.
+    pub fn earliest_precharge(&self, p: &TimingParams) -> SimTime {
+        let ras_done = self.act_at + p.t_ras;
+        let rtp_done = self.last_read_cas + p.t_rtp;
+        let wr_done = self.last_write_end + p.t_wr;
+        ras_done.max(rtp_done).max(wr_done)
+    }
+
+    /// Compute when a CAS for `row` could issue, starting the access at
+    /// `now`, and return it with the row outcome. Does not mutate state —
+    /// the channel commits the access separately via [`Bank::commit`].
+    pub fn cas_ready(&self, row: u32, now: SimTime, p: &TimingParams) -> (RowOutcome, SimTime) {
+        let outcome = self.classify(row);
+        let cas_at = match outcome {
+            RowOutcome::Hit => now,
+            RowOutcome::Closed => now + p.t_rcd,
+            RowOutcome::Conflict => {
+                let pre_at = now.max(self.earliest_precharge(p));
+                pre_at + p.t_rp + p.t_rcd
+            }
+        };
+        (outcome, cas_at)
+    }
+
+    /// Commit an access: open `row`, mark the bank busy until `burst_end`,
+    /// and record the timing history needed for future precharges.
+    ///
+    /// `cas_at` is the CAS command time, `burst_end` the end of the data
+    /// burst, `is_read` the access direction, `activated` whether this
+    /// access performed an ACT (closed bank or conflict).
+    pub fn commit(
+        &mut self,
+        row: u32,
+        cas_at: SimTime,
+        burst_end: SimTime,
+        is_read: bool,
+        activated: bool,
+        act_at: SimTime,
+    ) {
+        self.open_row = Some(row);
+        self.busy_until = burst_end;
+        if activated {
+            self.act_at = act_at;
+        }
+        if is_read {
+            self.last_read_cas = cas_at;
+        } else {
+            self.last_write_end = burst_end;
+        }
+    }
+
+    /// Explicitly close the open row (used by tests and refresh modelling).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_sim_core::Duration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_ns(ns)
+    }
+
+    #[test]
+    fn classify_covers_all_states() {
+        let mut b = Bank::new();
+        assert_eq!(b.classify(5), RowOutcome::Closed);
+        b.commit(5, t(8), t(19), true, true, t(0));
+        assert_eq!(b.classify(5), RowOutcome::Hit);
+        assert_eq!(b.classify(6), RowOutcome::Conflict);
+        assert!(b.classify(6).is_conflict());
+        b.precharge();
+        assert_eq!(b.classify(5), RowOutcome::Closed);
+    }
+
+    #[test]
+    fn closed_bank_pays_trcd() {
+        let p = TimingParams::paper_stacked();
+        let b = Bank::new();
+        let (outcome, cas) = b.cas_ready(3, t(100), &p);
+        assert_eq!(outcome, RowOutcome::Closed);
+        assert_eq!(cas, t(108)); // +tRCD (8ns)
+    }
+
+    #[test]
+    fn hit_needs_no_prep() {
+        let p = TimingParams::paper_stacked();
+        let mut b = Bank::new();
+        b.commit(3, t(8), t(19), true, true, t(0));
+        let (outcome, cas) = b.cas_ready(3, t(100), &p);
+        assert_eq!(outcome, RowOutcome::Hit);
+        assert_eq!(cas, t(100));
+    }
+
+    #[test]
+    fn conflict_pays_pre_plus_act_and_respects_tras() {
+        let p = TimingParams::paper_stacked();
+        let mut b = Bank::new();
+        // ACT at t=0; tRAS=30ns means no PRE before t=30.
+        b.commit(3, t(8), t(19), true, true, t(0));
+        // Request a different row at t=20: PRE must wait to max(tRAS end, tRTP end).
+        let (outcome, cas) = b.cas_ready(4, t(20), &p);
+        assert_eq!(outcome, RowOutcome::Conflict);
+        // earliest_precharge = max(0+30, 8+7.5, 0+15) = 30ns; cas = 30+8+8 = 46ns.
+        assert_eq!(cas, t(46));
+        // Requesting late enough that constraints are already met: PRE at now.
+        let (_, cas2) = b.cas_ready(4, t(1000), &p);
+        assert_eq!(cas2, t(1016));
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let p = TimingParams::paper_stacked();
+        let mut b = Bank::new();
+        // A write whose burst ends at t=50: tWR=15ns blocks PRE until t=65.
+        b.commit(7, t(40), t(50), false, true, t(30));
+        let ep = b.earliest_precharge(&p);
+        assert_eq!(ep, t(65));
+        let (outcome, cas) = b.cas_ready(9, t(55), &p);
+        assert_eq!(outcome, RowOutcome::Conflict);
+        assert_eq!(cas, t(65 + 16));
+    }
+
+    #[test]
+    fn busy_tracking() {
+        let mut b = Bank::new();
+        assert!(b.is_free(t(0)));
+        b.commit(1, t(8), t(20), true, true, t(0));
+        assert!(!b.is_free(t(10)));
+        assert!(b.is_free(t(20)));
+        assert_eq!(b.busy_until(), t(20));
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-channel data bus with read/write turnaround accounting.
+
+use dca_sim_core::{Counter, SimTime};
+
+use crate::access::AccessKind;
+use crate::params::TimingParams;
+
+/// Current drive direction of the bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusMode {
+    /// Bus is in read mode.
+    Read,
+    /// Bus is in write mode.
+    Write,
+}
+
+impl From<AccessKind> for BusMode {
+    fn from(kind: AccessKind) -> Self {
+        match kind {
+            AccessKind::Read => BusMode::Read,
+            AccessKind::Write => BusMode::Write,
+        }
+    }
+}
+
+/// The shared data bus of one channel.
+///
+/// Bursts serialise on the bus; a direction switch inserts the turnaround
+/// penalty (tWTR for write→read, tRTW for read→write) between the end of
+/// the previous burst and the start of the next. The bus also keeps the
+/// counters behind the paper's "accesses per turnaround" metric
+/// (Figs 14–15).
+#[derive(Clone, Debug)]
+pub struct DataBus {
+    mode: Option<BusMode>,
+    free_at: SimTime,
+    /// Total bursts carried.
+    accesses: Counter,
+    /// Direction switches.
+    turnarounds: Counter,
+    /// Sum of turnaround penalty time inserted.
+    turnaround_ps: u64,
+    /// Bursts carried since the last direction switch (for diagnostics).
+    run_length: u64,
+}
+
+impl Default for DataBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataBus {
+    /// An idle bus with no direction history.
+    pub fn new() -> Self {
+        DataBus {
+            mode: None,
+            free_at: SimTime::ZERO,
+            accesses: Counter::default(),
+            turnarounds: Counter::default(),
+            turnaround_ps: 0,
+            run_length: 0,
+        }
+    }
+
+    /// Instant the bus becomes free for the next burst.
+    #[inline]
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Current direction, `None` before the first burst.
+    #[inline]
+    pub fn mode(&self) -> Option<BusMode> {
+        self.mode
+    }
+
+    /// Earliest instant a burst of direction `kind` may *start*, given the
+    /// bus becomes free at `free_at` and any turnaround penalty. Pure
+    /// query — used by schedulers to cost candidate accesses.
+    pub fn earliest_start(&self, kind: AccessKind, p: &TimingParams) -> SimTime {
+        let want: BusMode = kind.into();
+        match self.mode {
+            Some(have) if have != want => {
+                let penalty = match want {
+                    BusMode::Read => p.t_wtr,  // write -> read
+                    BusMode::Write => p.t_rtw, // read -> write
+                };
+                self.free_at + penalty
+            }
+            _ => self.free_at,
+        }
+    }
+
+    /// Reserve the bus for a burst of direction `kind` running
+    /// `[start, end)`. `start` must already satisfy `earliest_start`.
+    /// Updates turnaround statistics.
+    pub fn reserve(&mut self, kind: AccessKind, start: SimTime, end: SimTime, p: &TimingParams) {
+        debug_assert!(start >= self.earliest_start(kind, p), "burst start violates turnaround");
+        debug_assert!(end > start);
+        let want: BusMode = kind.into();
+        if let Some(have) = self.mode {
+            if have != want {
+                self.turnarounds.inc();
+                let penalty = match want {
+                    BusMode::Read => p.t_wtr,
+                    BusMode::Write => p.t_rtw,
+                };
+                self.turnaround_ps += penalty.ps();
+                self.run_length = 0;
+            }
+        }
+        self.mode = Some(want);
+        self.free_at = end;
+        self.accesses.inc();
+        self.run_length += 1;
+    }
+
+    /// Total bursts carried.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Total direction switches.
+    pub fn turnarounds(&self) -> u64 {
+        self.turnarounds.get()
+    }
+
+    /// Total picoseconds of turnaround penalty inserted.
+    pub fn turnaround_time_ps(&self) -> u64 {
+        self.turnaround_ps
+    }
+
+    /// Accesses per turnaround — the paper's Fig 14/15 metric. When no
+    /// turnaround ever happened, returns the total access count.
+    pub fn accesses_per_turnaround(&self) -> f64 {
+        let t = self.turnarounds.get();
+        if t == 0 {
+            self.accesses.get() as f64
+        } else {
+            self.accesses.get() as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_sim_core::Duration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_ns(ns)
+    }
+
+    #[test]
+    fn first_burst_has_no_penalty() {
+        let p = TimingParams::paper_stacked();
+        let bus = DataBus::new();
+        assert_eq!(bus.earliest_start(AccessKind::Read, &p), SimTime::ZERO);
+        assert_eq!(bus.earliest_start(AccessKind::Write, &p), SimTime::ZERO);
+    }
+
+    #[test]
+    fn same_direction_has_no_penalty() {
+        let p = TimingParams::paper_stacked();
+        let mut bus = DataBus::new();
+        bus.reserve(AccessKind::Read, t(0), t(3), &p);
+        assert_eq!(bus.earliest_start(AccessKind::Read, &p), t(3));
+        assert_eq!(bus.turnarounds(), 0);
+    }
+
+    #[test]
+    fn write_to_read_costs_twtr() {
+        let p = TimingParams::paper_stacked();
+        let mut bus = DataBus::new();
+        bus.reserve(AccessKind::Write, t(0), t(3), &p);
+        // tWTR = 5ns.
+        assert_eq!(bus.earliest_start(AccessKind::Read, &p), t(8));
+        bus.reserve(AccessKind::Read, t(8), t(11), &p);
+        assert_eq!(bus.turnarounds(), 1);
+        assert_eq!(bus.turnaround_time_ps(), 5_000);
+    }
+
+    #[test]
+    fn read_to_write_costs_trtw() {
+        let p = TimingParams::paper_stacked();
+        let mut bus = DataBus::new();
+        bus.reserve(AccessKind::Read, t(0), t(3), &p);
+        // tRTW = 1.67ns.
+        let start = bus.earliest_start(AccessKind::Write, &p);
+        assert_eq!(start.ps(), 3_000 + 1_670);
+        bus.reserve(AccessKind::Write, start, start + Duration::from_ns(3), &p);
+        assert_eq!(bus.turnarounds(), 1);
+        assert_eq!(bus.turnaround_time_ps(), 1_670);
+    }
+
+    #[test]
+    fn accesses_per_turnaround_metric() {
+        let p = TimingParams::paper_stacked();
+        let mut bus = DataBus::new();
+        // 3 reads, switch, 3 writes, switch, 2 reads => 8 accesses, 2 turnarounds.
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            let s = bus.earliest_start(AccessKind::Read, &p).max(now);
+            bus.reserve(AccessKind::Read, s, s + Duration::from_ns(3), &p);
+            now = bus.free_at();
+        }
+        for _ in 0..3 {
+            let s = bus.earliest_start(AccessKind::Write, &p).max(now);
+            bus.reserve(AccessKind::Write, s, s + Duration::from_ns(3), &p);
+            now = bus.free_at();
+        }
+        for _ in 0..2 {
+            let s = bus.earliest_start(AccessKind::Read, &p).max(now);
+            bus.reserve(AccessKind::Read, s, s + Duration::from_ns(3), &p);
+            now = bus.free_at();
+        }
+        assert_eq!(bus.accesses(), 8);
+        assert_eq!(bus.turnarounds(), 2);
+        assert!((bus.accesses_per_turnaround() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_turnaround_reports_access_count() {
+        let bus = DataBus::new();
+        assert_eq!(bus.accesses_per_turnaround(), 0.0);
+    }
+}

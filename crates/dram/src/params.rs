@@ -1,0 +1,177 @@
+//! Device timing and organisation parameters (paper Table II).
+
+use dca_sim_core::Duration;
+
+/// DRAM timing parameters. All values are stored in picoseconds.
+///
+/// Field names follow the JEDEC mnemonics used in the paper:
+/// activate-to-CAS (tRCD), CAS latency (tCAS), precharge (tRP), row active
+/// minimum (tRAS), write-to-read turnaround (tWTR), read-to-precharge
+/// (tRTP), read-to-write turnaround (tRTW), write recovery (tWR) and the
+/// 64-byte data burst time (tBURST).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingParams {
+    /// ACT → CAS delay.
+    pub t_rcd: Duration,
+    /// CAS → first data beat.
+    pub t_cas: Duration,
+    /// PRE duration.
+    pub t_rp: Duration,
+    /// Minimum row-open time (ACT → PRE).
+    pub t_ras: Duration,
+    /// Write→read bus turnaround.
+    pub t_wtr: Duration,
+    /// Read CAS → PRE minimum.
+    pub t_rtp: Duration,
+    /// Read→write bus turnaround.
+    pub t_rtw: Duration,
+    /// Write recovery: end of write burst → PRE minimum.
+    pub t_wr: Duration,
+    /// Data burst for one 64-byte block.
+    pub t_burst: Duration,
+}
+
+impl TimingParams {
+    /// The paper's die-stacked DRAM timings (Table II):
+    /// tRCD-tCAS-tRP-tRAS = 8-8-8-30 ns, tWTR-tRTP-tRTW = 5-7.5-1.67 ns,
+    /// tWR-tBURST = 15-3.33 ns.
+    pub fn paper_stacked() -> Self {
+        TimingParams {
+            t_rcd: Duration::from_ns(8),
+            t_cas: Duration::from_ns(8),
+            t_rp: Duration::from_ns(8),
+            t_ras: Duration::from_ns(30),
+            t_wtr: Duration::from_ns(5),
+            t_rtp: Duration::from_ns_f64(7.5),
+            t_rtw: Duration::from_ns_f64(1.67),
+            t_wr: Duration::from_ns(15),
+            t_burst: Duration::from_ns_f64(3.33),
+        }
+    }
+
+    /// Commodity DDR3-1600 timings quoted in §II-A, used by tests that
+    /// check the turnaround narrative (tWTR = 7.5 ns, tRTW = 2.5 ns).
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            t_rcd: Duration::from_ns_f64(13.75),
+            t_cas: Duration::from_ns_f64(13.75),
+            t_rp: Duration::from_ns_f64(13.75),
+            t_ras: Duration::from_ns(35),
+            t_wtr: Duration::from_ns_f64(7.5),
+            t_rtp: Duration::from_ns_f64(7.5),
+            t_rtw: Duration::from_ns_f64(2.5),
+            t_wr: Duration::from_ns(15),
+            t_burst: Duration::from_ns(5),
+        }
+    }
+
+    /// Latency of a best-case read row hit (CAS + burst), used for sanity
+    /// checks and documentation examples.
+    pub fn row_hit_read_latency(&self) -> Duration {
+        self.t_cas + self.t_burst
+    }
+
+    /// Latency of a worst-case read row conflict (PRE + ACT + CAS + burst),
+    /// assuming tRAS/tRTP/tWR already satisfied.
+    pub fn row_conflict_read_latency(&self) -> Duration {
+        self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+    }
+}
+
+/// Physical organisation of the stacked-DRAM array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Organization {
+    /// Independent channels, each with its own controller, bus and banks.
+    pub channels: u32,
+    /// Ranks per channel (paper: 1).
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Row buffer size in bytes.
+    pub row_bytes: u32,
+}
+
+impl Organization {
+    /// The paper's organisation: 4 channels, 1 rank/channel, 16 banks/rank,
+    /// 4 KB row buffer. Rows-per-bank is derived from the 256 MB capacity:
+    /// 256 MB / (4 ch × 16 banks × 4 KB) = 1024 rows.
+    pub fn paper() -> Self {
+        Organization {
+            channels: 4,
+            ranks: 1,
+            banks_per_rank: 16,
+            rows_per_bank: 1024,
+            row_bytes: 4096,
+        }
+    }
+
+    /// Banks per channel (ranks × banks/rank).
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Total banks across all channels (the paper's RRPC state covers all
+    /// 64 of them).
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel()
+    }
+
+    /// Total rows across the device (= number of 4 KB row frames the
+    /// DRAM cache is carved into).
+    pub fn total_rows(&self) -> u64 {
+        self.channels as u64 * self.banks_per_channel() as u64 * self.rows_per_bank as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_rows() * self.row_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timing_values() {
+        let t = TimingParams::paper_stacked();
+        assert_eq!(t.t_rcd.ps(), 8_000);
+        assert_eq!(t.t_cas.ps(), 8_000);
+        assert_eq!(t.t_rp.ps(), 8_000);
+        assert_eq!(t.t_ras.ps(), 30_000);
+        assert_eq!(t.t_wtr.ps(), 5_000);
+        assert_eq!(t.t_rtp.ps(), 7_500);
+        assert_eq!(t.t_rtw.ps(), 1_670);
+        assert_eq!(t.t_wr.ps(), 15_000);
+        assert_eq!(t.t_burst.ps(), 3_330);
+    }
+
+    #[test]
+    fn wtr_dominates_rtw() {
+        // §II-A: write→read turnarounds are the expensive direction in
+        // both commodity and stacked parts; the asymmetry matters for the
+        // write-drain policies.
+        let stacked = TimingParams::paper_stacked();
+        let ddr3 = TimingParams::ddr3_1600();
+        assert!(stacked.t_wtr > stacked.t_rtw);
+        assert!(ddr3.t_wtr > ddr3.t_rtw);
+    }
+
+    #[test]
+    fn paper_organisation_capacity_is_256mb() {
+        let org = Organization::paper();
+        assert_eq!(org.capacity_bytes(), 256 * 1024 * 1024);
+        assert_eq!(org.total_banks(), 64);
+        assert_eq!(org.banks_per_channel(), 16);
+        assert_eq!(org.total_rows(), 65_536);
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let t = TimingParams::paper_stacked();
+        assert_eq!(t.row_hit_read_latency().ps(), 11_330);
+        assert_eq!(t.row_conflict_read_latency().ps(), 27_330);
+    }
+}

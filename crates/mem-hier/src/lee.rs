@@ -1,0 +1,102 @@
+//! Lee et al., "DRAM-aware last-level cache writeback" \[20\] (§VII, Fig 19).
+//!
+//! When the LLC (our L2) evicts a dirty block, the policy eagerly writes
+//! back *other dirty blocks that map to the same DRAM row*, so the
+//! writeback stream arrives at the memory controller with high row-buffer
+//! locality and drains in long row-hit runs instead of scattered
+//! conflicts. Lines stay resident (and clean) in the LLC.
+//!
+//! The DRAM-cache twist studied by the paper: even with this policy, the
+//! writeback requests still carry tag *reads* (RTw) at the DRAM cache, so
+//! read priority inversion persists and DCA keeps its edge (Fig 19).
+
+use crate::sram::SramCache;
+
+/// Find up to `limit` dirty blocks in `l2` that share a DRAM-cache row
+/// with `evicted_block`, excluding the evicted block itself.
+///
+/// `row_of` maps a block address to its DRAM-cache row-frame index;
+/// `blocks_per_row` bounds the candidate scan (blocks of one row are
+/// contiguous in block-address space for both cache organisations, so a
+/// bounded linear probe suffices — no reverse index required).
+pub fn collect_same_row_dirty(
+    l2: &SramCache,
+    evicted_block: u64,
+    row_of: impl Fn(u64) -> u64,
+    blocks_per_row: u64,
+    limit: usize,
+) -> Vec<u64> {
+    let row = row_of(evicted_block);
+    // The row's blocks span a contiguous range of block addresses that
+    // contains `evicted_block`; scan outward in both directions.
+    let lo = evicted_block.saturating_sub(blocks_per_row);
+    let hi = evicted_block + blocks_per_row;
+    let mut found = Vec::new();
+    for candidate in lo..=hi {
+        if candidate == evicted_block {
+            continue;
+        }
+        if row_of(candidate) != row {
+            continue;
+        }
+        if l2.peek_dirty(candidate) {
+            found.push(candidate);
+            if found.len() >= limit {
+                break;
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Row = block / 60, mimicking the direct-mapped cache layout.
+    fn row_of(block: u64) -> u64 {
+        block / 60
+    }
+
+    #[test]
+    fn finds_dirty_row_mates() {
+        let mut l2 = SramCache::new(1024 * 1024, 16);
+        // Blocks 120..180 share row 2. Dirty a few of them.
+        for b in [121u64, 125, 150, 179] {
+            l2.allocate(b, true);
+        }
+        l2.allocate(140, false); // clean row-mate: must not be collected
+        l2.allocate(200, true); // dirty, different row: must not appear
+        let found = collect_same_row_dirty(&l2, 122, row_of, 60, 8);
+        let mut sorted = found.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![121, 125, 150, 179]);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut l2 = SramCache::new(1024 * 1024, 16);
+        for b in 60..120u64 {
+            l2.allocate(b, true);
+        }
+        let found = collect_same_row_dirty(&l2, 90, row_of, 60, 4);
+        assert_eq!(found.len(), 4);
+        assert!(found.iter().all(|&b| row_of(b) == 1 && b != 90));
+    }
+
+    #[test]
+    fn empty_when_no_dirty_mates() {
+        let mut l2 = SramCache::new(1024 * 1024, 16);
+        l2.allocate(61, false);
+        let found = collect_same_row_dirty(&l2, 62, row_of, 60, 8);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn excludes_the_evicted_block() {
+        let mut l2 = SramCache::new(1024 * 1024, 16);
+        l2.allocate(90, true);
+        let found = collect_same_row_dirty(&l2, 90, row_of, 60, 8);
+        assert!(found.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # dca-mem-hier — SRAM cache hierarchy and main-memory substrate
+//!
+//! Everything between the cores and the DRAM-cache controller, per the
+//! paper's Table II system configuration:
+//!
+//! * [`sram`] — a generic set-associative SRAM cache model used for the
+//!   per-core L1s (32 KB, 2-way, 2 cycles) and the shared L2 (8 MB,
+//!   20 cycles). Functional tags + LRU + dirty bits; timing is a fixed
+//!   hit latency applied by the system model.
+//! * [`mshr`] — miss-status holding registers for the L2: merge duplicate
+//!   block misses, bound outstanding misses, and provide backpressure.
+//! * [`memory`] — off-chip main memory: 50 ns access latency behind a
+//!   2 GHz × 64-bit bus (Table II), modelled as fixed latency plus
+//!   bandwidth serialisation.
+//! * [`lee`] — Lee et al.'s DRAM-aware last-level-cache writeback \[20\]
+//!   (§VII, Fig 19): when a dirty block is written back, other dirty
+//!   blocks of the same DRAM-cache row are eagerly written back too,
+//!   trading extra writes for row-buffer locality.
+
+pub mod lee;
+pub mod memory;
+pub mod mshr;
+pub mod sram;
+
+pub use lee::collect_same_row_dirty;
+pub use memory::MainMemory;
+pub use mshr::{Mshr, MshrOutcome};
+pub use sram::{SramCache, SramStats};

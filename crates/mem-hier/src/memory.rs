@@ -1,0 +1,123 @@
+//! Off-chip main memory: Table II's "Memory latency 50 ns" behind a
+//! 2 GHz × 64-bit off-chip bus.
+//!
+//! The paper's focus is the DRAM-*cache* controller; main memory is the
+//! backing store whose latency sets the miss penalty. We model it as a
+//! fixed 50 ns access latency plus bus-bandwidth serialisation: a 64-byte
+//! block on a 2 GHz × 64-bit bus takes 64 B / 16 GB/s = 4 ns of bus time,
+//! so heavily missing phases queue behind the pin bandwidth exactly as
+//! they would on the real part.
+
+use dca_sim_core::{Counter, Duration, SimTime};
+
+/// Main-memory model: fixed latency + bus serialisation.
+#[derive(Clone, Debug)]
+pub struct MainMemory {
+    access_latency: Duration,
+    bus_time_per_block: Duration,
+    bus_free_at: SimTime,
+    reads: Counter,
+    writes: Counter,
+    busy_ps: u64,
+}
+
+impl MainMemory {
+    /// Construct with explicit latency and per-block bus time.
+    pub fn new(access_latency: Duration, bus_time_per_block: Duration) -> Self {
+        MainMemory {
+            access_latency,
+            bus_time_per_block,
+            bus_free_at: SimTime::ZERO,
+            reads: Counter::default(),
+            writes: Counter::default(),
+            busy_ps: 0,
+        }
+    }
+
+    /// Table II parameters: 50 ns latency, 2 GHz × 64-bit bus ⇒ 4 ns per
+    /// 64-byte block.
+    pub fn paper() -> Self {
+        Self::new(Duration::from_ns(50), Duration::from_ns(4))
+    }
+
+    /// Accept a read at `now`; returns when the data is available.
+    pub fn read(&mut self, now: SimTime) -> SimTime {
+        self.reads.inc();
+        self.schedule(now)
+    }
+
+    /// Accept a write at `now`; returns when the write has drained (used
+    /// only for bandwidth accounting — callers fire-and-forget).
+    pub fn write(&mut self, now: SimTime) -> SimTime {
+        self.writes.inc();
+        self.schedule(now)
+    }
+
+    fn schedule(&mut self, now: SimTime) -> SimTime {
+        let start = now.max(self.bus_free_at);
+        self.bus_free_at = start + self.bus_time_per_block;
+        self.busy_ps += self.bus_time_per_block.ps();
+        start + self.access_latency + self.bus_time_per_block
+    }
+
+    /// Reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Writes absorbed.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total bus-busy time, for bandwidth-utilisation reporting.
+    pub fn busy_time_ps(&self) -> u64 {
+        self.busy_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_ns(ns)
+    }
+
+    #[test]
+    fn unloaded_latency_is_54ns() {
+        let mut m = MainMemory::paper();
+        let done = m.read(t(100));
+        assert_eq!(done, t(154)); // 50ns + 4ns bus
+    }
+
+    #[test]
+    fn bandwidth_serialises_bursts() {
+        let mut m = MainMemory::paper();
+        let d1 = m.read(t(0));
+        let d2 = m.read(t(0));
+        let d3 = m.read(t(0));
+        assert_eq!(d1, t(54));
+        assert_eq!(d2, t(58), "second blocked 4ns behind the first");
+        assert_eq!(d3, t(62));
+    }
+
+    #[test]
+    fn idle_gaps_are_not_charged() {
+        let mut m = MainMemory::paper();
+        m.read(t(0));
+        let d = m.read(t(1000));
+        assert_eq!(d, t(1054), "bus long idle: full speed again");
+    }
+
+    #[test]
+    fn writes_share_the_bus() {
+        let mut m = MainMemory::paper();
+        m.write(t(0));
+        let d = m.read(t(0));
+        assert_eq!(d, t(58), "read queues behind write's bus slot");
+        assert_eq!(m.reads(), 1);
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.busy_time_ps(), 8_000);
+    }
+}

@@ -1,0 +1,13 @@
+//! # dca-metrics — evaluation metrics and report tables
+//!
+//! The paper's metrics (§V): **normalized weighted speedup** (Eyerman &
+//! Eeckhout \[15\]) per workload, **geometric mean** across the 30 mixes,
+//! and the per-request **L2 miss latency** averages behind Figs 12–13.
+
+pub mod latency;
+pub mod speedup;
+pub mod table;
+
+pub use latency::LatencyStat;
+pub use speedup::{geomean, normalized_ws, weighted_speedup};
+pub use table::Table;

@@ -1,0 +1,92 @@
+//! Weighted speedup and geometric-mean aggregation.
+
+/// Weighted speedup of one multiprogrammed run:
+/// `WS = Σ_i IPC_shared_i / IPC_alone_i` (Eyerman & Eeckhout \[15\]).
+///
+/// # Panics
+/// Panics when the slices differ in length or an alone-IPC is
+/// non-positive — both are harness bugs, not data.
+pub fn weighted_speedup(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    assert_eq!(ipc_shared.len(), ipc_alone.len(), "core count mismatch");
+    ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive, got {a}");
+            s / a
+        })
+        .sum()
+}
+
+/// Normalized weighted speedup: `WS_design / WS_baseline` — the y-axis of
+/// Figs 8–11.
+pub fn normalized_ws(ws_design: f64, ws_baseline: f64) -> f64 {
+    assert!(ws_baseline > 0.0, "baseline WS must be positive");
+    ws_design / ws_baseline
+}
+
+/// Geometric mean (the paper's cross-workload aggregate).
+///
+/// Returns 0.0 for an empty slice; panics on non-positive entries.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_of_identical_runs_is_core_count() {
+        let ipc = [0.8, 1.2, 0.5, 2.0];
+        assert!((weighted_speedup(&ipc, &ipc) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ws_reflects_slowdown() {
+        let shared = [0.5, 0.5];
+        let alone = [1.0, 1.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        assert!((normalized_ws(2.4, 2.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_is_order_invariant() {
+        let a = geomean(&[1.1, 0.9, 1.3, 0.7]);
+        let b = geomean(&[0.7, 1.3, 0.9, 1.1]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn ws_rejects_length_mismatch() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

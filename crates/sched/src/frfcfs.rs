@@ -1,0 +1,113 @@
+//! FR-FCFS (first-ready, first-come-first-served) arbitration.
+//!
+//! The classic open-page arbiter: row hits first, then oldest. Used as an
+//! ablation point against BLISS (the paper's base arbiter) to show DCA's
+//! gains are not an artefact of the underlying arbitration algorithm
+//! (§IV-B: "our scheme is not limited to any scheduling algorithm").
+
+use dca_dram::RowOutcome;
+
+use crate::queue::QueueEntry;
+
+/// Stateless FR-FCFS arbiter.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrFcfs;
+
+impl FrFcfs {
+    /// New arbiter.
+    pub fn new() -> Self {
+        FrFcfs
+    }
+
+    /// Choose the best entry among `candidates`: row hits first, then by
+    /// age, then by id (deterministic tiebreak).
+    pub fn pick<'a, I, F>(&self, candidates: I, mut row_outcome: F) -> Option<usize>
+    where
+        I: IntoIterator<Item = (usize, &'a QueueEntry)>,
+        F: FnMut(&QueueEntry) -> RowOutcome,
+    {
+        let mut best: Option<(usize, bool, u64, u64)> = None;
+        for (pos, e) in candidates {
+            let hit = row_outcome(e) == RowOutcome::Hit;
+            let key = (pos, hit, e.enqueued_at.ps(), e.id);
+            best = match best {
+                None => Some(key),
+                Some(b) => {
+                    let better = match (hit, b.1) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => (key.2, key.3) < (b.2, b.3),
+                    };
+                    if better {
+                        Some(key)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best.map(|(pos, ..)| pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ReadClass;
+    use dca_dram::DramAccess;
+    use dca_sim_core::SimTime;
+
+    fn entry(id: u64, bank: u32, at: u64) -> QueueEntry {
+        QueueEntry {
+            id,
+            access: DramAccess::read(bank, 0),
+            app: 0,
+            class: ReadClass::Priority,
+            enqueued_at: SimTime(at),
+        }
+    }
+
+    #[test]
+    fn row_hit_beats_age() {
+        let arb = FrFcfs::new();
+        let old_conflict = entry(0, 0, 0);
+        let young_hit = entry(1, 1, 100);
+        let picked = arb
+            .pick([(0, &old_conflict), (1, &young_hit)], |e| {
+                if e.access.bank == 1 {
+                    RowOutcome::Hit
+                } else {
+                    RowOutcome::Conflict
+                }
+            })
+            .unwrap();
+        assert_eq!(picked, 1);
+    }
+
+    #[test]
+    fn age_breaks_ties() {
+        let arb = FrFcfs::new();
+        let a = entry(0, 0, 50);
+        let b = entry(1, 1, 20);
+        let picked = arb
+            .pick([(0, &a), (1, &b)], |_| RowOutcome::Closed)
+            .unwrap();
+        assert_eq!(picked, 1);
+    }
+
+    #[test]
+    fn id_breaks_age_ties() {
+        let arb = FrFcfs::new();
+        let a = entry(5, 0, 50);
+        let b = entry(2, 1, 50);
+        let picked = arb
+            .pick([(0, &a), (1, &b)], |_| RowOutcome::Closed)
+            .unwrap();
+        assert_eq!(picked, 1);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(FrFcfs::new().pick(std::iter::empty(), |_| RowOutcome::Hit), None);
+    }
+}

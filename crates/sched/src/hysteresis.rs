@@ -1,0 +1,144 @@
+//! Two-threshold hysteresis state machines.
+//!
+//! Two places in the paper use a high/low threshold pair:
+//!
+//! * the **write-queue drain** (§II-A): a forced flush triggers when the
+//!   write queue crosses its high mark (85 %) and runs until it falls to
+//!   the low mark (50 %); additionally, when there are *no pending reads*
+//!   and occupancy exceeds the low mark, the controller drains writes
+//!   opportunistically;
+//! * **DCA's Algorithm 1** (§IV-B): `ScheduleAll` flips on when read-queue
+//!   occupancy exceeds 85 % and off when it falls below 75 %, temporarily
+//!   letting low-priority reads compete with priority reads.
+
+/// A generic high/low hysteresis band.
+#[derive(Clone, Copy, Debug)]
+pub struct Hysteresis {
+    /// Turn-on fraction (exclusive: `occ > hi` activates).
+    pub hi: f64,
+    /// Turn-off fraction (exclusive: `occ < lo` deactivates).
+    pub lo: f64,
+    active: bool,
+}
+
+impl Hysteresis {
+    /// A band with the given thresholds, initially inactive.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "low threshold must not exceed high");
+        Hysteresis {
+            hi,
+            lo,
+            active: false,
+        }
+    }
+
+    /// Update with the current occupancy fraction; returns the new state.
+    pub fn update(&mut self, occupancy: f64) -> bool {
+        if occupancy > self.hi {
+            self.active = true;
+        } else if occupancy < self.lo {
+            self.active = false;
+        }
+        self.active
+    }
+
+    /// Current state without updating.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+/// The paper's optimized write-drain policy (§II-A).
+#[derive(Clone, Copy, Debug)]
+pub struct DrainPolicy {
+    band: Hysteresis,
+}
+
+impl DrainPolicy {
+    /// Drain policy with the Table II thresholds: low 50 %, high 85 %.
+    pub fn paper() -> Self {
+        Self::new(0.50, 0.85)
+    }
+
+    /// Custom thresholds.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        DrainPolicy {
+            band: Hysteresis::new(lo, hi),
+        }
+    }
+
+    /// Decide whether the write queue should be serviced this slot.
+    ///
+    /// `occupancy` is the write-queue fill fraction, `reads_pending`
+    /// whether any read-queue entry is waiting. Forced drain (above the
+    /// high mark) persists until occupancy falls below the low mark;
+    /// otherwise writes are only served when the read path is idle and
+    /// occupancy is above the low mark.
+    pub fn should_drain(&mut self, occupancy: f64, reads_pending: bool) -> bool {
+        let forced = self.band.update(occupancy);
+        if forced {
+            return true;
+        }
+        self.opportunistic(occupancy, reads_pending)
+    }
+
+    /// Update only the forced-drain hysteresis band and return its state.
+    /// Controllers that interleave other work between the forced and
+    /// opportunistic phases (DCA's LR flushing sits between them) call
+    /// this first and [`DrainPolicy::opportunistic`] last.
+    pub fn update_forced(&mut self, occupancy: f64) -> bool {
+        self.band.update(occupancy)
+    }
+
+    /// The stateless opportunistic clause: drain when the read path is
+    /// idle and occupancy is above the low mark.
+    pub fn opportunistic(&self, occupancy: f64, reads_pending: bool) -> bool {
+        !reads_pending && occupancy > self.band.lo
+    }
+
+    /// Whether a forced drain is in progress.
+    pub fn forced(&self) -> bool {
+        self.band.is_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_switches_with_hysteresis() {
+        let mut h = Hysteresis::new(0.75, 0.85);
+        assert!(!h.update(0.80), "below hi: stays off");
+        assert!(h.update(0.90), "above hi: on");
+        assert!(h.update(0.80), "inside band: stays on");
+        assert!(!h.update(0.70), "below lo: off");
+        assert!(!h.update(0.80), "inside band: stays off");
+        assert!(!h.is_active());
+    }
+
+    #[test]
+    fn forced_drain_runs_to_low_mark() {
+        let mut d = DrainPolicy::paper();
+        assert!(!d.should_drain(0.80, true), "below high, reads pending");
+        assert!(d.should_drain(0.90, true), "forced at high mark");
+        assert!(d.forced());
+        assert!(d.should_drain(0.60, true), "keeps draining inside band");
+        assert!(!d.should_drain(0.45, true), "stops below low mark");
+        assert!(!d.forced());
+    }
+
+    #[test]
+    fn opportunistic_drain_when_reads_idle() {
+        let mut d = DrainPolicy::paper();
+        assert!(d.should_drain(0.60, false), "no reads + above low: drain");
+        assert!(!d.should_drain(0.40, false), "below low: idle");
+        assert!(!d.should_drain(0.60, true), "reads pending: hold writes");
+    }
+
+    #[test]
+    #[should_panic(expected = "low threshold")]
+    fn inverted_thresholds_panic() {
+        Hysteresis::new(0.9, 0.1);
+    }
+}

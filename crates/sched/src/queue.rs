@@ -1,0 +1,192 @@
+//! Bounded access queues.
+
+use dca_dram::DramAccess;
+use dca_sim_core::SimTime;
+
+/// Priority class of a read access in the DCA design (§IV-B).
+///
+/// Reads from cache *read* requests are [`ReadClass::Priority`] (PR);
+/// reads from cache *writeback/refill* requests are
+/// [`ReadClass::LowPriority`] (LR). CD and ROD ignore this field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReadClass {
+    /// PR: on the critical path of a processor read.
+    Priority,
+    /// LR: tag reads for writebacks / refills; off the critical path.
+    LowPriority,
+}
+
+/// One queued DRAM access plus the request metadata arbitration needs.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueEntry {
+    /// Unique id assigned by the controller; ties broken by id so
+    /// arbitration is deterministic.
+    pub id: u64,
+    /// The DRAM access to perform.
+    pub access: DramAccess,
+    /// Issuing application (core) — BLISS's blacklisting unit.
+    pub app: u8,
+    /// PR/LR classification (meaningful for reads under DCA).
+    pub class: ReadClass,
+    /// When the entry entered the queue.
+    pub enqueued_at: SimTime,
+}
+
+/// A bounded queue of accesses.
+///
+/// Removal is by position (arbitration returns a position); order of the
+/// backing vector is insertion order, which the arbiters use as age.
+#[derive(Clone, Debug)]
+pub struct AccessQueue {
+    entries: Vec<QueueEntry>,
+    capacity: usize,
+    /// High-water mark, for reporting.
+    peak: usize,
+}
+
+impl AccessQueue {
+    /// An empty queue holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AccessQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Entries currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy as a fraction of capacity.
+    #[inline]
+    pub fn occupancy(&self) -> f64 {
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Push an entry; returns `Err(entry)` when full so callers can apply
+    /// backpressure instead of losing accesses.
+    pub fn push(&mut self, entry: QueueEntry) -> Result<(), QueueEntry> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        self.entries.push(entry);
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Remove and return the entry at `pos` (positions come from the
+    /// arbiters). Preserves insertion order of the rest.
+    pub fn remove(&mut self, pos: usize) -> QueueEntry {
+        self.entries.remove(pos)
+    }
+
+    /// Immutable view of the queued entries, oldest first.
+    pub fn entries(&self) -> &[QueueEntry] {
+        &self.entries
+    }
+
+    /// Iterator over `(position, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &QueueEntry)> {
+        self.entries.iter().enumerate()
+    }
+
+    /// Count of entries matching a predicate (e.g. PR-only occupancy).
+    pub fn count_where(&self, mut pred: impl FnMut(&QueueEntry) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_dram::DramAccess;
+
+    fn entry(id: u64) -> QueueEntry {
+        QueueEntry {
+            id,
+            access: DramAccess::read(0, 0),
+            app: 0,
+            class: ReadClass::Priority,
+            enqueued_at: SimTime(id),
+        }
+    }
+
+    #[test]
+    fn push_pop_fifo_positions() {
+        let mut q = AccessQueue::new(4);
+        for i in 0..4 {
+            q.push(entry(i)).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.remove(0).id, 0);
+        assert_eq!(q.remove(1).id, 2); // position shifts after removal
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_entry() {
+        let mut q = AccessQueue::new(1);
+        q.push(entry(0)).unwrap();
+        let rejected = q.push(entry(1)).unwrap_err();
+        assert_eq!(rejected.id, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_and_peak() {
+        let mut q = AccessQueue::new(4);
+        assert_eq!(q.occupancy(), 0.0);
+        q.push(entry(0)).unwrap();
+        q.push(entry(1)).unwrap();
+        assert_eq!(q.occupancy(), 0.5);
+        q.remove(0);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn count_where_filters() {
+        let mut q = AccessQueue::new(8);
+        for i in 0..6 {
+            let mut e = entry(i);
+            if i % 3 == 0 {
+                e.class = ReadClass::LowPriority;
+            }
+            q.push(e).unwrap();
+        }
+        assert_eq!(q.count_where(|e| e.class == ReadClass::LowPriority), 2);
+        assert_eq!(q.count_where(|e| e.class == ReadClass::Priority), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        AccessQueue::new(0);
+    }
+}

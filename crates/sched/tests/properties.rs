@@ -1,0 +1,130 @@
+//! Property-based tests for queues, arbiters and hysteresis.
+
+use dca_dram::{DramAccess, RowOutcome};
+use dca_sched::{AccessQueue, Bliss, DrainPolicy, FrFcfs, Hysteresis, QueueEntry, ReadClass};
+use dca_sim_core::SimTime;
+use proptest::prelude::*;
+
+fn entry(id: u64, app: u8, bank: u32, at: u64) -> QueueEntry {
+    QueueEntry {
+        id,
+        access: DramAccess::read(bank, (id % 8) as u32),
+        app,
+        class: ReadClass::Priority,
+        enqueued_at: SimTime(at),
+    }
+}
+
+proptest! {
+    /// The queue never exceeds capacity and preserves FIFO order of the
+    /// surviving entries under arbitrary push/remove interleavings.
+    #[test]
+    fn queue_capacity_and_order(
+        ops in prop::collection::vec((any::<bool>(), 0usize..8), 1..200)
+    ) {
+        let mut q = AccessQueue::new(16);
+        let mut next_id = 0u64;
+        for (push, pos) in ops {
+            if push {
+                let e = entry(next_id, 0, 0, next_id);
+                next_id += 1;
+                let _ = q.push(e);
+            } else if !q.is_empty() {
+                let pos = pos % q.len();
+                q.remove(pos);
+            }
+            prop_assert!(q.len() <= 16);
+            // Ids must be strictly increasing front-to-back (FIFO of
+            // survivors).
+            let ids: Vec<u64> = q.entries().iter().map(|e| e.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ids, sorted);
+        }
+    }
+
+    /// BLISS never picks a blacklisted app while a non-blacklisted
+    /// candidate exists.
+    #[test]
+    fn bliss_never_prefers_blacklisted(
+        apps in prop::collection::vec(0u8..4, 2..32),
+        hog in 0u8..4
+    ) {
+        let mut bliss = Bliss::new();
+        for _ in 0..4 {
+            bliss.on_service(hog, SimTime(1));
+        }
+        let entries: Vec<QueueEntry> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| entry(i as u64, a, i as u32 % 16, i as u64))
+            .collect();
+        let picked = bliss
+            .pick(entries.iter().enumerate(), |_| RowOutcome::Closed)
+            .unwrap();
+        let picked_app = entries[picked].app;
+        let clean_exists = apps.iter().any(|&a| a != hog);
+        if clean_exists {
+            prop_assert_ne!(picked_app, hog, "picked the blacklisted hog");
+        }
+    }
+
+    /// FR-FCFS picks a row hit whenever one exists.
+    #[test]
+    fn frfcfs_prefers_any_row_hit(
+        banks in prop::collection::vec(0u32..16, 2..32),
+        hit_bank in 0u32..16
+    ) {
+        let arb = FrFcfs::new();
+        let entries: Vec<QueueEntry> = banks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| entry(i as u64, 0, b, i as u64))
+            .collect();
+        let picked = arb
+            .pick(entries.iter().enumerate(), |e| {
+                if e.access.bank == hit_bank {
+                    RowOutcome::Hit
+                } else {
+                    RowOutcome::Conflict
+                }
+            })
+            .unwrap();
+        if banks.contains(&hit_bank) {
+            prop_assert_eq!(entries[picked].access.bank, hit_bank);
+        }
+    }
+
+    /// Hysteresis output only changes when crossing a threshold, and the
+    /// active set is consistent with the band.
+    #[test]
+    fn hysteresis_band_behaviour(occs in prop::collection::vec(0.0f64..1.0, 1..200)) {
+        let mut h = Hysteresis::new(0.5, 0.8);
+        let mut active = false;
+        for occ in occs {
+            let got = h.update(occ);
+            if occ > 0.8 {
+                active = true;
+            } else if occ < 0.5 {
+                active = false;
+            }
+            prop_assert_eq!(got, active);
+        }
+    }
+
+    /// The drain policy never drains an empty-ish queue below the low
+    /// mark and always drains above the high mark.
+    #[test]
+    fn drain_policy_bounds(occs in prop::collection::vec(0.0f64..1.0, 1..200), reads in any::<bool>()) {
+        let mut d = DrainPolicy::paper();
+        for occ in occs {
+            let drain = d.should_drain(occ, reads);
+            if occ > 0.85 {
+                prop_assert!(drain, "must drain above high mark");
+            }
+            if occ < 0.50 {
+                prop_assert!(!drain || d.forced(), "no drain below low mark unless forced tail");
+            }
+        }
+    }
+}

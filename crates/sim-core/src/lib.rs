@@ -1,0 +1,29 @@
+//! # dca-sim-core — simulation substrate for the DCA reproduction
+//!
+//! Foundation types shared by every other crate in the workspace:
+//!
+//! * [`time`] — a picosecond-resolution simulated clock ([`SimTime`],
+//!   [`Duration`]) with exact conversions for the nanosecond DRAM timing
+//!   parameters and the 4 GHz CPU clock used in the paper's Table II.
+//! * [`events`] — a deterministic discrete-event queue. Events that tie on
+//!   timestamp are delivered in insertion order, which makes every
+//!   simulation bit-reproducible for a given seed.
+//! * [`stats`] — cheap statistics primitives (counters, running means,
+//!   fixed-bucket histograms) used by the device and controller models to
+//!   feed the paper's figures.
+//! * [`rng`] — seed-splitting helpers so each (workload, core, component)
+//!   tuple derives an independent deterministic RNG stream.
+//!
+//! Everything here is intentionally dependency-free and single-threaded:
+//! determinism is a correctness requirement for the experiment harness
+//! (identical seeds must yield identical figures).
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::SeedSplitter;
+pub use stats::{Counter, Histogram, RunningMean};
+pub use time::{Duration, SimTime};

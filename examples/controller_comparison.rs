@@ -1,0 +1,58 @@
+//! Head-to-head CD vs ROD vs DCA on the same workload — the paper's §VI
+//! story in one run: DCA wins by avoiding read priority inversion while
+//! keeping CD's turnaround batching; ROD avoids inversion but pays for
+//! bus turnarounds and long write-queue flushes.
+//!
+//! ```text
+//! cargo run --example controller_comparison --release [mix-id]
+//! ```
+
+use dca::{Design, System, SystemConfig};
+use dca_cpu::mix;
+use dca_dram_cache::OrgKind;
+
+fn main() {
+    let mix_id: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(13);
+    let m = mix(mix_id);
+    println!("mix {} = {}\n", m.id, m.name());
+
+    for org in [OrgKind::paper_set_assoc(), OrgKind::DirectMapped] {
+        println!("--- {} organisation ---", org.label());
+        let mut baseline_ipc = 0.0;
+        for design in Design::ALL {
+            let mut cfg = SystemConfig::paper(design, org);
+            cfg.target_insts = 150_000;
+            cfg.warmup_ops = 400_000;
+            let r = System::new(cfg, &m.benches).run();
+            let ipc_sum: f64 = r.cores.iter().map(|c| c.ipc).sum();
+            if design == Design::Cd {
+                baseline_ipc = ipc_sum;
+            }
+            let pr: u64 = r.channels.iter().map(|c| c.ctrl.pr_served.get()).sum();
+            let lr: u64 = r.channels.iter().map(|c| c.ctrl.lr_served.get()).sum();
+            let ofs: u64 = r
+                .channels
+                .iter()
+                .map(|c| c.ctrl.ofs_row_friendly.get() + c.ctrl.ofs_rrpc_cold.get())
+                .sum();
+            println!(
+                "{:4}  speedup {:.3}  miss-lat {:>6.1}ns  acc/turnaround {:>6.2}  \
+                 row-hit {:.2}  PR {:>6}  LR {:>6}  OFS {:>6}",
+                design.label(),
+                ipc_sum / baseline_ipc,
+                r.l2_miss_latency.mean_ns(),
+                r.accesses_per_turnaround(),
+                r.read_row_hit_rate(),
+                pr,
+                lr,
+                ofs,
+            );
+        }
+        println!();
+    }
+    println!("(speedups are IPC-throughput relative to CD at example scale;");
+    println!(" the figures harness computes the paper's weighted speedups)");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: simulate one 4-core Table I mix under the DCA controller
+//! and print the headline statistics.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use dca::{Design, System, SystemConfig};
+use dca_cpu::mix;
+use dca_dram_cache::OrgKind;
+
+fn main() {
+    // The paper's configuration: direct-mapped (Alloy-style) 256 MB DRAM
+    // cache, DCA controller, BLISS arbiter underneath.
+    let mut cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+    cfg.target_insts = 200_000; // per core; the paper simulates 500 M
+    cfg.warmup_ops = 400_000; // functional warm-up (caches start warm)
+
+    let m = mix(1); // soplex-mcf-gcc-libquantum
+    println!(
+        "running mix {} ({}) under {}...",
+        m.id,
+        m.name(),
+        cfg.design.label()
+    );
+
+    let report = System::new(cfg, &m.benches).run();
+
+    println!("\nper-core results:");
+    for (i, core) in report.cores.iter().enumerate() {
+        println!(
+            "  core{i} {:<12} {:>8} insts {:>9} cycles  IPC {:.3}",
+            core.bench, core.insts, core.cycles, core.ipc
+        );
+    }
+    println!("\nDRAM cache:");
+    println!(
+        "  demand-read hit rate  {:.1}%",
+        report.cache_hit_rate() * 100.0
+    );
+    println!(
+        "  MAP-I accuracy        {:.1}%",
+        report.predictor_accuracy * 100.0
+    );
+    println!("  writeback requests    {}", report.writeback_requests);
+    println!("  refill requests       {}", report.refill_requests);
+    println!("\nstacked-DRAM device:");
+    println!(
+        "  mean L2 miss latency  {:.1} ns",
+        report.l2_miss_latency.mean_ns()
+    );
+    println!(
+        "  accesses/turnaround   {:.2}",
+        report.accesses_per_turnaround()
+    );
+    println!(
+        "  read row-hit rate     {:.1}%",
+        report.read_row_hit_rate() * 100.0
+    );
+    println!(
+        "\nmain memory: {} reads, {} writes",
+        report.mem_reads, report.mem_writes
+    );
+    println!(
+        "simulated time: {:.2} us",
+        report.end_time.ps() as f64 / 1e6
+    );
+}

@@ -1,0 +1,77 @@
+//! The permutation-based XOR remapping study (§VI-A "With Remapping").
+//!
+//! Multi-stream scientific codes walk arrays laid out at aligned offsets,
+//! so concurrent streams alias to the same bank at different rows — a
+//! row-conflict generator. Zhang et al.'s XOR remap breaks the aliasing
+//! by permuting the bank index with low row bits. This example shows the
+//! effect per benchmark (strongest for the 7-stream GemsFDTD) and on a
+//! 4-core mix.
+//!
+//! ```text
+//! cargo run --example remapping_study --release
+//! ```
+
+use dca::{Design, System, SystemConfig};
+use dca_cpu::{mix, Benchmark};
+use dca_dram::MappingScheme;
+use dca_dram_cache::OrgKind;
+
+fn run_alone(bench: Benchmark, remap: bool) -> (f64, f64) {
+    let mut cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped);
+    if remap {
+        cfg.mapping = MappingScheme::XorRemap;
+    }
+    cfg.target_insts = 150_000;
+    cfg.warmup_ops = 300_000;
+    let r = System::new(cfg, &[bench]).run();
+    let conflicts: u64 = r.channels.iter().map(|c| c.read_row_conflicts).sum();
+    let reads: u64 = r.channels.iter().map(|c| c.reads).sum();
+    (r.cores[0].ipc, conflicts as f64 / reads.max(1) as f64)
+}
+
+fn main() {
+    println!("single-benchmark effect of the XOR remap (CD, direct-mapped):\n");
+    println!("{:<12} {:>10} {:>10} {:>12} {:>12}", "benchmark", "IPC", "IPC+XOR", "conflicts", "conflicts+XOR");
+    for bench in [
+        Benchmark::GemsFDTD,
+        Benchmark::Leslie3d,
+        Benchmark::Bwaves,
+        Benchmark::Libquantum,
+        Benchmark::Mcf,
+    ] {
+        let (ipc, conf) = run_alone(bench, false);
+        let (ipc_x, conf_x) = run_alone(bench, true);
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>11.1}% {:>11.1}%",
+            bench.name(),
+            ipc,
+            ipc_x,
+            conf * 100.0,
+            conf_x * 100.0
+        );
+    }
+
+    println!("\n4-core mix 17 (milc-libquantum-bwaves-GemsFDTD), all designs:\n");
+    let m = mix(17);
+    for design in Design::ALL {
+        for remap in [false, true] {
+            let mut cfg = SystemConfig::paper(design, OrgKind::DirectMapped);
+            if remap {
+                cfg.mapping = MappingScheme::XorRemap;
+            }
+            cfg.target_insts = 150_000;
+            cfg.warmup_ops = 400_000;
+            let r = System::new(cfg, &m.benches).run();
+            let ipc: f64 = r.cores.iter().map(|c| c.ipc).sum();
+            println!(
+                "  {}{:<4} ipc_sum={:.3} row-hit={:.3}",
+                if remap { "XOR+" } else { "    " },
+                design.label(),
+                ipc,
+                r.read_row_hit_rate()
+            );
+        }
+    }
+    println!("\nthe remap mitigates RRC (row conflicts) but NOT read priority");
+    println!("inversion — which is why DCA keeps its lead even with remapping.");
+}
