@@ -23,10 +23,18 @@ fn fig12_13(c: &mut Criterion) {
             s
         };
         let base = evaluate(mk(Design::Cd, false), &MIXES, &alone, "CD");
-        let mut row = format!("{fig} ({})  base={:.1}ns:", org.label(), base.mean_latency());
+        let mut row = format!(
+            "{fig} ({})  base={:.1}ns:",
+            org.label(),
+            base.mean_latency()
+        );
         for d in Design::ALL {
             let s = evaluate(mk(d, false), &MIXES, &alone, d.label());
-            row += &format!("  {}={:.3}", d.label(), base.mean_latency() / s.mean_latency());
+            row += &format!(
+                "  {}={:.3}",
+                d.label(),
+                base.mean_latency() / s.mean_latency()
+            );
         }
         for d in Design::ALL {
             let s = evaluate(mk(d, true), &MIXES, &alone, d.label());

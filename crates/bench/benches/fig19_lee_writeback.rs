@@ -23,7 +23,11 @@ fn fig19(c: &mut Criterion) {
     let mut row = String::from("fig19 (DM, Lee writeback):  LEE+CD=1.000");
     for d in [Design::Rod, Design::Dca] {
         let s = evaluate(mk(d), &MIXES, &alone, d.label());
-        row += &format!("  LEE+{}={:.3}", d.label(), s.ws_geomean() / base.ws_geomean());
+        row += &format!(
+            "  LEE+{}={:.3}",
+            d.label(),
+            s.ws_geomean() / base.ws_geomean()
+        );
     }
     println!("{row}");
 

@@ -96,7 +96,11 @@ fn table2() {
         ),
     ]);
     t.row(vec!["memory latency", "50 ns + 2 GHz x 64-bit bus"]);
-    out("table2", "Table II — system and stacked-DRAM parameters", &t);
+    out(
+        "table2",
+        "Table II — system and stacked-DRAM parameters",
+        &t,
+    );
 }
 
 /// Fig 7: service-order narrative for the three designs (abstract study).
@@ -227,7 +231,11 @@ fn fig12_13(scale: &Scale) {
         ),
     ] {
         let alone = AloneIpc::new();
-        let mut t = Table::new(vec!["design", "mean miss latency (ns)", "improvement vs CD"]);
+        let mut t = Table::new(vec![
+            "design",
+            "mean miss latency (ns)",
+            "improvement vs CD",
+        ]);
         let base = evaluate(RunSpec::new(Design::Cd, org), &scale.mixes, &alone, "CD");
         for design in Design::ALL {
             let s = evaluate(

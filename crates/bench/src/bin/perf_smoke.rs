@@ -1,0 +1,181 @@
+//! Engine throughput smoke test.
+//!
+//! Runs the quickstart workload (Table I mix 1 under DCA, direct-mapped)
+//! through the calendar-queue engine and the baseline heap engine,
+//! reports simulated-cycles/sec and events/sec for each, verifies the two
+//! engines agree bit-for-bit, and writes the numbers to
+//! `BENCH_engine.json` so every PR leaves a perf trajectory.
+//!
+//! Construction (functional cache warm-up) is timed separately from the
+//! event loop: the engine overhaul targets the loop, and warm-up noise
+//! would otherwise swamp the signal.
+//!
+//! ```text
+//! cargo run --release -p dca-bench --bin perf_smoke
+//! ```
+//!
+//! Environment:
+//! * `DCA_PERF_INSTS` — instructions per core (default 200 000).
+//! * `DCA_PERF_REPS` — timed repetitions per engine (default 3; the
+//!   fastest rep is reported, standard practice for wall-clock benches).
+//! * `DCA_PERF_OUT` — output path (default `BENCH_engine.json`).
+
+use std::time::Instant;
+
+use dca::{Design, System, SystemConfig, SystemReport};
+use dca_cpu::mix;
+use dca_dram_cache::OrgKind;
+
+/// Event-loop wall time of the hash-map/`Vec::remove` engine this PR
+/// replaced, measured on the same workload (200 k insts/core, 3-rep
+/// best) by building the pre-overhaul sources against the same
+/// manifests. Kept as a reference point in `BENCH_engine.json`; see the
+/// PR that introduced this file for methodology.
+const PRE_OVERHAUL_RUN_LOOP_MS: f64 = 465.1;
+
+/// One engine's measured throughput.
+struct EngineResult {
+    label: &'static str,
+    /// Simulated CPU cycles per wall-clock second of event loop (best rep).
+    cycles_per_sec: f64,
+    /// Engine events delivered per wall-clock second (best rep).
+    events_per_sec: f64,
+    /// Event-loop wall-clock seconds of the best rep.
+    run_s: f64,
+    /// Construction + warm-up seconds of the best rep (engine-independent).
+    build_s: f64,
+    /// The report (for cross-engine equality checking).
+    report: SystemReport,
+}
+
+fn run_engine(label: &'static str, baseline: bool, insts: u64, reps: u32) -> EngineResult {
+    let mut cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+    cfg.target_insts = insts;
+    cfg.warmup_ops = 400_000;
+    cfg.baseline_engine = baseline;
+    let m = mix(1);
+
+    let mut best_run = f64::INFINITY;
+    let mut best_build = f64::INFINITY;
+    let mut best: Option<SystemReport> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sys = System::new(cfg, &m.benches);
+        let t1 = Instant::now();
+        let report = sys.run();
+        let run = t1.elapsed().as_secs_f64();
+        best_build = best_build.min((t1 - t0).as_secs_f64());
+        if run < best_run {
+            best_run = run;
+            best = Some(report);
+        }
+    }
+    let report = best.expect("at least one rep");
+    let sim_cycles = report.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+    EngineResult {
+        label,
+        cycles_per_sec: sim_cycles as f64 / best_run,
+        events_per_sec: report.events_processed as f64 / best_run,
+        run_s: best_run,
+        build_s: best_build,
+        report,
+    }
+}
+
+/// Fingerprint for cross-engine equality (mirrors tests/determinism.rs).
+fn fingerprint(r: &SystemReport) -> Vec<u64> {
+    let mut v = vec![
+        r.end_time.ps(),
+        r.mem_reads,
+        r.mem_writes,
+        r.writeback_requests,
+        r.refill_requests,
+        r.cache_read_hits,
+        r.cache_read_misses,
+        r.events_processed,
+    ];
+    for c in &r.cores {
+        v.push(c.insts);
+        v.push(c.cycles);
+    }
+    for ch in &r.channels {
+        v.push(ch.reads);
+        v.push(ch.writes);
+        v.push(ch.turnarounds);
+    }
+    v
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let insts = env_u64("DCA_PERF_INSTS", 200_000);
+    let reps = env_u64("DCA_PERF_REPS", 3) as u32;
+    let out_path =
+        std::env::var("DCA_PERF_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+
+    println!("perf_smoke: mix 1, DCA, direct-mapped, {insts} insts/core, {reps} reps/engine\n");
+
+    let calendar = run_engine("calendar", false, insts, reps);
+    let heap = run_engine("baseline-heap", true, insts, reps);
+
+    assert_eq!(
+        fingerprint(&calendar.report),
+        fingerprint(&heap.report),
+        "engines must agree bit-for-bit"
+    );
+    println!("engines agree bit-for-bit on the workload fingerprint\n");
+
+    for r in [&calendar, &heap] {
+        println!(
+            "{:<14} build {:>7.1} ms   loop {:>7.1} ms   {:>12.0} sim-cycles/s   {:>12.0} events/s",
+            r.label,
+            r.build_s * 1e3,
+            r.run_s * 1e3,
+            r.cycles_per_sec,
+            r.events_per_sec
+        );
+    }
+    let vs_heap = heap.run_s / calendar.run_s;
+    let vs_pre = PRE_OVERHAUL_RUN_LOOP_MS / (calendar.run_s * 1e3);
+    println!("\ncalendar event-loop speedup vs heap toggle:      {vs_heap:.3}x");
+    if insts == 200_000 {
+        println!("calendar event-loop speedup vs pre-overhaul ref: {vs_pre:.3}x");
+    }
+
+    // The pre-overhaul reference was measured at 200 k insts; at any
+    // other scale the ratio would be meaningless, so omit it.
+    let reference = if insts == 200_000 {
+        format!(
+            ",\n  \"pre_overhaul_reference\": {{\"run_loop_ms\": {PRE_OVERHAUL_RUN_LOOP_MS}, \
+             \"speedup_vs_reference\": {vs_pre:.4}}}"
+        )
+    } else {
+        String::new()
+    };
+    // Hand-rolled JSON: the workspace is offline (no serde), and the
+    // schema is flat.
+    let json = format!(
+        "{{\n  \"workload\": {{\"mix\": 1, \"design\": \"DCA\", \"org\": \"direct-mapped\", \
+         \"insts_per_core\": {insts}, \"reps\": {reps}}},\n  \"engines\": {{\n    \
+         \"calendar\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}},\n    \
+         \"baseline_heap\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}}\n  }},\n  \
+         \"speedup_calendar_over_heap\": {vs_heap:.4}{reference},\n  \
+         \"events_processed\": {},\n  \"sim_time_us\": {:.3}\n}}\n",
+        calendar.run_s,
+        calendar.cycles_per_sec,
+        calendar.events_per_sec,
+        heap.run_s,
+        heap.cycles_per_sec,
+        heap.events_per_sec,
+        calendar.report.events_processed,
+        calendar.report.end_time.ps() as f64 / 1e6,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

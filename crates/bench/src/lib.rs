@@ -192,10 +192,7 @@ impl AloneIpc {
     /// Pre-compute alone IPCs for every benchmark of the given mixes, in
     /// parallel.
     pub fn prime(&self, mixes: &[u32], org: OrgKind) {
-        let mut benches: Vec<Benchmark> = mixes
-            .iter()
-            .flat_map(|&id| mix(id).benches)
-            .collect();
+        let mut benches: Vec<Benchmark> = mixes.iter().flat_map(|&id| mix(id).benches).collect();
         benches.sort();
         benches.dedup();
         run_parallel(benches, |b| {

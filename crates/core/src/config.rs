@@ -102,6 +102,11 @@ pub struct SystemConfig {
     pub mshrs: usize,
     /// Record a detailed access timeline (examples/diagnostics only).
     pub record_timeline: bool,
+    /// Drive the simulation with the original `BinaryHeap` event engine
+    /// instead of the calendar queue. Results are bit-identical either
+    /// way (both deliver in `(time, seq)` order); the toggle exists for
+    /// A/B determinism tests and the `perf_smoke` baseline measurement.
+    pub baseline_engine: bool,
 }
 
 impl SystemConfig {
@@ -132,6 +137,7 @@ impl SystemConfig {
             l2_lat_cycles: 20,
             mshrs: 32,
             record_timeline: false,
+            baseline_engine: false,
         }
     }
 

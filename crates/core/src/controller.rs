@@ -250,28 +250,38 @@ impl ChannelController {
 
     /// "Are demand reads pending?" for the drain policy: CD/ROD count any
     /// read-queue entry; DCA counts only PRs (LRs are held like writes).
+    /// O(1): the queue tracks its PR population incrementally.
     fn reads_pending(&self) -> bool {
         match self.design {
             Design::Cd | Design::Rod => !self.read_q.is_empty(),
-            Design::Dca => self
-                .read_q
-                .entries()
-                .iter()
-                .any(|e| e.class == ReadClass::Priority),
+            Design::Dca => self.read_q.priority_count() > 0,
         }
     }
 
     /// Arbitrate among `candidates` with the configured base arbiter.
-    fn pick(
-        &self,
-        candidates: Vec<(usize, &QueueEntry)>,
-        ch: &DramChannel,
-    ) -> Option<usize> {
+    /// Takes the candidate iterator directly — no per-slot `Vec` is ever
+    /// materialised on the scheduling path.
+    fn pick<'a, I>(&self, candidates: I, ch: &DramChannel) -> Option<usize>
+    where
+        I: IntoIterator<Item = (usize, &'a QueueEntry)>,
+    {
         let outcome = |e: &QueueEntry| ch.peek_outcome(e.access.bank, e.access.row);
         match self.arbiter {
             Arbiter::Bliss => self.bliss.pick(candidates, outcome),
             Arbiter::FrFcfs => self.frfcfs.pick(candidates, outcome),
         }
+    }
+
+    /// Arbitrate over bank-free write-queue entries — the shared
+    /// candidate set of all three drain modes (forced, sticky,
+    /// opportunistic).
+    fn pick_write(&self, ch: &DramChannel, now: SimTime) -> Option<usize> {
+        self.pick(
+            self.write_q
+                .iter()
+                .filter(|(_, e)| ch.bank_free(e.access.bank, now)),
+            ch,
+        )
     }
 
     /// Issue the entry at `pos` of the read or write queue.
@@ -344,12 +354,7 @@ impl ChannelController {
         // reached — batching writes is what keeps turnarounds rare.
         if self.drain.update_forced(wq_occ) {
             self.stats.forced_drain_slots.inc();
-            let candidates: Vec<(usize, &QueueEntry)> = self
-                .write_q
-                .iter()
-                .filter(|(_, e)| ch.bank_free(e.access.bank, now))
-                .collect();
-            if let Some(pos) = self.pick(candidates, ch) {
+            if let Some(pos) = self.pick_write(ch, now) {
                 return Some(self.issue_at(pos, true, ch, rrpc, now));
             }
             return None;
@@ -358,12 +363,7 @@ impl ChannelController {
         // Sticky drain in progress: keep serving writes ahead of LR/OFS
         // work (demand reads already cleared the mode above).
         if self.opp_drain {
-            let candidates: Vec<(usize, &QueueEntry)> = self
-                .write_q
-                .iter()
-                .filter(|(_, e)| ch.bank_free(e.access.bank, now))
-                .collect();
-            if let Some(pos) = self.pick(candidates, ch) {
+            if let Some(pos) = self.pick_write(ch, now) {
                 return Some(self.issue_at(pos, true, ch, rrpc, now));
             }
         }
@@ -381,13 +381,14 @@ impl ChannelController {
             }
             _ => true,
         };
-        let candidates: Vec<(usize, &QueueEntry)> = self
-            .read_q
-            .iter()
-            .filter(|(_, e)| ch.bank_free(e.access.bank, now))
-            .filter(|(_, e)| sched_all || e.class == ReadClass::Priority)
-            .collect();
-        if let Some(pos) = self.pick(candidates, ch) {
+        let picked = self.pick(
+            self.read_q
+                .iter()
+                .filter(|(_, e)| ch.bank_free(e.access.bank, now))
+                .filter(|(_, e)| sched_all || e.class == ReadClass::Priority),
+            ch,
+        );
+        if let Some(pos) = picked {
             return Some(self.issue_at(pos, false, ch, rrpc, now));
         }
 
@@ -397,32 +398,31 @@ impl ChannelController {
         // stream keeps the row-buffer locality that CD's interleaving
         // destroys (Figs 16–17).
         if self.design == Design::Dca && !sched_all {
-            let friendly: Vec<(usize, &QueueEntry)> = self
-                .read_q
-                .iter()
-                .filter(|(_, e)| {
+            let picked = self.pick(
+                self.read_q.iter().filter(|(_, e)| {
                     e.class == ReadClass::LowPriority
                         && ch.bank_free(e.access.bank, now)
                         && ch.peek_outcome(e.access.bank, e.access.row) != RowOutcome::Conflict
-                })
-                .collect();
-            if let Some(pos) = self.pick(friendly, ch) {
+                }),
+                ch,
+            );
+            if let Some(pos) = picked {
                 self.stats.ofs_row_friendly.inc();
                 return Some(self.issue_at(pos, false, ch, rrpc, now));
             }
-            let cold: Vec<(usize, &QueueEntry)> = self
-                .read_q
-                .iter()
-                .filter(|(_, e)| {
+            let rrpc_ref: &Rrpc = rrpc;
+            let picked = self.pick(
+                self.read_q.iter().filter(|(_, e)| {
                     e.class == ReadClass::LowPriority
                         && ch.bank_free(e.access.bank, now)
-                        && rrpc.is_cold(
+                        && rrpc_ref.is_cold(
                             self.channel_index * self.banks_per_channel + e.access.bank,
                             self.flushing_factor,
                         )
-                })
-                .collect();
-            if let Some(pos) = self.pick(cold, ch) {
+                }),
+                ch,
+            );
+            if let Some(pos) = picked {
                 self.stats.ofs_rrpc_cold.inc();
                 return Some(self.issue_at(pos, false, ch, rrpc, now));
             }
@@ -430,12 +430,7 @@ impl ChannelController {
 
         // Phase 4: opportunistic write drain when the read path is idle.
         if self.drain.opportunistic(wq_occ, reads_pending) {
-            let candidates: Vec<(usize, &QueueEntry)> = self
-                .write_q
-                .iter()
-                .filter(|(_, e)| ch.bank_free(e.access.bank, now))
-                .collect();
-            if let Some(pos) = self.pick(candidates, ch) {
+            if let Some(pos) = self.pick_write(ch, now) {
                 self.opp_drain = true;
                 return Some(self.issue_at(pos, true, ch, rrpc, now));
             }
@@ -609,7 +604,7 @@ mod tests {
         // Heat bank 0 with PR traffic and open row 1.
         let pr = ch.issue(DramAccess::read(0, 1), SimTime::ZERO);
         r.on_priority_read(0); // global bank 0 of channel 0
-        // LR to bank 0, *different row* → conflict; RRPC hot → hold.
+                               // LR to bank 0, *different row* → conflict; RRPC hot → hold.
         c.enqueue(
             0,
             spec(0, 9, AccessKind::Read, ReadClass::LowPriority),
@@ -636,7 +631,12 @@ mod tests {
         for i in 0..56 {
             c.enqueue(
                 i,
-                spec((i % 16) as u32, 0, AccessKind::Write, ReadClass::LowPriority),
+                spec(
+                    (i % 16) as u32,
+                    0,
+                    AccessKind::Write,
+                    ReadClass::LowPriority,
+                ),
                 CacheReqKind::Writeback,
                 0,
                 SimTime(0),
@@ -662,7 +662,12 @@ mod tests {
         for i in 0..39 {
             c.enqueue(
                 i,
-                spec((i % 16) as u32, 0, AccessKind::Write, ReadClass::LowPriority),
+                spec(
+                    (i % 16) as u32,
+                    0,
+                    AccessKind::Write,
+                    ReadClass::LowPriority,
+                ),
                 CacheReqKind::Writeback,
                 0,
                 SimTime(0),
@@ -679,7 +684,12 @@ mod tests {
         for i in 0..10 {
             c.enqueue(
                 i,
-                spec((i % 16) as u32, 0, AccessKind::Write, ReadClass::LowPriority),
+                spec(
+                    (i % 16) as u32,
+                    0,
+                    AccessKind::Write,
+                    ReadClass::LowPriority,
+                ),
                 CacheReqKind::Writeback,
                 0,
                 SimTime(0),
@@ -696,7 +706,12 @@ mod tests {
         for i in 0..70 {
             c.enqueue(
                 i,
-                spec((i % 16) as u32, i as u32, AccessKind::Read, ReadClass::Priority),
+                spec(
+                    (i % 16) as u32,
+                    i as u32,
+                    AccessKind::Read,
+                    ReadClass::Priority,
+                ),
                 CacheReqKind::Read,
                 0,
                 SimTime(0),

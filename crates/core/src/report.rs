@@ -63,6 +63,9 @@ pub struct SystemReport {
     pub refill_requests: u64,
     /// Final simulated time.
     pub end_time: SimTime,
+    /// Events the engine delivered over the run (throughput denominator
+    /// for the `perf_smoke` harness).
+    pub events_processed: u64,
     /// Optional detailed access timeline (when configured).
     pub timeline: Option<Timeline>,
 }

@@ -21,18 +21,24 @@
 //!
 //! Determinism: one event queue with (time, insertion) ordering; all
 //! randomness comes from the seeded workload generators.
+//!
+//! Hot-path state is slab-indexed: request and access ids are packed
+//! generational [`SlabKey`]s, so every per-event lookup is a direct array
+//! access — no hashing anywhere in the event loop (see the
+//! `dca_sim_core` crate docs for the engine architecture).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dca_cpu::{Benchmark, Core, CoreConfig, MemOp, MemPort, PortResponse, TraceGen};
 use dca_dram::DramChannel;
 use dca_dram_cache::{
-    CacheGeometry, CacheReqKind, CacheRequest, MapI, OrgKind, RequestFsm, RequestId,
-    TagArray,
+    CacheGeometry, CacheReqKind, CacheRequest, MapI, OrgKind, RequestFsm, RequestId, TagArray,
 };
 use dca_mem_hier::{collect_same_row_dirty, MainMemory, Mshr, MshrOutcome, SramCache};
 use dca_metrics::LatencyStat;
-use dca_sim_core::{Duration, EventQueue, SeedSplitter, SimTime};
+use dca_sim_core::{
+    BaselineEventQueue, Duration, EventQueue, SeedSplitter, SimTime, Slab, SlabKey,
+};
 
 use crate::config::SystemConfig;
 use crate::controller::{AccessMeta, ChannelController};
@@ -74,6 +80,64 @@ struct ReadState {
     prefetch_done: Option<SimTime>,
 }
 
+/// Slab slot for one in-flight cache request. A slot lives from
+/// submission until both the FSM has finished *and* (for demand reads)
+/// the read bookkeeping has been consumed — whichever comes last — so a
+/// `RequestId` stays valid for exactly as long as any event can still
+/// reference it.
+struct ReqState {
+    /// The admitted request's state machine (`None` before admission and
+    /// again after it signals `done`).
+    fsm: Option<RequestFsm>,
+    /// Demand-read bookkeeping; `None` for writebacks/refills and after
+    /// the read has been answered.
+    read: Option<ReadState>,
+    /// Set once the FSM has signalled `done`.
+    fsm_done: bool,
+}
+
+/// The event engine, selectable per run: the calendar queue (default) or
+/// the original binary heap. Both deliver in `(time, seq)` order, so the
+/// choice cannot affect results — only wall-clock speed.
+enum Engine {
+    Calendar(EventQueue<Ev>),
+    Heap(BaselineEventQueue<Ev>),
+}
+
+impl Engine {
+    #[inline]
+    fn now(&self) -> SimTime {
+        match self {
+            Engine::Calendar(q) => q.now(),
+            Engine::Heap(q) => q.now(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        match self {
+            Engine::Calendar(q) => q.push(at, ev),
+            Engine::Heap(q) => q.push(at, ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        match self {
+            Engine::Calendar(q) => q.pop(),
+            Engine::Heap(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn counters(&self) -> (u64, u64) {
+        match self {
+            Engine::Calendar(q) => q.counters(),
+            Engine::Heap(q) => q.counters(),
+        }
+    }
+}
+
 /// Everything below the cores. Split from [`System`] so the core loop can
 /// borrow it as the cores' memory port.
 struct Uncore {
@@ -89,12 +153,11 @@ struct Uncore {
     tags: TagArray,
     predictor: MapI,
     memory: MainMemory,
-    fsms: HashMap<RequestId, RequestFsm>,
-    access_meta: HashMap<u64, AccessMeta>,
+    /// Per-request state, keyed by `RequestId` (a packed [`SlabKey`]).
+    requests: Slab<ReqState>,
+    /// Per-access routing metadata, keyed by access id (also a slab key).
+    accesses: Slab<AccessMeta>,
     pending_reqs: Vec<VecDeque<CacheRequest>>,
-    read_state: HashMap<RequestId, ReadState>,
-    next_req_id: RequestId,
-    next_access_id: u64,
     inflight: Vec<u32>,
     poll_armed: Vec<bool>,
     /// Events produced while the event queue is not borrowable
@@ -131,10 +194,29 @@ impl Uncore {
         }
     }
 
+    /// Allocate a request slot; the returned id is its packed slab key.
+    fn alloc_request(&mut self, read: Option<ReadState>) -> RequestId {
+        self.requests
+            .insert(ReqState {
+                fsm: None,
+                read,
+                fsm_done: false,
+            })
+            .raw()
+    }
+
+    /// Free a request slot once nothing can reference it any more.
+    fn maybe_free_request(&mut self, id: RequestId) {
+        let key = SlabKey::from(id);
+        if let Some(slot) = self.requests.get(key) {
+            if slot.fsm_done && slot.read.is_none() {
+                self.requests.remove(key);
+            }
+        }
+    }
+
     /// Create and queue a demand-read request for `block`.
     fn submit_read(&mut self, block: u64, app: u8, pc: u32, at: SimTime) {
-        let id = self.next_req_id;
-        self.next_req_id += 1;
         let predicted_hit = if self.cfg.predictor {
             self.predictor.predict_hit(pc)
         } else {
@@ -147,16 +229,13 @@ impl Uncore {
         } else {
             None
         };
-        self.read_state.insert(
-            id,
-            ReadState {
-                block,
-                app,
-                arrival: at,
-                predicted_hit,
-                prefetch_done,
-            },
-        );
+        let id = self.alloc_request(Some(ReadState {
+            block,
+            app,
+            arrival: at,
+            predicted_hit,
+            prefetch_done,
+        }));
         let req = CacheRequest {
             id,
             kind: CacheReqKind::Read,
@@ -171,8 +250,7 @@ impl Uncore {
 
     /// Create and queue a writeback request for `block`.
     fn submit_writeback(&mut self, block: u64, app: u8, at: SimTime) {
-        let id = self.next_req_id;
-        self.next_req_id += 1;
+        let id = self.alloc_request(None);
         self.wb_requests += 1;
         let req = CacheRequest {
             id,
@@ -188,8 +266,7 @@ impl Uncore {
 
     /// Create and queue a refill request for `block`.
     fn submit_refill(&mut self, block: u64, app: u8, at: SimTime) {
-        let id = self.next_req_id;
-        self.next_req_id += 1;
+        let id = self.alloc_request(None);
         self.refill_requests += 1;
         let req = CacheRequest {
             id,
@@ -243,7 +320,7 @@ pub struct System {
     cores: Vec<Core>,
     bench_names: Vec<String>,
     uncore: Uncore,
-    queue: EventQueue<Ev>,
+    queue: Engine,
 }
 
 impl System {
@@ -290,12 +367,11 @@ impl System {
             tags: TagArray::new(geom.num_sets(), ways),
             predictor: MapI::paper(),
             memory: MainMemory::paper(),
-            fsms: HashMap::new(),
-            access_meta: HashMap::new(),
-            pending_reqs: (0..cfg.dram_org.channels).map(|_| VecDeque::new()).collect(),
-            read_state: HashMap::new(),
-            next_req_id: 0,
-            next_access_id: 0,
+            requests: Slab::with_capacity(256),
+            accesses: Slab::with_capacity(512),
+            pending_reqs: (0..cfg.dram_org.channels)
+                .map(|_| VecDeque::new())
+                .collect(),
             inflight: vec![0; cfg.dram_org.channels as usize],
             poll_armed: vec![false; cfg.dram_org.channels as usize],
             outbox: Vec::new(),
@@ -324,7 +400,11 @@ impl System {
             cores,
             bench_names: benches.iter().map(|b| b.name().to_string()).collect(),
             uncore,
-            queue: EventQueue::new(),
+            queue: if cfg.baseline_engine {
+                Engine::Heap(BaselineEventQueue::new())
+            } else {
+                Engine::Calendar(EventQueue::new())
+            },
         }
     }
 
@@ -396,17 +476,20 @@ impl System {
                 break;
             };
             let (fsm, specs) = RequestFsm::start(req, &self.uncore.geom);
-            self.uncore.fsms.insert(req.id, fsm);
+            self.uncore
+                .requests
+                .get_mut(SlabKey::from(req.id))
+                .expect("request slot live until admission")
+                .fsm = Some(fsm);
             for spec in specs {
-                let id = self.uncore.next_access_id;
-                self.uncore.next_access_id += 1;
-                self.uncore.access_meta.insert(
-                    id,
-                    AccessMeta {
+                let id = self
+                    .uncore
+                    .accesses
+                    .insert(AccessMeta {
                         request: req.id,
                         role: spec.role,
-                    },
-                );
+                    })
+                    .raw();
                 self.uncore.ctrls[ch as usize].enqueue(id, spec, req.kind, req.app, now);
             }
         }
@@ -423,10 +506,14 @@ impl System {
             };
             uncore.inflight[ch as usize] += 1;
             if let Some(tl) = uncore.timeline.as_mut() {
-                let meta = uncore.access_meta[&issued.entry.id];
+                let meta = *uncore
+                    .accesses
+                    .get(SlabKey::from(issued.entry.id))
+                    .expect("issued access has metadata");
                 let req_kind = uncore
-                    .fsms
-                    .get(&meta.request)
+                    .requests
+                    .get(SlabKey::from(meta.request))
+                    .and_then(|r| r.fsm.as_ref())
                     .map(|f| f.request().kind)
                     .unwrap_or(CacheReqKind::Read);
                 tl.push(TimelineEntry {
@@ -531,9 +618,13 @@ impl System {
     fn finish_demand_read(&mut self, req: RequestId, now: SimTime) {
         let rs = self
             .uncore
-            .read_state
-            .remove(&req)
+            .requests
+            .get_mut(SlabKey::from(req))
+            .expect("request slot live")
+            .read
+            .take()
             .expect("read state must exist");
+        self.uncore.maybe_free_request(req);
         self.uncore.latency.record(rs.arrival, now);
         self.fill_l2_and_respond(rs.block, rs.app, now);
     }
@@ -543,35 +634,33 @@ impl System {
         self.uncore.inflight[ch as usize] -= 1;
         let meta = self
             .uncore
-            .access_meta
-            .remove(&access_id)
+            .accesses
+            .remove(SlabKey::from(access_id))
             .expect("access metadata");
+        let req_key = SlabKey::from(meta.request);
         let geom = self.uncore.geom;
-        let out = {
-            let fsm = self
+        let (out, req_kind, req_app, req_pc) = {
+            let slot = self
                 .uncore
-                .fsms
-                .get_mut(&meta.request)
-                .expect("request FSM");
-            fsm.on_access_done(meta.role, &mut self.uncore.tags, &geom)
-        };
-        let (req_kind, req_app, req_pc) = {
-            let fsm = &self.uncore.fsms[&meta.request];
+                .requests
+                .get_mut(req_key)
+                .expect("request slot live");
+            let fsm = slot.fsm.as_mut().expect("request FSM");
+            let out = fsm.on_access_done(meta.role, &mut self.uncore.tags, &geom);
             let r = fsm.request();
-            (r.kind, r.app, r.pc)
+            (out, r.kind, r.app, r.pc)
         };
 
         // Follow-up accesses.
         for spec in &out.enqueue {
-            let id = self.uncore.next_access_id;
-            self.uncore.next_access_id += 1;
-            self.uncore.access_meta.insert(
-                id,
-                AccessMeta {
+            let id = self
+                .uncore
+                .accesses
+                .insert(AccessMeta {
                     request: meta.request,
                     role: spec.role,
-                },
-            );
+                })
+                .raw();
             self.uncore.ctrls[ch as usize].enqueue(id, *spec, req_kind, req_app, now);
         }
 
@@ -580,7 +669,10 @@ impl System {
             if req_kind == CacheReqKind::Read {
                 if self.cfg.predictor {
                     self.uncore.predictor.update(req_pc, hit);
-                    let predicted = self.uncore.read_state[&meta.request].predicted_hit;
+                    let predicted = self.uncore.requests[req_key]
+                        .read
+                        .expect("read state live until answered")
+                        .predicted_hit;
                     self.uncore.predictor.record_outcome(predicted, hit);
                     if hit && !predicted {
                         self.uncore.wasted_prefetches += 1;
@@ -603,7 +695,9 @@ impl System {
             self.finish_demand_read(meta.request, now);
         }
         if out.respond_miss {
-            let rs = self.uncore.read_state[&meta.request];
+            let rs = self.uncore.requests[req_key]
+                .read
+                .expect("read state live until answered");
             match rs.prefetch_done {
                 Some(t) if t <= now => {
                     // Speculative fetch already landed: answer now, and
@@ -621,7 +715,14 @@ impl System {
             }
         }
         if out.done {
-            self.uncore.fsms.remove(&meta.request);
+            let slot = self
+                .uncore
+                .requests
+                .get_mut(req_key)
+                .expect("request slot live");
+            slot.fsm = None;
+            slot.fsm_done = true;
+            self.uncore.maybe_free_request(meta.request);
         }
 
         self.drain_outbox();
@@ -643,7 +744,9 @@ impl System {
                 Ev::Pump(ch) => self.pump(ch, now),
                 Ev::AccessDone { ch, access_id } => self.access_done(ch, access_id, now),
                 Ev::MemData { req } => {
-                    let rs = self.uncore.read_state[&req];
+                    let rs = self.uncore.requests[SlabKey::from(req)]
+                        .read
+                        .expect("read state live until answered");
                     self.finish_demand_read(req, now);
                     self.uncore.submit_refill(rs.block, rs.app, now);
                     self.drain_outbox();
@@ -699,6 +802,7 @@ impl System {
             writeback_requests: self.uncore.wb_requests,
             refill_requests: self.uncore.refill_requests,
             end_time: self.queue.now(),
+            events_processed: self.queue.counters().1,
             timeline: self.uncore.timeline,
         }
     }
@@ -808,8 +912,7 @@ mod tests {
 
     #[test]
     fn timeline_recording_works() {
-        let mut cfg =
-            SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(30_000, 5_000);
+        let mut cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(30_000, 5_000);
         cfg.record_timeline = true;
         let r = System::new(cfg, &[Benchmark::Libquantum]).run();
         let tl = r.timeline.expect("timeline requested");

@@ -5,8 +5,7 @@
 //! compute-gap preceding them, so the core model never materialises
 //! individual compute instructions.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dca_sim_core::rng::Prng;
 
 use crate::profile::{Pattern, Profile};
 
@@ -47,7 +46,7 @@ pub const STREAM_ALIGN: u64 = 3840;
 #[derive(Clone, Debug)]
 pub struct TraceGen {
     profile: Profile,
-    rng: SmallRng,
+    rng: Prng,
     /// Base block address of this core's private region.
     base: u64,
     /// Stream cursors (streaming / mixed patterns).
@@ -78,7 +77,7 @@ impl TraceGen {
     /// row-conflict structure the permutation-based XOR remap \[9\] was
     /// designed to break (§VI-A "With Remapping").
     pub fn new(profile: Profile, base: u64, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let ws = profile.ws_blocks;
         let n_streams = match profile.pattern {
             Pattern::Stream { streams } => streams as usize,

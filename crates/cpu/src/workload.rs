@@ -28,36 +28,36 @@ use Benchmark::*;
 
 /// Table I verbatim: mixes 1–30.
 pub const TABLE1_MIXES: [[Benchmark; 4]; 30] = [
-    [Soplex, Mcf, Gcc, Libquantum],              // 1
-    [Astar, Omnetpp, GemsFDTD, Gcc],             // 2
-    [Mcf, Soplex, Astar, Leslie3d],              // 3
-    [Bwaves, Lbm, Libquantum, Leslie3d],         // 4
-    [Omnetpp, Milc, Leslie3d, Astar],            // 5
-    [Soplex, Astar, Lbm, Mcf],                   // 6
-    [Lbm, Omnetpp, Leslie3d, Bwaves],            // 7
-    [Milc, Leslie3d, Omnetpp, Gcc],              // 8
-    [Bwaves, Astar, Gcc, Leslie3d],              // 9
-    [Omnetpp, Libquantum, Mcf, Gcc],             // 10
-    [Gcc, Libquantum, Lbm, Soplex],              // 11
-    [Gcc, Leslie3d, GemsFDTD, Soplex],           // 12
-    [Lbm, Libquantum, Omnetpp, Bwaves],          // 13
-    [Gcc, Mcf, Leslie3d, Milc],                  // 14
-    [Omnetpp, Mcf, Leslie3d, Lbm],               // 15
-    [Libquantum, Lbm, Soplex, Astar],            // 16
-    [Milc, Libquantum, Bwaves, GemsFDTD],        // 17
-    [Leslie3d, Astar, Libquantum, Bwaves],       // 18
-    [Lbm, Gcc, Mcf, Libquantum],                 // 19
-    [Soplex, Astar, GemsFDTD, Leslie3d],         // 20
-    [GemsFDTD, Astar, Leslie3d, Libquantum],     // 21
-    [Libquantum, Milc, Lbm, Mcf],                // 22
-    [Lbm, Libquantum, Leslie3d, Bwaves],         // 23
-    [Milc, Leslie3d, Omnetpp, Bwaves],           // 24
-    [Bwaves, Astar, GemsFDTD, Leslie3d],         // 25
-    [Gcc, Soplex, Libquantum, Milc],             // 26
-    [Omnetpp, Lbm, Leslie3d, GemsFDTD],          // 27
-    [Soplex, Bwaves, GemsFDTD, Leslie3d],        // 28
-    [GemsFDTD, Leslie3d, Libquantum, Milc],      // 29
-    [Omnetpp, Bwaves, Leslie3d, GemsFDTD],       // 30
+    [Soplex, Mcf, Gcc, Libquantum],          // 1
+    [Astar, Omnetpp, GemsFDTD, Gcc],         // 2
+    [Mcf, Soplex, Astar, Leslie3d],          // 3
+    [Bwaves, Lbm, Libquantum, Leslie3d],     // 4
+    [Omnetpp, Milc, Leslie3d, Astar],        // 5
+    [Soplex, Astar, Lbm, Mcf],               // 6
+    [Lbm, Omnetpp, Leslie3d, Bwaves],        // 7
+    [Milc, Leslie3d, Omnetpp, Gcc],          // 8
+    [Bwaves, Astar, Gcc, Leslie3d],          // 9
+    [Omnetpp, Libquantum, Mcf, Gcc],         // 10
+    [Gcc, Libquantum, Lbm, Soplex],          // 11
+    [Gcc, Leslie3d, GemsFDTD, Soplex],       // 12
+    [Lbm, Libquantum, Omnetpp, Bwaves],      // 13
+    [Gcc, Mcf, Leslie3d, Milc],              // 14
+    [Omnetpp, Mcf, Leslie3d, Lbm],           // 15
+    [Libquantum, Lbm, Soplex, Astar],        // 16
+    [Milc, Libquantum, Bwaves, GemsFDTD],    // 17
+    [Leslie3d, Astar, Libquantum, Bwaves],   // 18
+    [Lbm, Gcc, Mcf, Libquantum],             // 19
+    [Soplex, Astar, GemsFDTD, Leslie3d],     // 20
+    [GemsFDTD, Astar, Leslie3d, Libquantum], // 21
+    [Libquantum, Milc, Lbm, Mcf],            // 22
+    [Lbm, Libquantum, Leslie3d, Bwaves],     // 23
+    [Milc, Leslie3d, Omnetpp, Bwaves],       // 24
+    [Bwaves, Astar, GemsFDTD, Leslie3d],     // 25
+    [Gcc, Soplex, Libquantum, Milc],         // 26
+    [Omnetpp, Lbm, Leslie3d, GemsFDTD],      // 27
+    [Soplex, Bwaves, GemsFDTD, Leslie3d],    // 28
+    [GemsFDTD, Leslie3d, Libquantum, Milc],  // 29
+    [Omnetpp, Bwaves, Leslie3d, GemsFDTD],   // 30
 ];
 
 /// Mix `id` (1-based, as in Table I).

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real criterion cannot be vendored. This shim implements exactly the
+//! API subset the `dca-bench` benches use — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`, `criterion_main!` —
+//! with plain wall-clock timing and criterion-style one-line output:
+//!
+//! ```text
+//! group/name              time: [12.345 ms 12.500 ms 12.655 ms]
+//! ```
+//!
+//! Semantics intentionally kept: `iter` times the closure over a batch,
+//! samples are repeated `sample_size` times (default 10), and the
+//! reported triple is (min, mean, max) over samples. A positional CLI
+//! argument filters benchmarks by substring, like criterion's.
+
+use std::hint;
+use std::time::Instant;
+
+/// Prevent the optimiser from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver (shim).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional (non-flag) CLI argument filters by substring;
+        // flags like `--bench` that cargo passes are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            filter: self.filter.clone(),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Run `f` as a single unnamed-group benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter = self.filter.clone();
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+            filter,
+            _criterion: std::marker::PhantomData,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion default is 100;
+    /// this workspace's benches set 10 for the heavy simulations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filt) = &self.filter {
+            if !full.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample, then `sample_size` timed ones.
+        let mut b = Bencher { elapsed_ns: 0.0 };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed_ns: 0.0 };
+            f(&mut b);
+            samples.push(b.elapsed_ns);
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:<40} time: [{} {} {}]",
+            full,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        self
+    }
+
+    /// End the group (output is already flushed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f` once per iteration over an auto-sized batch and record
+    /// the mean per-iteration cost for this sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Size the batch so one sample takes ≥ ~5 ms (cheap closures) but
+        // never more than one iteration for expensive ones.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().as_nanos().max(1) as u64;
+        let iters = (5_000_000 / one).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Human-format a nanosecond count like criterion does.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.3} ns", ns)
+    }
+}
+
+/// Build a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Build `main` from one or more `criterion_group!` outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut b = Bencher { elapsed_ns: 0.0 };
+        b.iter(|| black_box(41 + 1));
+        assert!(b.elapsed_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(2);
+            g.bench_function("match-me", |b| {
+                ran += 1;
+                b.iter(|| black_box(1))
+            });
+        }
+        assert!(ran > 0, "matching benchmark must run");
+        let mut skipped_ran = false;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.bench_function("other", |b| {
+                skipped_ran = true;
+                b.iter(|| black_box(1))
+            });
+        }
+        assert!(!skipped_ran, "non-matching benchmark must be skipped");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

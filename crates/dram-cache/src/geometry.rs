@@ -11,7 +11,9 @@
 //!   with the data in a single 80-byte burst, so no separate tag slot is
 //!   ever addressed.
 
-use dca_dram::{AccessKind, AddressMapper, BurstLen, DramAccess, Location, MappingScheme, Organization};
+use dca_dram::{
+    AccessKind, AddressMapper, BurstLen, DramAccess, Location, MappingScheme, Organization,
+};
 
 /// Which cache organisation is in force.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -40,7 +40,7 @@ pub mod translate;
 
 pub use geometry::{BlockPlace, CacheGeometry, OrgKind};
 pub use predictor::MapI;
-pub use request::{CacheRequest, CacheReqKind, RequestId};
+pub use request::{CacheReqKind, CacheRequest, RequestId};
 pub use tag_cache::{TagCache, TagCacheStats};
 pub use tags::{InsertOutcome, TagArray};
 pub use translate::{AccessRole, AccessSpec, FsmOutput, RequestFsm};

@@ -26,7 +26,10 @@ const COUNTER_INIT: u8 = 4;
 impl MapI {
     /// A predictor with `entries` counters (must be a power of two).
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         MapI {
             table: vec![COUNTER_INIT; entries],
             mask: (entries - 1) as u32,

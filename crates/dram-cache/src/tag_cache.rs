@@ -194,11 +194,14 @@ mod tests {
     #[test]
     fn dirty_evictions_write_back() {
         let mut tc = TagCache::new(4 * 1024, 0); // 64 entries: easy to thrash
-        // Touch many distinct blocks with updates; dirty evictions follow.
+                                                 // Touch many distinct blocks with updates; dirty evictions follow.
         for b in 0..1000u64 {
             tc.access(b * 7919, true); // spread across sets
         }
-        assert!(tc.stats().dram_tag_writes > 0, "dirty blocks must write back");
+        assert!(
+            tc.stats().dram_tag_writes > 0,
+            "dirty blocks must write back"
+        );
     }
 
     #[test]

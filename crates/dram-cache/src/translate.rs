@@ -166,7 +166,10 @@ impl RequestFsm {
         tags: &mut TagArray,
         geom: &CacheGeometry,
     ) -> FsmOutput {
-        assert!(self.outstanding > 0, "completion with no outstanding access");
+        assert!(
+            self.outstanding > 0,
+            "completion with no outstanding access"
+        );
         self.outstanding -= 1;
         let mut out = FsmOutput::default();
 
@@ -422,7 +425,11 @@ mod tests {
         let (roles, outs) = drive_to_done(&mut fsm, first, &mut tags, &geom);
         assert_eq!(
             roles,
-            vec![AccessRole::TagRead, AccessRole::DataRead, AccessRole::TagWrite]
+            vec![
+                AccessRole::TagRead,
+                AccessRole::DataRead,
+                AccessRole::TagWrite
+            ]
         );
         assert!(outs[1].respond_hit, "data read completion answers the read");
         assert_eq!(outs[0].hit_known, Some(true));
@@ -441,7 +448,11 @@ mod tests {
         let (roles, outs) = drive_to_done(&mut fsm, first, &mut tags, &geom);
         assert_eq!(
             roles,
-            vec![AccessRole::TagRead, AccessRole::DataWrite, AccessRole::TagWrite]
+            vec![
+                AccessRole::TagRead,
+                AccessRole::DataWrite,
+                AccessRole::TagWrite
+            ]
         );
         assert!(outs.iter().all(|o| o.evict_dirty.is_none()));
         assert!(tags.is_dirty(p.set, tags.lookup(p.set, p.tag).unwrap()));
@@ -491,7 +502,11 @@ mod tests {
         let (roles, _) = drive_to_done(&mut fsm, first, &mut tags, &geom);
         assert_eq!(
             roles,
-            vec![AccessRole::TagRead, AccessRole::DataWrite, AccessRole::TagWrite]
+            vec![
+                AccessRole::TagRead,
+                AccessRole::DataWrite,
+                AccessRole::TagWrite
+            ]
         );
         let p = geom.place(500);
         let way = tags.lookup(p.set, p.tag).unwrap();

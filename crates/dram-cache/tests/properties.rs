@@ -2,9 +2,7 @@
 //! model, geometry round-trips, and FSM access-count invariants.
 
 use dca_dram::MappingScheme;
-use dca_dram_cache::{
-    CacheGeometry, CacheReqKind, CacheRequest, OrgKind, RequestFsm, TagArray,
-};
+use dca_dram_cache::{CacheGeometry, CacheReqKind, CacheRequest, OrgKind, RequestFsm, TagArray};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

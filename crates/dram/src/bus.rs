@@ -96,7 +96,10 @@ impl DataBus {
     /// `[start, end)`. `start` must already satisfy `earliest_start`.
     /// Updates turnaround statistics.
     pub fn reserve(&mut self, kind: AccessKind, start: SimTime, end: SimTime, p: &TimingParams) {
-        debug_assert!(start >= self.earliest_start(kind, p), "burst start violates turnaround");
+        debug_assert!(
+            start >= self.earliest_start(kind, p),
+            "burst start violates turnaround"
+        );
         debug_assert!(end > start);
         let want: BusMode = kind.into();
         if let Some(have) = self.mode {

@@ -74,7 +74,8 @@ impl ChannelStats {
         self.read_row_conflicts.add(other.read_row_conflicts.get());
         self.write_row_hits.add(other.write_row_hits.get());
         self.write_row_closed.add(other.write_row_closed.get());
-        self.write_row_conflicts.add(other.write_row_conflicts.get());
+        self.write_row_conflicts
+            .add(other.write_row_conflicts.get());
     }
 }
 

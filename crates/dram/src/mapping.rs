@@ -150,12 +150,8 @@ mod tests {
         let d = mapper(MappingScheme::Direct);
         let x = mapper(MappingScheme::XorRemap);
         let stride = 4 * 16; // same channel, same bank, consecutive rows
-        let banks_direct: HashSet<u32> = (0..16u64)
-            .map(|i| d.locate(i * stride).bank)
-            .collect();
-        let banks_xor: HashSet<u32> = (0..16u64)
-            .map(|i| x.locate(i * stride).bank)
-            .collect();
+        let banks_direct: HashSet<u32> = (0..16u64).map(|i| d.locate(i * stride).bank).collect();
+        let banks_xor: HashSet<u32> = (0..16u64).map(|i| x.locate(i * stride).bank).collect();
         assert_eq!(banks_direct.len(), 1, "direct: all in one bank");
         assert_eq!(banks_xor.len(), 16, "xor: spread across all banks");
     }

@@ -6,7 +6,7 @@
 //! core — the backpressure path from a congested DRAM-cache controller
 //! all the way to the ROB.
 
-use std::collections::HashMap;
+use dca_sim_core::FastHashMap;
 
 /// Result of trying to allocate an MSHR for a missing block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,7 +23,9 @@ pub enum MshrOutcome {
 /// The MSHR file: block → waiting tokens.
 #[derive(Clone, Debug)]
 pub struct Mshr<T> {
-    entries: HashMap<u64, Vec<T>>,
+    /// Block → waiters. Fast-hashed: this table is probed on every L2
+    /// miss, squarely on the request hot path.
+    entries: FastHashMap<u64, Vec<T>>,
     capacity: usize,
     peak: usize,
 }
@@ -33,7 +35,7 @@ impl<T> Mshr<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Mshr {
-            entries: HashMap::with_capacity(capacity),
+            entries: FastHashMap::with_capacity_and_hasher(capacity, Default::default()),
             capacity,
             peak: 0,
         }

@@ -224,8 +224,7 @@ impl SramCache {
         (0..self.ways as usize)
             .filter_map(|w| {
                 let line = &self.lines[base + w];
-                (line.valid && line.dirty && line.tag != tag)
-                    .then_some(line.tag << shift | set)
+                (line.valid && line.dirty && line.tag != tag).then_some(line.tag << shift | set)
             })
             .collect()
     }
@@ -317,7 +316,7 @@ mod tests {
     #[test]
     fn dirty_set_neighbours_lists_only_dirty() {
         let mut c = SramCache::new(1024, 4); // 4 sets, 4 ways
-        // Blocks 0,4,8,12 all map to set 0 (4 sets).
+                                             // Blocks 0,4,8,12 all map to set 0 (4 sets).
         c.allocate(0, true);
         c.allocate(4, false);
         c.allocate(8, true);

@@ -108,6 +108,9 @@ mod tests {
 
     #[test]
     fn empty_is_none() {
-        assert_eq!(FrFcfs::new().pick(std::iter::empty(), |_| RowOutcome::Hit), None);
+        assert_eq!(
+            FrFcfs::new().pick(std::iter::empty(), |_| RowOutcome::Hit),
+            None
+        );
     }
 }

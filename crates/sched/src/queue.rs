@@ -1,4 +1,23 @@
 //! Bounded access queues.
+//!
+//! [`AccessQueue`] is a **slotted** bounded queue built as a sparse set:
+//!
+//! * entries live contiguously in a dense array, so arbitration scans
+//!   touch only live entries, in cache order — exactly as cheap as the
+//!   plain `Vec` queue this replaced;
+//! * each entry owns a stable *slot* id (from a LIFO free stack) with a
+//!   sparse slot→dense index table, so [`AccessQueue::remove`] is O(1)
+//!   `swap_remove` — unlike the old `Vec::remove`, which paid O(n)
+//!   memmove per issued command.
+//!
+//! Iteration order is the dense-array order (insertion order perturbed
+//! by `swap_remove`), which is deterministic but **not** age order; every
+//! consumer is order-independent because arbitration keys carry the
+//! entry's age (`enqueued_at`) and a unique tiebreak `id` explicitly.
+//!
+//! Slot ids are stable for the lifetime of their entry but recycled
+//! afterwards; they are meaningful only between one arbitration pass and
+//! the following `remove`.
 
 use dca_dram::DramAccess;
 use dca_sim_core::SimTime;
@@ -32,25 +51,38 @@ pub struct QueueEntry {
     pub enqueued_at: SimTime,
 }
 
-/// A bounded queue of accesses.
-///
-/// Removal is by position (arbitration returns a position); order of the
-/// backing vector is insertion order, which the arbiters use as age.
+/// A bounded queue of accesses with O(1) push, O(1) removal-by-slot,
+/// dense cache-friendly iteration, and no allocation after construction.
 #[derive(Clone, Debug)]
 pub struct AccessQueue {
-    entries: Vec<QueueEntry>,
-    capacity: usize,
+    /// Live entries, contiguous; parallel to `dense_slot`.
+    dense: Vec<QueueEntry>,
+    /// Slot id of each dense entry.
+    dense_slot: Vec<u32>,
+    /// Slot → dense index (valid only for live slots).
+    sparse: Vec<u32>,
+    /// Stack of free slot ids (LIFO recycling, deterministic).
+    free: Vec<u32>,
+    /// Entries with `class == ReadClass::Priority`, maintained
+    /// incrementally so DCA's "any PR pending?" test is O(1).
+    priority_count: usize,
     /// High-water mark, for reporting.
     peak: usize,
 }
 
 impl AccessQueue {
-    /// An empty queue holding at most `capacity` entries.
+    /// An empty queue holding at most `capacity` entries. All storage is
+    /// allocated up front; the queue never touches the allocator again.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
+        assert!(capacity < u32::MAX as usize, "capacity must fit in u32");
         AccessQueue {
-            entries: Vec::with_capacity(capacity),
-            capacity,
+            dense: Vec::with_capacity(capacity),
+            dense_slot: Vec::with_capacity(capacity),
+            sparse: vec![0; capacity],
+            // Pop from the back: slot 0 is handed out first.
+            free: (0..capacity as u32).rev().collect(),
+            priority_count: 0,
             peak: 0,
         }
     }
@@ -58,31 +90,31 @@ impl AccessQueue {
     /// Entries currently queued.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.dense.len()
     }
 
     /// True when empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.dense.is_empty()
     }
 
     /// True when at capacity.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.free.is_empty()
     }
 
     /// Capacity.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.sparse.len()
     }
 
     /// Occupancy as a fraction of capacity.
     #[inline]
     pub fn occupancy(&self) -> f64 {
-        self.entries.len() as f64 / self.capacity as f64
+        self.dense.len() as f64 / self.sparse.len() as f64
     }
 
     /// Highest occupancy ever observed.
@@ -90,36 +122,67 @@ impl AccessQueue {
         self.peak
     }
 
+    /// Entries whose class is [`ReadClass::Priority`] (O(1)).
+    #[inline]
+    pub fn priority_count(&self) -> usize {
+        self.priority_count
+    }
+
     /// Push an entry; returns `Err(entry)` when full so callers can apply
     /// backpressure instead of losing accesses.
     pub fn push(&mut self, entry: QueueEntry) -> Result<(), QueueEntry> {
-        if self.is_full() {
+        let Some(slot) = self.free.pop() else {
             return Err(entry);
+        };
+        if entry.class == ReadClass::Priority {
+            self.priority_count += 1;
         }
-        self.entries.push(entry);
-        self.peak = self.peak.max(self.entries.len());
+        self.sparse[slot as usize] = self.dense.len() as u32;
+        self.dense.push(entry);
+        self.dense_slot.push(slot);
+        self.peak = self.peak.max(self.dense.len());
         Ok(())
     }
 
-    /// Remove and return the entry at `pos` (positions come from the
-    /// arbiters). Preserves insertion order of the rest.
-    pub fn remove(&mut self, pos: usize) -> QueueEntry {
-        self.entries.remove(pos)
+    /// Remove and return the entry in `slot` (slots come from the
+    /// arbiters via [`AccessQueue::iter`]). O(1); other entries keep
+    /// their slots.
+    ///
+    /// # Panics
+    /// Panics if `slot` is not currently occupied.
+    pub fn remove(&mut self, slot: usize) -> QueueEntry {
+        let d = self.sparse[slot] as usize;
+        assert!(
+            d < self.dense.len() && self.dense_slot[d] as usize == slot,
+            "removing an empty queue slot"
+        );
+        let entry = self.dense.swap_remove(d);
+        self.dense_slot.swap_remove(d);
+        if let Some(&moved_slot) = self.dense_slot.get(d) {
+            self.sparse[moved_slot as usize] = d as u32;
+        }
+        if entry.class == ReadClass::Priority {
+            self.priority_count -= 1;
+        }
+        self.free.push(slot as u32);
+        entry
     }
 
-    /// Immutable view of the queued entries, oldest first.
-    pub fn entries(&self) -> &[QueueEntry] {
-        &self.entries
-    }
-
-    /// Iterator over `(position, entry)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &QueueEntry)> {
-        self.entries.iter().enumerate()
+    /// Iterator over `(slot, entry)` pairs in dense order — contiguous
+    /// and live-only. Deterministic; age order is *not* implied —
+    /// consumers needing age use `entry.enqueued_at` / `entry.id`, as
+    /// the arbiters do.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &QueueEntry)> + '_ {
+        self.dense_slot
+            .iter()
+            .zip(self.dense.iter())
+            .map(|(&s, e)| (s as usize, e))
     }
 
     /// Count of entries matching a predicate (e.g. PR-only occupancy).
     pub fn count_where(&self, mut pred: impl FnMut(&QueueEntry) -> bool) -> usize {
-        self.entries.iter().filter(|e| pred(e)).count()
+        self.dense.iter().filter(|e| pred(e)).count()
     }
 }
 
@@ -138,16 +201,49 @@ mod tests {
         }
     }
 
+    fn ids(q: &AccessQueue) -> Vec<u64> {
+        let mut v: Vec<u64> = q.iter().map(|(_, e)| e.id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Slot currently holding the entry with `id`.
+    fn slot_of(q: &AccessQueue, id: u64) -> usize {
+        q.iter().find(|(_, e)| e.id == id).expect("entry present").0
+    }
+
     #[test]
-    fn push_pop_fifo_positions() {
+    fn push_iter_and_stable_slots() {
         let mut q = AccessQueue::new(4);
         for i in 0..4 {
             q.push(entry(i)).unwrap();
         }
         assert!(q.is_full());
-        assert_eq!(q.remove(0).id, 0);
-        assert_eq!(q.remove(1).id, 2); // position shifts after removal
+        assert_eq!(ids(&q), vec![0, 1, 2, 3]);
+        // Removing one leaves everyone else's slot untouched.
+        let s3 = slot_of(&q, 3);
+        assert_eq!(q.remove(slot_of(&q, 2)).id, 2);
+        assert_eq!(ids(&q), vec![0, 1, 3]);
+        assert_eq!(slot_of(&q, 3), s3, "entry 3 kept its slot");
+        assert_eq!(q.remove(slot_of(&q, 0)).id, 0);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn slot_recycling_is_deterministic() {
+        let mut a = AccessQueue::new(4);
+        let mut b = AccessQueue::new(4);
+        for q in [&mut a, &mut b] {
+            q.push(entry(0)).unwrap();
+            q.push(entry(1)).unwrap();
+            q.remove(slot_of(q, 0));
+            q.push(entry(2)).unwrap();
+        }
+        let order_a: Vec<(usize, u64)> = a.iter().map(|(s, e)| (s, e.id)).collect();
+        let order_b: Vec<(usize, u64)> = b.iter().map(|(s, e)| (s, e.id)).collect();
+        assert_eq!(order_a, order_b, "same ops ⇒ same slots and order");
+        // The freed slot is reused immediately (LIFO).
+        assert_eq!(slot_of(&a, 2), 0);
     }
 
     #[test]
@@ -166,12 +262,12 @@ mod tests {
         q.push(entry(0)).unwrap();
         q.push(entry(1)).unwrap();
         assert_eq!(q.occupancy(), 0.5);
-        q.remove(0);
+        q.remove(slot_of(&q, 0));
         assert_eq!(q.peak(), 2);
     }
 
     #[test]
-    fn count_where_filters() {
+    fn count_where_and_priority_count() {
         let mut q = AccessQueue::new(8);
         for i in 0..6 {
             let mut e = entry(i);
@@ -182,6 +278,42 @@ mod tests {
         }
         assert_eq!(q.count_where(|e| e.class == ReadClass::LowPriority), 2);
         assert_eq!(q.count_where(|e| e.class == ReadClass::Priority), 4);
+        assert_eq!(q.priority_count(), 4);
+        q.remove(slot_of(&q, 1)); // a Priority entry
+        assert_eq!(q.priority_count(), 3);
+    }
+
+    #[test]
+    fn drain_and_refill_many_times() {
+        // Exercise free-stack recycling well past one capacity's worth.
+        let mut q = AccessQueue::new(8);
+        let mut next = 0u64;
+        for round in 0..100u64 {
+            while q.push(entry(next)).is_ok() {
+                next += 1;
+            }
+            assert!(q.is_full());
+            let victim = next - 1 - (round % 8);
+            q.remove(slot_of(&q, victim));
+            assert_eq!(q.len(), 7);
+            assert!(!ids(&q).contains(&victim));
+            while !q.is_empty() {
+                let s = q.iter().next().unwrap().0;
+                q.remove(s);
+            }
+        }
+        assert_eq!(q.peak(), 8);
+        assert_eq!(q.priority_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty queue slot")]
+    fn removing_free_slot_panics() {
+        let mut q = AccessQueue::new(2);
+        q.push(entry(0)).unwrap();
+        let s = slot_of(&q, 0);
+        q.remove(s);
+        q.remove(s);
     }
 
     #[test]

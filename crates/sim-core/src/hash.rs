@@ -1,0 +1,138 @@
+//! Fast non-cryptographic hashing for hot-path tables.
+//!
+//! `std::collections::HashMap`'s default SipHash-1-3 is DoS-resistant but
+//! costs tens of cycles per lookup — pure overhead inside a
+//! single-process simulator hashing its own block addresses. This module
+//! provides an Fx-style multiply-xor hasher (the rustc folklore hash:
+//! word-at-a-time `(h ^ w) * K` with a golden-ratio-derived constant) and
+//! map/set aliases using it.
+//!
+//! Determinism note: unlike the std default, [`FastHasher`] is *unkeyed*,
+//! so iteration order of a [`FastHashMap`] is stable across runs for the
+//! same insertion sequence. Simulation code must still never iterate a
+//! map where order affects results — but with this hasher such a bug
+//! would at least be reproducible rather than seed-dependent.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (derived from the golden ratio, as in rustc).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style streaming hasher: one multiply-xor per 8-byte word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            // Fold the remainder length into the free top byte so inputs
+            // that differ only by trailing zero bytes cannot collide.
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            tail[7] |= (rem.len() as u8) << 4;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// `HashMap` keyed by the fast unkeyed hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// `HashSet` keyed by the fast unkeyed hasher.
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(v: impl std::hash::Hash) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_ne!(hash_of(42u64), hash_of(43u64));
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastHashMap<u64, &str> = FastHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn block_addresses_spread_across_low_bits() {
+        // HashMap uses the low bits of the hash; sequential block
+        // addresses (the dominant key pattern) must not collide there.
+        let mut low7 = FastHashSet::default();
+        for b in 0u64..128 {
+            low7.insert(hash_of(b) & 127);
+        }
+        assert!(low7.len() > 64, "low bits too clumpy: {}", low7.len());
+    }
+
+    #[test]
+    fn odd_length_byte_strings_differ() {
+        assert_ne!(hash_of("1234567"), hash_of("12345678"));
+        assert_ne!(hash_of(""), hash_of("\0"));
+    }
+}

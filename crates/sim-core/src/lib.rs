@@ -8,22 +8,64 @@
 //! * [`events`] — a deterministic discrete-event queue. Events that tie on
 //!   timestamp are delivered in insertion order, which makes every
 //!   simulation bit-reproducible for a given seed.
+//! * [`slab`] — generational slab storage; the allocator behind every
+//!   hot-path id in the engine.
+//! * [`hash`] — an Fx-style non-cryptographic hasher for the hot maps
+//!   that remain.
 //! * [`stats`] — cheap statistics primitives (counters, running means,
 //!   fixed-bucket histograms) used by the device and controller models to
 //!   feed the paper's figures.
 //! * [`rng`] — seed-splitting helpers so each (workload, core, component)
-//!   tuple derives an independent deterministic RNG stream.
+//!   tuple derives an independent deterministic RNG stream, plus the
+//!   xoshiro-based [`rng::Prng`] the workload generators sample from.
 //!
 //! Everything here is intentionally dependency-free and single-threaded:
 //! determinism is a correctness requirement for the experiment harness
 //! (identical seeds must yield identical figures).
+//!
+//! ## Engine architecture (hot paths)
+//!
+//! Three structures carry essentially all of the simulator's inner-loop
+//! work; all three are O(1) per operation and allocation-free at steady
+//! state:
+//!
+//! 1. **Calendar event queue** ([`events::EventQueue`]). A two-level
+//!    scheduler: a ring of 1024 one-nanosecond FIFO buckets covers the
+//!    next ~1 µs, and a far-future binary heap absorbs the rare event
+//!    beyond the horizon (events migrate into the ring as the cursor
+//!    approaches). Delivery order is exactly `(time, insertion seq)` —
+//!    bit-identical to the original heap engine, which survives as
+//!    [`events::BaselineEventQueue`] for A/B determinism tests and perf
+//!    baselines. Buckets sort lazily, and only when an out-of-order push
+//!    actually dirtied them, so the common nondecreasing-time push is a
+//!    plain FIFO append.
+//! 2. **Generational slabs** ([`slab::Slab`]). Request and access ids in
+//!    `dca::system` are packed `(index, generation)` slab keys
+//!    ([`slab::SlabKey`]), so per-request state lookups are direct array
+//!    indexing — no hashing anywhere on the request path; stale ids from
+//!    in-flight events are caught by the generation check rather than
+//!    aliasing recycled slots.
+//! 3. **Slotted command queues** (`dca_sched::AccessQueue`). Controller
+//!    read/write queues are sparse sets: entries live contiguously in a
+//!    dense array (arbitration scans touch only live entries, in cache
+//!    order) while stable slot ids from a free stack make removal an
+//!    O(1) `swap_remove` — no element shifting. Iteration is *not* age
+//!    ordered; arbiters carry age explicitly as `(enqueued_at, id)`.
+//!
+//! The `perf_smoke` binary in `dca-bench` measures the end-to-end effect
+//! (simulated cycles/sec and events/sec, new engine vs. baseline) and
+//! writes `BENCH_engine.json` so every PR leaves a perf trajectory.
 
 pub mod events;
+pub mod hash;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{BaselineEventQueue, EventQueue};
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use rng::SeedSplitter;
+pub use slab::{Slab, SlabKey};
 pub use stats::{Counter, Histogram, RunningMean};
 pub use time::{Duration, SimTime};

@@ -1,0 +1,310 @@
+//! Generational slab: array-backed storage with stable `u64` keys.
+//!
+//! The simulator's per-request bookkeeping used to live in
+//! `HashMap<u64, _>` tables, paying a SipHash invocation (and a probe
+//! chain) on every request, access, and completion — the hottest edges in
+//! the whole event loop. A slab replaces that with a direct index: keys
+//! are `(index, generation)` pairs packed into a `u64`
+//! ([`SlabKey::index`] in the low 32 bits, generation above), so lookup
+//! is one bounds-checked array access.
+//!
+//! Generations catch use-after-free at the call site: freeing a slot
+//! bumps its generation, so a stale key held by an in-flight event
+//! resolves to `None` (or panics via [`Slab::get`]-style accessors used
+//! with `expect`) instead of silently aliasing a recycled slot — the
+//! moral equivalent of the old `HashMap` `expect("request FSM")` checks,
+//! but O(1).
+//!
+//! Freed slots are recycled LIFO through an intrusive free list, so
+//! steady-state simulations allocate nothing after warm-up.
+
+/// A packed `(index, generation)` slab key.
+///
+/// The public alias `RequestId = u64` elsewhere in the workspace is
+/// exactly this packed form, so ids stay `Copy`, `Ord`, and printable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlabKey(pub u64);
+
+impl SlabKey {
+    /// Pack an index/generation pair.
+    #[inline]
+    pub fn new(index: u32, generation: u32) -> Self {
+        SlabKey(((generation as u64) << 32) | index as u64)
+    }
+
+    /// Slot index within the slab.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Slot generation at key creation.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw packed value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for SlabKey {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        SlabKey(raw)
+    }
+}
+
+impl From<SlabKey> for u64 {
+    #[inline]
+    fn from(k: SlabKey) -> u64 {
+        k.0
+    }
+}
+
+enum Slot<T> {
+    /// Free; holds the next free slot index (or `u32::MAX` for none).
+    Free {
+        next_free: u32,
+    },
+    Occupied(T),
+}
+
+/// Array-backed storage with O(1) insert/lookup/remove and generational
+/// use-after-free detection. See the module docs for why.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    /// Per-slot generation; bumped on free.
+    generations: Vec<u32>,
+    free_head: u32,
+    len: usize,
+}
+
+const NO_FREE: u32 = u32::MAX;
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free_head: NO_FREE,
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            generations: Vec::with_capacity(cap),
+            free_head: NO_FREE,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, returning its key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if self.free_head != NO_FREE {
+            let index = self.free_head;
+            match self.slots[index as usize] {
+                Slot::Free { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            self.slots[index as usize] = Slot::Occupied(value);
+            SlabKey::new(index, self.generations[index as usize])
+        } else {
+            let index = self.slots.len() as u32;
+            assert!(index != u32::MAX, "slab exhausted 2^32 slots");
+            self.slots.push(Slot::Occupied(value));
+            self.generations.push(0);
+            SlabKey::new(index, 0)
+        }
+    }
+
+    #[inline]
+    fn check(&self, key: SlabKey) -> Option<usize> {
+        let i = key.index() as usize;
+        (i < self.slots.len() && self.generations[i] == key.generation()).then_some(i)
+    }
+
+    /// Shared access to the value for `key`; `None` if the key is stale
+    /// or was never issued.
+    #[inline]
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.check(key).map(|i| &self.slots[i]) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Exclusive access to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        match self.check(key) {
+            Some(i) => match &mut self.slots[i] {
+                Slot::Occupied(v) => Some(v),
+                Slot::Free { .. } => None,
+            },
+            None => None,
+        }
+    }
+
+    /// Whether `key` refers to a live value.
+    #[inline]
+    pub fn contains(&self, key: SlabKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove and return the value for `key`; `None` if already gone.
+    /// The slot's generation is bumped, invalidating every copy of `key`.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let i = self.check(key)?;
+        if matches!(self.slots[i], Slot::Free { .. }) {
+            return None;
+        }
+        let old = std::mem::replace(
+            &mut self.slots[i],
+            Slot::Free {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = i as u32;
+        self.generations[i] = self.generations[i].wrapping_add(1);
+        self.len -= 1;
+        match old {
+            Slot::Occupied(v) => Some(v),
+            Slot::Free { .. } => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Iterate over live `(key, &value)` pairs in index order (diagnostic
+    /// use; not on the hot path).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied(v) => Some((SlabKey::new(i as u32, self.generations[i]), v)),
+            Slot::Free { .. } => None,
+        })
+    }
+}
+
+impl<T> std::ops::Index<SlabKey> for Slab<T> {
+    type Output = T;
+
+    /// Panicking lookup, for call sites where a missing key is a model
+    /// bug (the slab equivalent of `map[&k]`).
+    #[inline]
+    fn index(&self, key: SlabKey) -> &T {
+        self.get(key)
+            .expect("stale or unknown slab key (freed slot reused?)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_panics_on_stale_key() {
+        let mut s = Slab::new();
+        let k = s.insert(5);
+        assert_eq!(s[k], 5);
+        s.remove(k);
+        assert!(std::panic::catch_unwind(|| s[k]).is_err());
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None, "removed key is dead");
+        assert_eq!(s.remove(a), None, "double remove is a no-op");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slots_recycle_with_new_generation() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(b.index(), a.index(), "LIFO slot reuse");
+        assert_ne!(b.generation(), a.generation());
+        assert_eq!(s.get(a), None, "stale key misses despite slot reuse");
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn keys_pack_and_unpack() {
+        let k = SlabKey::new(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!(k.index(), 0xDEAD_BEEF);
+        assert_eq!(k.generation(), 0x1234_5678);
+        let raw: u64 = k.into();
+        assert_eq!(SlabKey::from(raw), k);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut s = Slab::new();
+        let k = s.insert(vec![1, 2]);
+        s.get_mut(k).unwrap().push(3);
+        assert_eq!(s.get(k).unwrap(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn iter_lists_live_entries() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        let c = s.insert("c");
+        s.remove(b);
+        let keys: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![a, c]);
+    }
+
+    #[test]
+    fn heavy_churn_is_stable() {
+        let mut s = Slab::with_capacity(16);
+        let mut live = Vec::new();
+        for round in 0..1000u64 {
+            let k = s.insert(round);
+            live.push((k, round));
+            if round % 3 == 0 {
+                let (k, v) = live.remove((round % live.len() as u64) as usize);
+                assert_eq!(s.remove(k), Some(v));
+            }
+        }
+        assert_eq!(s.len(), live.len());
+        for (k, v) in live {
+            assert_eq!(s.get(k), Some(&v));
+        }
+        assert!(s.slots.len() <= 1001, "slots bounded by peak occupancy");
+    }
+}

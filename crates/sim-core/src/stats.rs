@@ -315,7 +315,10 @@ mod tests {
         let q90 = h.quantile(0.9);
         let q99 = h.quantile(0.99);
         assert!(q50 <= q90 && q90 <= q99);
-        assert!((256..=1024).contains(&q50), "median of 0..1000 ~512, got {q50}");
+        assert!(
+            (256..=1024).contains(&q50),
+            "median of 0..1000 ~512, got {q50}"
+        );
     }
 
     #[test]

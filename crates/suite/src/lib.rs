@@ -1,0 +1,4 @@
+//! Umbrella package hosting the repository-level `tests/` and
+//! `examples/` directories (see the explicit `[[test]]`/`[[example]]`
+//! entries in this package's manifest). All implementation lives in the
+//! sibling crates; start at [`dca`](../dca/index.html).

@@ -31,7 +31,10 @@ fn run_alone(bench: Benchmark, remap: bool) -> (f64, f64) {
 
 fn main() {
     println!("single-benchmark effect of the XOR remap (CD, direct-mapped):\n");
-    println!("{:<12} {:>10} {:>10} {:>12} {:>12}", "benchmark", "IPC", "IPC+XOR", "conflicts", "conflicts+XOR");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12}",
+        "benchmark", "IPC", "IPC+XOR", "conflicts", "conflicts+XOR"
+    );
     for bench in [
         Benchmark::GemsFDTD,
         Benchmark::Leslie3d,

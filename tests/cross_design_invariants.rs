@@ -96,7 +96,11 @@ fn dca_improves_pr_latency_over_cd() {
         let cd = run(Design::Cd, org);
         let dca = run(Design::Dca, org);
         let cd_pr: f64 = cd.channels.iter().map(|c| c.ctrl.pr_wait_ns()).sum::<f64>();
-        let dca_pr: f64 = dca.channels.iter().map(|c| c.ctrl.pr_wait_ns()).sum::<f64>();
+        let dca_pr: f64 = dca
+            .channels
+            .iter()
+            .map(|c| c.ctrl.pr_wait_ns())
+            .sum::<f64>();
         assert!(
             dca_pr < cd_pr,
             "{}: DCA PR wait {:.0} must beat CD {:.0}",

@@ -46,7 +46,10 @@ fn lee_writeback_variants_complete() {
     for design in Design::ALL {
         let r = run(design, OrgKind::DirectMapped, false, true);
         assert!(r.cores.iter().all(|c| c.insts >= 50_000));
-        assert!(r.writeback_requests > 0, "Lee policy must produce writebacks");
+        assert!(
+            r.writeback_requests > 0,
+            "Lee policy must produce writebacks"
+        );
     }
 }
 
@@ -78,8 +81,10 @@ fn set_assoc_does_more_accesses_per_request_than_direct_mapped() {
     let dm = run(Design::Cd, OrgKind::DirectMapped, false, false);
     let sa_accesses: u64 = sa.channels.iter().map(|c| c.reads + c.writes).sum();
     let dm_accesses: u64 = dm.channels.iter().map(|c| c.reads + c.writes).sum();
-    let sa_reqs = sa.cache_read_hits + sa.cache_read_misses + sa.writeback_requests + sa.refill_requests;
-    let dm_reqs = dm.cache_read_hits + dm.cache_read_misses + dm.writeback_requests + dm.refill_requests;
+    let sa_reqs =
+        sa.cache_read_hits + sa.cache_read_misses + sa.writeback_requests + sa.refill_requests;
+    let dm_reqs =
+        dm.cache_read_hits + dm.cache_read_misses + dm.writeback_requests + dm.refill_requests;
     let sa_ratio = sa_accesses as f64 / sa_reqs as f64;
     let dm_ratio = dm_accesses as f64 / dm_reqs as f64;
     assert!(

@@ -1,0 +1,89 @@
+//! Determinism regression across event-engine implementations.
+//!
+//! The calendar-queue engine replaced the original `BinaryHeap` engine on
+//! the promise that `(time, insertion-seq)` delivery order — and hence
+//! every simulation statistic — is preserved bit-for-bit. These tests
+//! hold that promise under the full system model: the same seed must
+//! produce identical `SystemReport`s run-to-run on each engine, *and*
+//! across the two engines.
+
+use dca::{Design, System, SystemConfig, SystemReport};
+use dca_cpu::mix;
+use dca_dram_cache::OrgKind;
+
+fn run(design: Design, org: OrgKind, baseline_engine: bool, seed: u64) -> SystemReport {
+    let mut cfg = SystemConfig::paper(design, org);
+    cfg.target_insts = 40_000;
+    cfg.warmup_ops = 150_000;
+    cfg.seed = seed;
+    cfg.baseline_engine = baseline_engine;
+    System::new(cfg, &mix(3).benches).run()
+}
+
+/// Every integer statistic the report carries (floats are derived from
+/// these; comparing the integers is the bit-level check).
+fn fingerprint(r: &SystemReport) -> Vec<u64> {
+    let mut v = vec![
+        r.end_time.ps(),
+        r.events_processed,
+        r.mem_reads,
+        r.mem_writes,
+        r.writeback_requests,
+        r.refill_requests,
+        r.cache_read_hits,
+        r.cache_read_misses,
+        r.l2_miss_latency.count(),
+    ];
+    for c in &r.cores {
+        v.push(c.insts);
+        v.push(c.cycles);
+    }
+    for ch in &r.channels {
+        v.push(ch.reads);
+        v.push(ch.writes);
+        v.push(ch.turnarounds);
+        v.push(ch.read_row_conflicts);
+        v.push(ch.ctrl.pr_served.get());
+        v.push(ch.ctrl.lr_served.get());
+        v.push(ch.ctrl.writes_served.get());
+        v.push(ch.ctrl.forced_drain_slots.get());
+        v.push(ch.ctrl.pr_wait_ps);
+        v.push(ch.ctrl.lr_wait_ps);
+        v.push(ch.ctrl.write_wait_ps);
+    }
+    v
+}
+
+#[test]
+fn same_engine_same_seed_identical() {
+    for (label, baseline) in [("calendar", false), ("heap", true)] {
+        let a = run(Design::Dca, OrgKind::DirectMapped, baseline, 11);
+        let b = run(Design::Dca, OrgKind::DirectMapped, baseline, 11);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{label} engine is not reproducible"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_bit_for_bit_all_designs() {
+    for design in Design::ALL {
+        let cal = run(design, OrgKind::DirectMapped, false, 11);
+        let heap = run(design, OrgKind::DirectMapped, true, 11);
+        assert_eq!(
+            fingerprint(&cal),
+            fingerprint(&heap),
+            "{} diverges between engines",
+            design.label()
+        );
+    }
+}
+
+#[test]
+fn engines_agree_set_assoc_and_other_seed() {
+    let cal = run(Design::Dca, OrgKind::paper_set_assoc(), false, 99);
+    let heap = run(Design::Dca, OrgKind::paper_set_assoc(), true, 99);
+    assert_eq!(fingerprint(&cal), fingerprint(&heap));
+}
