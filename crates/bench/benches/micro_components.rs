@@ -62,6 +62,54 @@ fn micro(c: &mut Criterion) {
         });
     }
 
+    // The pathological-clustering regime: a rolling window of 256 events
+    // all landing within one default-width calendar slot (reschedule
+    // span 64 ps « 1024 ps slot). Every push into the shared bucket that
+    // is out of (time, seq) order pays a sorted insert — the calendar
+    // queue's worst case, and the regime a configurable `SLOT_SHIFT`
+    // (SystemConfig::event_slot_shift) exists for: at shift 4 the same
+    // events spread over four 16 ps slots. The heap engine is the
+    // clustering-insensitive reference.
+    {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..256u64 {
+            q.push(SimTime(i % 64), i);
+        }
+        g.bench_function("event_clustered_calendar_shift10", |b| {
+            b.iter(|| {
+                let (t, v) = q.pop().expect("window stays populated");
+                q.push(SimTime(t.ps() + (v * 31) % 64), v + 1);
+                std::hint::black_box(v)
+            })
+        });
+    }
+    {
+        let mut q: EventQueue<u64> = EventQueue::with_slot_shift(4);
+        for i in 0..256u64 {
+            q.push(SimTime(i % 64), i);
+        }
+        g.bench_function("event_clustered_calendar_shift4", |b| {
+            b.iter(|| {
+                let (t, v) = q.pop().expect("window stays populated");
+                q.push(SimTime(t.ps() + (v * 31) % 64), v + 1);
+                std::hint::black_box(v)
+            })
+        });
+    }
+    {
+        let mut q: BaselineEventQueue<u64> = BaselineEventQueue::new();
+        for i in 0..256u64 {
+            q.push(SimTime(i % 64), i);
+        }
+        g.bench_function("event_clustered_heap", |b| {
+            b.iter(|| {
+                let (t, v) = q.pop().expect("window stays populated");
+                q.push(SimTime(t.ps() + (v * 31) % 64), v + 1);
+                std::hint::black_box(v)
+            })
+        });
+    }
+
     // Request-state bookkeeping: slab (packed generational keys) vs the
     // default-hashed HashMap it replaced. Mirrors the system's pattern —
     // insert, a few lookups, remove — over a working set of in-flight

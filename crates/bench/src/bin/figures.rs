@@ -10,9 +10,10 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use dca::{Design, System, SystemConfig};
-use dca_bench::{evaluate, AloneIpc, RunSpec, Scale};
+use dca_bench::{evaluate, AloneIpc, RunSpec, Scale, WarmCache};
 use dca_cpu::{mix, Benchmark, TraceGen};
 use dca_dram_cache::{OrgKind, TagCache};
 use dca_metrics::Table;
@@ -440,9 +441,11 @@ fn main() {
     let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag || a == "--all");
     let scale = Scale::from_env();
     eprintln!(
-        "figures: insts/core={}, mixes={:?} (set DCA_FULL=1 for paper scale)",
+        "figures: insts/core={}, mixes={:?} (set DCA_FULL=1 for paper scale; \
+         DCA_WARM=0 for cold warm-ups; DCA_WARM_PERSIST=1 to persist under results/warm/)",
         scale.insts, scale.mixes
     );
+    let t0 = Instant::now();
     if want("--table1") {
         table1();
     }
@@ -476,4 +479,20 @@ fn main() {
     if want("--ff") {
         ablation_ff(&scale);
     }
+
+    // Sweep wall-clock trajectory: how much warm-up sharing saved. Each
+    // cache *build* is a warm-up actually paid; each *hit* is one a cold
+    // harness would have re-run. (perf_smoke measures the cold-vs-warm
+    // ratio under controlled conditions and records it, with this same
+    // warm path asserted bit-identical to cold, in BENCH_engine.json.)
+    let s = WarmCache::global().stats();
+    eprintln!(
+        "figures: wall-clock {:.1}s; warm cache: {} warm-ups built, {} reused, {} disk-loaded \
+         ({} warm-ups avoided vs cold harness)",
+        t0.elapsed().as_secs_f64(),
+        s.builds,
+        s.hits,
+        s.disk_loads,
+        s.hits + s.disk_loads
+    );
 }

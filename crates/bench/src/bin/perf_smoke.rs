@@ -1,4 +1,4 @@
-//! Engine throughput smoke test.
+//! Engine + sweep throughput smoke test.
 //!
 //! Runs the quickstart workload (Table I mix 1 under DCA, direct-mapped)
 //! through the calendar-queue engine and the baseline heap engine,
@@ -10,6 +10,18 @@
 //! event loop: the engine overhaul targets the loop, and warm-up noise
 //! would otherwise swamp the signal.
 //!
+//! It then measures the *sweep* pattern the figure harness runs — every
+//! controller design × bank mapping on one mix — cold (each variant
+//! warms its own caches) vs. warm-cached (one [`System::capture_warm`]
+//! checkpoint shared by every variant via [`System::from_warm`]),
+//! asserts the checkpoint-restored reports are bit-for-bit identical to
+//! the cold ones, and records `{cold_s, warm_s, speedup}` in the JSON's
+//! `sweep` section. CI runs this binary, so a divergence — or a warm
+//! path that comes out *slower* than cold — fails the build. (The
+//! measured margin is ~1.6x; the hard assert is only `> 1.0` so wall-
+//! clock noise on shared CI runners cannot flake the gate. The JSON
+//! carries the real ratio for trajectory tracking.)
+//!
 //! ```text
 //! cargo run --release -p dca-bench --bin perf_smoke
 //! ```
@@ -18,6 +30,7 @@
 //! * `DCA_PERF_INSTS` — instructions per core (default 200 000).
 //! * `DCA_PERF_REPS` — timed repetitions per engine (default 3; the
 //!   fastest rep is reported, standard practice for wall-clock benches).
+//! * `DCA_PERF_SWEEP_REPS` — repetitions per sweep flavour (default 2).
 //! * `DCA_PERF_OUT` — output path (default `BENCH_engine.json`).
 
 use std::time::Instant;
@@ -106,6 +119,108 @@ fn fingerprint(r: &SystemReport) -> Vec<u64> {
     v
 }
 
+/// Outcome of the cold-vs-warm-cached sweep measurement.
+struct SweepResult {
+    /// Design/remap variants swept.
+    variants: usize,
+    /// Best cold wall-clock (every variant warms its own caches).
+    cold_s: f64,
+    /// Best warm-cached wall-clock (one checkpoint, shared).
+    warm_s: f64,
+}
+
+impl SweepResult {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+}
+
+/// The figure-harness sweep unit: every design × bank mapping on the
+/// quickstart mix, direct-mapped, identical `(warmup, seed)` — exactly
+/// the set of runs that can legally share one functional warm-up.
+fn sweep_configs(insts: u64) -> Vec<SystemConfig> {
+    let mut cfgs = Vec::new();
+    for remap in [false, true] {
+        for design in Design::ALL {
+            let mut cfg = if remap {
+                SystemConfig::paper_remap(design, OrgKind::DirectMapped)
+            } else {
+                SystemConfig::paper(design, OrgKind::DirectMapped)
+            };
+            cfg.target_insts = insts;
+            cfg.warmup_ops = 400_000;
+            cfgs.push(cfg);
+        }
+    }
+    cfgs
+}
+
+/// Measure the sweep cold and warm-cached, asserting bit-for-bit
+/// identical reports between the two flavours for every variant.
+fn run_sweep(insts: u64, reps: u32) -> SweepResult {
+    let m = mix(1);
+    let cfgs = sweep_configs(insts);
+
+    let mut cold_s = f64::INFINITY;
+    let mut cold_reports: Option<Vec<SystemReport>> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let reports: Vec<SystemReport> = cfgs
+            .iter()
+            .map(|&cfg| System::new(cfg, &m.benches).run())
+            .collect();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < cold_s {
+            cold_s = dt;
+            cold_reports = Some(reports);
+        }
+    }
+
+    let mut warm_s = f64::INFINITY;
+    let mut warm_reports: Option<Vec<SystemReport>> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        // One warm-up for the whole sweep; the capture is part of the
+        // honest warm-flavour cost.
+        let warm = System::capture_warm(cfgs[0], &m.benches);
+        let reports: Vec<SystemReport> = cfgs
+            .iter()
+            .map(|&cfg| System::from_warm(cfg, &m.benches, &warm).run())
+            .collect();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < warm_s {
+            warm_s = dt;
+            warm_reports = Some(reports);
+        }
+    }
+
+    let cold_reports = cold_reports.expect("at least one cold rep");
+    let warm_reports = warm_reports.expect("at least one warm rep");
+    for (i, (c, w)) in cold_reports.iter().zip(&warm_reports).enumerate() {
+        assert_eq!(
+            fingerprint(c),
+            fingerprint(w),
+            "checkpoint-restored sweep variant {i} diverged from cold"
+        );
+    }
+
+    let sweep = SweepResult {
+        variants: cfgs.len(),
+        cold_s,
+        warm_s,
+    };
+    // Warm-cached strictly skips work (5 of 6 warm-ups here); if it is
+    // not even break-even, checkpoint restore has regressed into
+    // overhead and the build should say so.
+    assert!(
+        sweep.speedup() > 1.0,
+        "warm-cached sweep slower than cold ({:.2}s vs {:.2}s)",
+        sweep.warm_s,
+        sweep.cold_s
+    );
+    sweep
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -116,6 +231,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn main() {
     let insts = env_u64("DCA_PERF_INSTS", 200_000);
     let reps = env_u64("DCA_PERF_REPS", 3) as u32;
+    let sweep_reps = env_u64("DCA_PERF_SWEEP_REPS", 2) as u32;
     let out_path =
         std::env::var("DCA_PERF_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
 
@@ -148,6 +264,16 @@ fn main() {
         println!("calendar event-loop speedup vs pre-overhaul ref: {vs_pre:.3}x");
     }
 
+    let sweep = run_sweep(insts, sweep_reps);
+    println!(
+        "\nsweep ({} design/remap variants, mix 1, direct-mapped): cold {:.2}s   \
+         warm-cached {:.2}s   speedup {:.3}x (reports bit-for-bit identical)",
+        sweep.variants,
+        sweep.cold_s,
+        sweep.warm_s,
+        sweep.speedup()
+    );
+
     // The pre-overhaul reference was measured at 200 k insts; at any
     // other scale the ratio would be meaningless, so omit it.
     let reference = if insts == 200_000 {
@@ -166,6 +292,8 @@ fn main() {
          \"calendar\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}},\n    \
          \"baseline_heap\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}}\n  }},\n  \
          \"speedup_calendar_over_heap\": {vs_heap:.4}{reference},\n  \
+         \"sweep\": {{\"variants\": {}, \"reps\": {sweep_reps}, \"cold_s\": {:.4}, \
+         \"warm_s\": {:.4}, \"speedup\": {:.4}}},\n  \
          \"events_processed\": {},\n  \"sim_time_us\": {:.3}\n}}\n",
         calendar.run_s,
         calendar.cycles_per_sec,
@@ -173,6 +301,10 @@ fn main() {
         heap.run_s,
         heap.cycles_per_sec,
         heap.events_per_sec,
+        sweep.variants,
+        sweep.cold_s,
+        sweep.warm_s,
+        sweep.speedup(),
         calendar.report.events_processed,
         calendar.report.end_time.ps() as f64 / 1e6,
     );

@@ -1,0 +1,254 @@
+//! Process-wide cache of [`WarmState`] checkpoints, so every design and
+//! remap variant of a `(mix, org, warmup, seed)` tuple in a sweep pays
+//! for exactly one functional warm-up.
+//!
+//! Lookup is keyed by [`WarmState::fingerprint_for`]; concurrent
+//! requests for the *same* key rendezvous on a per-key [`OnceLock`]
+//! (one thread warms, the rest block on that key only), while requests
+//! for different keys warm in parallel — exactly what
+//! [`run_parallel`](crate::run_parallel) sweeps need.
+//!
+//! The cache is bounded (insertion-order eviction; a warm state for the
+//! default organisation is tens of MB) and optionally persisted:
+//!
+//! * `DCA_WARM=0` — disable warm reuse entirely; every run warms cold.
+//! * `DCA_WARM_CAP=n` — keep at most `n` states in memory (default 48,
+//!   sized to one organisation's full paper-scale pass; see
+//!   `DEFAULT_CAP`).
+//! * `DCA_WARM_PERSIST=1` — also write/read blobs under `results/warm/`.
+//! * `DCA_WARM_DIR=path` — persist under `path` instead.
+//!
+//! On-disk blobs are validated by magic, format version *and*
+//! fingerprint before use (see `dca::warm` for the format and the
+//! invalidation rules); anything stale or corrupt is ignored and the
+//! state is rebuilt — reuse can only ever be a cache hit of the exact
+//! bytes a cold warm-up would produce.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dca::{System, SystemConfig, WarmState};
+use dca_cpu::Benchmark;
+use dca_sim_core::FastHashMap;
+
+/// Monotonic counters describing what the cache did so far.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WarmCacheStats {
+    /// Warm-ups actually executed.
+    pub builds: u64,
+    /// Lookups served from an already-resident state.
+    pub hits: u64,
+    /// States loaded from a valid on-disk blob.
+    pub disk_loads: u64,
+}
+
+/// One per-key rendezvous point: same-key builders serialise on the
+/// `OnceLock`, everyone shares the resulting `Arc<WarmState>`.
+type WarmSlot = Arc<OnceLock<Arc<WarmState>>>;
+
+/// A bounded, fingerprint-keyed store of warm states.
+pub struct WarmCache {
+    /// Resident slots by fingerprint, plus insertion order for eviction.
+    slots: Mutex<(FastHashMap<u64, WarmSlot>, VecDeque<u64>)>,
+    cap: usize,
+    disk_dir: Option<PathBuf>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+    disk_loads: AtomicU64,
+}
+
+impl Default for WarmCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default residency cap. Sized for the harness's worst working set:
+/// figure sweeps are *design-major* (every design re-walks all mixes in
+/// the same order), so the cap must cover one organisation's full
+/// paper-scale pass — 30 mixes + 11 alone-IPC single-bench states = 41
+/// keys — or a cyclic scan against a smaller FIFO yields zero reuse on
+/// the second and later designs. 48 leaves headroom; at ~30 MB per
+/// state that bounds residency near 1.4 GB at `DCA_FULL=1` (tune with
+/// `DCA_WARM_CAP`; the default 8-mix scale stays under ~600 MB).
+const DEFAULT_CAP: usize = 48;
+
+impl WarmCache {
+    /// A cache configured from the environment (see module docs).
+    pub fn new() -> Self {
+        let cap = std::env::var("DCA_WARM_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(DEFAULT_CAP);
+        let disk_dir = std::env::var("DCA_WARM_DIR")
+            .ok()
+            .map(PathBuf::from)
+            .or_else(|| {
+                std::env::var("DCA_WARM_PERSIST")
+                    .map(|v| v == "1")
+                    .unwrap_or(false)
+                    .then(|| PathBuf::from("results/warm"))
+            });
+        WarmCache {
+            slots: Mutex::new((FastHashMap::default(), VecDeque::new())),
+            cap,
+            disk_dir,
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared instance.
+    pub fn global() -> &'static WarmCache {
+        static GLOBAL: OnceLock<WarmCache> = OnceLock::new();
+        GLOBAL.get_or_init(WarmCache::new)
+    }
+
+    /// Whether warm reuse is enabled for this process (`DCA_WARM=0`
+    /// opts out; anything else opts in).
+    pub fn enabled() -> bool {
+        std::env::var("DCA_WARM").map(|v| v != "0").unwrap_or(true)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> WarmCacheStats {
+        WarmCacheStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The warm state for `(cfg, benches)`, built (or disk-loaded) on
+    /// first request and shared thereafter.
+    pub fn get_or_build(&self, cfg: &SystemConfig, benches: &[Benchmark]) -> Arc<WarmState> {
+        let fp = WarmState::fingerprint_for(cfg, benches);
+        let slot = {
+            let mut guard = self.slots.lock().unwrap();
+            let (map, order) = &mut *guard;
+            if let Some(slot) = map.get(&fp) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.clone()
+            } else {
+                let slot = Arc::new(OnceLock::new());
+                map.insert(fp, slot.clone());
+                order.push_back(fp);
+                // Bound residency; in-flight users keep their Arc alive.
+                while map.len() > self.cap {
+                    if let Some(old) = order.pop_front() {
+                        map.remove(&old);
+                    }
+                }
+                slot
+            }
+        };
+        slot.get_or_init(|| {
+            if let Some(state) = self.try_disk_load(fp) {
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                return Arc::new(state);
+            }
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let state = System::capture_warm(*cfg, benches);
+            self.try_disk_store(&state);
+            Arc::new(state)
+        })
+        .clone()
+    }
+
+    fn blob_path(&self, fp: u64) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{fp:016x}.warm")))
+    }
+
+    /// Load and fully validate an on-disk blob; any mismatch (version,
+    /// fingerprint, corruption) is treated as a miss.
+    fn try_disk_load(&self, fp: u64) -> Option<WarmState> {
+        let bytes = std::fs::read(self.blob_path(fp)?).ok()?;
+        let state = WarmState::decode(&bytes).ok()?;
+        (state.fingerprint() == fp).then_some(state)
+    }
+
+    /// Best-effort persistence; I/O failure only costs future reuse.
+    fn try_disk_store(&self, state: &WarmState) {
+        let Some(path) = self.blob_path(state.fingerprint()) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        // Write-then-rename so a concurrent reader never sees a torn blob.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, state.encode()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca::Design;
+    use dca_dram_cache::OrgKind;
+
+    fn tiny_cfg(seed: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(5_000, 10_000);
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn same_key_builds_once_and_shares() {
+        let cache = WarmCache::new();
+        let cfg = tiny_cfg(1);
+        let benches = [Benchmark::Gcc];
+        let a = cache.get_or_build(&cfg, &benches);
+        let b = cache.get_or_build(&cfg, &benches);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.builds, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn design_variants_share_one_warmup() {
+        let cache = WarmCache::new();
+        let benches = [Benchmark::Gcc];
+        for design in Design::ALL {
+            let mut cfg = tiny_cfg(2);
+            cfg.design = design;
+            cache.get_or_build(&cfg, &benches);
+        }
+        assert_eq!(cache.stats().builds, 1, "one warm-up for three designs");
+    }
+
+    #[test]
+    fn different_seeds_build_separately() {
+        let cache = WarmCache::new();
+        let benches = [Benchmark::Gcc];
+        cache.get_or_build(&tiny_cfg(3), &benches);
+        cache.get_or_build(&tiny_cfg(4), &benches);
+        assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_build_once() {
+        let cache = WarmCache::new();
+        let cfg = tiny_cfg(5);
+        let benches = [Benchmark::Gcc];
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_build(&cfg, &benches);
+                });
+            }
+        });
+        assert_eq!(cache.stats().builds, 1);
+    }
+}

@@ -107,6 +107,13 @@ pub struct SystemConfig {
     /// way (both deliver in `(time, seq)` order); the toggle exists for
     /// A/B determinism tests and the `perf_smoke` baseline measurement.
     pub baseline_engine: bool,
+    /// log2 of the calendar-queue slot width in picoseconds (default
+    /// [`dca_sim_core::events::SLOT_SHIFT`] = 10, i.e. ~1 ns slots). A
+    /// pure performance knob — delivery order, and hence every result,
+    /// is identical for any value; the `event_clustered_*` and
+    /// `event_rolling_window_*` microbenches bracket the trade-off.
+    /// Ignored when `baseline_engine` is set.
+    pub event_slot_shift: u32,
 }
 
 impl SystemConfig {
@@ -138,6 +145,7 @@ impl SystemConfig {
             mshrs: 32,
             record_timeline: false,
             baseline_engine: false,
+            event_slot_shift: dca_sim_core::events::SLOT_SHIFT,
         }
     }
 

@@ -35,6 +35,34 @@
 //! Table II; [`SystemReport`] carries every statistic the paper's figures
 //! need.
 //!
+//! ## Warm-state checkpointing
+//!
+//! Construction has three phases: **build** (cold hierarchy), **warm-up**
+//! (functional, timing-free streaming of `warmup_ops` ops per core) and
+//! the **timing** run. Warm-up is ~45 % of a short run's wall clock and
+//! is design-, arbiter-, timing- and bank-mapping-independent, so a
+//! figure sweep over CD/ROD/DCA × {direct, XOR-remap} on one mix can
+//! share a single warm-up:
+//!
+//! * [`System::capture_warm`] runs build + warm-up and returns a
+//!   [`WarmState`] — the warmed L1s/L2/tag-array plus the mid-stream
+//!   workload generators (RNG cursors included) and the MAP-I table
+//!   (carried for completeness; warm-up does not currently train it),
+//!   keyed by a
+//!   fingerprint of exactly the inputs warm-up depends on (benchmarks,
+//!   cache/DRAM geometry, `warmup_ops`, seed — see the [`warm`] module
+//!   docs for the scheme, the invalidation rules and the on-disk
+//!   format).
+//! * [`System::from_warm`] builds a runnable system directly from a
+//!   `WarmState`, skipping warm-up; the run is bit-for-bit identical to
+//!   a cold [`System::new`] (asserted by
+//!   `tests/warm_checkpoint_equivalence.rs` and the `perf_smoke`
+//!   harness on every CI run).
+//!
+//! The `dca-bench` crate layers a process-wide, optionally disk-backed
+//! `WarmCache` on top so the whole figure harness shares warm-ups
+//! transparently.
+//!
 //! ```
 //! use dca::{Design, SystemConfig, System};
 //! use dca_dram_cache::OrgKind;
@@ -53,6 +81,7 @@ pub mod report;
 pub mod rrpc;
 pub mod system;
 pub mod timeline;
+pub mod warm;
 
 pub use config::{Arbiter, DcaParams, Design, SystemConfig};
 pub use controller::{ChannelController, CtrlStats};
@@ -60,3 +89,4 @@ pub use report::{ChannelReport, CoreReport, SystemReport};
 pub use rrpc::Rrpc;
 pub use system::System;
 pub use timeline::{Timeline, TimelineEntry};
+pub use warm::{WarmState, WARM_FORMAT_VERSION};

@@ -45,6 +45,7 @@ use crate::controller::{AccessMeta, ChannelController};
 use crate::report::{ChannelReport, CoreReport, SystemReport};
 use crate::rrpc::Rrpc;
 use crate::timeline::{Timeline, TimelineEntry};
+use crate::warm::WarmState;
 
 /// Events driving the simulation.
 #[derive(Clone, Copy, Debug)]
@@ -323,38 +324,117 @@ pub struct System {
     queue: Engine,
 }
 
+/// The design-independent half of the hierarchy: everything functional
+/// warm-up touches. Built cold, warmed in place, then either assembled
+/// into a [`System`] or captured as a [`WarmState`].
+struct HierState {
+    l1: Vec<SramCache>,
+    l2: SramCache,
+    tags: TagArray,
+    predictor: MapI,
+    gens: Vec<TraceGen>,
+}
+
 impl System {
     /// Build a system running `benches` (one per core, 1–4 of them) under
-    /// `cfg`, and perform the functional warm-up.
+    /// `cfg`, and perform the functional warm-up. Equivalent to (but
+    /// cheaper than) `from_warm` over a fresh [`System::capture_warm`].
     pub fn new(cfg: SystemConfig, benches: &[Benchmark]) -> Self {
+        let mut hier = Self::build_hier(&cfg, benches);
+        Self::warmup(&cfg, &mut hier);
+        Self::assemble(cfg, benches, hier)
+    }
+
+    /// Phase 1 + 2 only (build + functional warm-up), capturing the
+    /// warmed hierarchy as a reusable, fingerprint-keyed [`WarmState`]
+    /// instead of entering the timing phase.
+    pub fn capture_warm(cfg: SystemConfig, benches: &[Benchmark]) -> WarmState {
+        let mut hier = Self::build_hier(&cfg, benches);
+        Self::warmup(&cfg, &mut hier);
+        WarmState::new(
+            &cfg,
+            benches,
+            hier.l1,
+            hier.l2,
+            hier.tags,
+            hier.predictor,
+            hier.gens,
+        )
+    }
+
+    /// Build a system from a previously captured [`WarmState`], skipping
+    /// the functional warm-up entirely. The resulting run is bit-for-bit
+    /// identical to a cold [`System::new`] with the same configuration
+    /// (`tests/warm_checkpoint_equivalence.rs` holds the line).
+    ///
+    /// # Panics
+    /// Panics if `warm` was captured for a different warm-up — i.e. its
+    /// fingerprint does not match `(cfg, benches)` — or if its component
+    /// shapes disagree with the configured geometry (possible only for a
+    /// hand-altered on-disk blob, since the fingerprint covers geometry).
+    pub fn from_warm(cfg: SystemConfig, benches: &[Benchmark], warm: &WarmState) -> Self {
+        assert!(
+            warm.matches(&cfg, benches),
+            "warm-state fingerprint mismatch: captured {:#018x}, need {:#018x}",
+            warm.fingerprint(),
+            WarmState::fingerprint_for(&cfg, benches)
+        );
+        let geom = CacheGeometry::new(cfg.org_kind, cfg.dram_org, cfg.mapping);
+        assert_eq!(warm.l1.len(), benches.len(), "warm-state core count");
+        assert_eq!(
+            (warm.tags.sets(), warm.tags.ways()),
+            (geom.num_sets(), cfg.org_kind.ways()),
+            "warm-state tag geometry"
+        );
+        let hier = HierState {
+            l1: warm.l1.clone(),
+            l2: warm.l2.clone(),
+            tags: warm.tags.clone(),
+            predictor: warm.predictor.clone(),
+            gens: warm.gens.clone(),
+        };
+        Self::assemble(cfg, benches, hier)
+    }
+
+    /// Phase 1: construct the cold, design-independent hierarchy.
+    /// Generators get disjoint 4 GiB-aligned block-address regions so
+    /// multiprogrammed workloads never share.
+    fn build_hier(cfg: &SystemConfig, benches: &[Benchmark]) -> HierState {
         assert!(
             !benches.is_empty() && benches.len() <= 4,
             "1 to 4 cores supported"
         );
         let geom = CacheGeometry::new(cfg.org_kind, cfg.dram_org, cfg.mapping);
         let seeds = SeedSplitter::new(cfg.seed);
-
-        // Build generators; each core gets a disjoint 4 GiB-aligned
-        // block-address region so multiprogrammed workloads never share.
-        let mut gens: Vec<TraceGen> = benches
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                let base = (i as u64 + 1) << 26;
-                TraceGen::new(
-                    b.profile(),
-                    base,
-                    seeds.split("core").split_index(i as u64).seed(),
-                )
-            })
-            .collect();
-
-        let ways = cfg.org_kind.ways();
-        let mut uncore = Uncore {
-            cfg,
-            geom,
+        HierState {
             l1: benches.iter().map(|_| SramCache::paper_l1()).collect(),
             l2: SramCache::paper_l2(),
+            tags: TagArray::new(geom.num_sets(), cfg.org_kind.ways()),
+            predictor: MapI::paper(),
+            gens: benches
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let base = (i as u64 + 1) << 26;
+                    TraceGen::new(
+                        b.profile(),
+                        base,
+                        seeds.split("core").split_index(i as u64).seed(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Phase 3: wire the (cold- or checkpoint-) warmed hierarchy into
+    /// the full timed system.
+    fn assemble(cfg: SystemConfig, benches: &[Benchmark], hier: HierState) -> Self {
+        let geom = CacheGeometry::new(cfg.org_kind, cfg.dram_org, cfg.mapping);
+        let uncore = Uncore {
+            cfg,
+            geom,
+            l1: hier.l1,
+            l2: hier.l2,
             mshr: Mshr::new(cfg.mshrs),
             mshr_overflow: VecDeque::new(),
             channels: (0..cfg.dram_org.channels)
@@ -364,8 +444,8 @@ impl System {
                 .map(|c| ChannelController::new(&cfg, c))
                 .collect(),
             rrpc: Rrpc::new(cfg.dram_org.total_banks()),
-            tags: TagArray::new(geom.num_sets(), ways),
-            predictor: MapI::paper(),
+            tags: hier.tags,
+            predictor: hier.predictor,
             memory: MainMemory::paper(),
             requests: Slab::with_capacity(256),
             accesses: Slab::with_capacity(512),
@@ -384,12 +464,8 @@ impl System {
             timeline: cfg.record_timeline.then(|| Timeline::new(100_000)),
         };
 
-        // Functional warm-up: run each generator's prefix through the
-        // caches with no timing, so the 256 MB cache starts warm (the
-        // paper fast-forwards 4 B instructions with warm caches).
-        Self::warmup(&mut uncore, &mut gens);
-
-        let cores = gens
+        let cores = hier
+            .gens
             .into_iter()
             .enumerate()
             .map(|(i, gen)| Core::new(i as u8, CoreConfig::paper(cfg.target_insts), gen))
@@ -403,45 +479,48 @@ impl System {
             queue: if cfg.baseline_engine {
                 Engine::Heap(BaselineEventQueue::new())
             } else {
-                Engine::Calendar(EventQueue::new())
+                Engine::Calendar(EventQueue::with_slot_shift(cfg.event_slot_shift))
             },
         }
     }
 
-    /// Functional (timing-free) cache warm-up.
-    fn warmup(uncore: &mut Uncore, gens: &mut [TraceGen]) {
-        let ops = uncore.cfg.warmup_ops;
-        let geom = uncore.geom;
-        for _ in 0..ops {
-            for (i, gen) in gens.iter_mut().enumerate() {
+    /// Phase 2: functional (timing-free) cache warm-up. Runs each
+    /// generator's prefix through the caches with no timing, so the
+    /// 256 MB cache starts warm (the paper fast-forwards 4 B
+    /// instructions with warm caches). Touches only [`HierState`] —
+    /// the design-independence the warm-state checkpoint relies on.
+    fn warmup(cfg: &SystemConfig, hier: &mut HierState) {
+        let geom = CacheGeometry::new(cfg.org_kind, cfg.dram_org, cfg.mapping);
+        for _ in 0..cfg.warmup_ops {
+            for (i, gen) in hier.gens.iter_mut().enumerate() {
                 let op = gen.next_op();
-                if uncore.l1[i].probe(op.block, op.is_store) {
+                if hier.l1[i].probe(op.block, op.is_store) {
                     continue;
                 }
-                if !uncore.l2.probe(op.block, op.is_store) {
+                if !hier.l2.probe(op.block, op.is_store) {
                     // Warm the DRAM-cache tags.
                     let p = geom.place(op.block);
-                    match uncore.tags.lookup(p.set, p.tag) {
-                        Some(w) => uncore.tags.touch(p.set, w),
+                    match hier.tags.lookup(p.set, p.tag) {
+                        Some(w) => hier.tags.touch(p.set, w),
                         None => {
-                            uncore.tags.insert(p.set, p.tag, false);
+                            hier.tags.insert(p.set, p.tag, false);
                         }
                     }
-                    if let Some((victim, vdirty)) = uncore.l2.allocate(op.block, op.is_store) {
+                    if let Some((victim, vdirty)) = hier.l2.allocate(op.block, op.is_store) {
                         if vdirty {
                             let q = geom.place(victim);
-                            match uncore.tags.lookup(q.set, q.tag) {
-                                Some(w) => uncore.tags.set_dirty(q.set, w, true),
+                            match hier.tags.lookup(q.set, q.tag) {
+                                Some(w) => hier.tags.set_dirty(q.set, w, true),
                                 None => {
-                                    uncore.tags.insert(q.set, q.tag, true);
+                                    hier.tags.insert(q.set, q.tag, true);
                                 }
                             }
                         }
                     }
                 }
-                if let Some((victim, vdirty)) = uncore.l1[i].allocate(op.block, op.is_store) {
+                if let Some((victim, vdirty)) = hier.l1[i].allocate(op.block, op.is_store) {
                     if vdirty {
-                        uncore.l2.probe(victim, true);
+                        hier.l2.probe(victim, true);
                     }
                 }
             }
@@ -908,6 +987,46 @@ mod tests {
     fn five_cores_rejected() {
         let cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped);
         System::new(cfg, &[Benchmark::Gcc; 5]);
+    }
+
+    #[test]
+    fn from_warm_matches_cold_run() {
+        let cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped).scaled(30_000, 60_000);
+        let benches = [Benchmark::Libquantum, Benchmark::Mcf];
+        let cold = System::new(cfg, &benches).run();
+        let warm = System::capture_warm(cfg, &benches);
+        let restored = System::from_warm(cfg, &benches, &warm).run();
+        assert_eq!(cold.end_time, restored.end_time);
+        assert_eq!(cold.events_processed, restored.events_processed);
+        assert_eq!(cold.mem_reads, restored.mem_reads);
+        assert_eq!(cold.cache_read_hits, restored.cache_read_hits);
+        for (a, b) in cold.cores.iter().zip(&restored.cores) {
+            assert_eq!((a.insts, a.cycles), (b.insts, b.cycles));
+        }
+    }
+
+    #[test]
+    fn warm_state_is_design_and_remap_portable() {
+        // One capture under CD/direct must drive a DCA/remap run.
+        let base = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(20_000, 40_000);
+        let benches = [Benchmark::Gcc, Benchmark::Lbm];
+        let warm = System::capture_warm(base, &benches);
+        let mut other = SystemConfig::paper_remap(Design::Dca, OrgKind::DirectMapped);
+        other.target_insts = 20_000;
+        other.warmup_ops = base.warmup_ops;
+        let r = System::from_warm(other, &benches, &warm).run();
+        assert!(r.cores.iter().all(|c| c.insts >= 20_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint mismatch")]
+    fn from_warm_rejects_different_seed() {
+        let cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(10_000, 10_000);
+        let benches = [Benchmark::Gcc];
+        let warm = System::capture_warm(cfg, &benches);
+        let mut other = cfg;
+        other.seed ^= 0xBAD;
+        System::from_warm(other, &benches, &warm);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Warm-state checkpointing: capture the functionally warmed memory
+//! hierarchy once, reuse it across every design/remap variant of a run.
+//!
+//! Functional warm-up (see [`System::new`](crate::System::new)) streams
+//! `warmup_ops` memory operations per core through the L1s, the shared
+//! L2 and the DRAM-cache tag array with **no timing**. Its outcome
+//! therefore depends only on the op streams and the cache shapes — not
+//! on the controller design, the arbiter, the DRAM timing, or the bank
+//! mapping (the XOR remap permutes *banks*; a block's `(set, tag)` pair
+//! is mapping-independent, which `geometry::tests::
+//! xor_scheme_changes_banks_only` locks in). A figure sweep that
+//! evaluates CD/ROD/DCA × {direct, remap} on one mix re-runs six
+//! *identical* warm-ups; a [`WarmState`] lets it pay for one.
+//!
+//! ## Fingerprint scheme
+//!
+//! A `WarmState` is keyed by a 64-bit fingerprint folding together
+//! exactly the inputs that determine the warmed state:
+//!
+//! * [`WARM_FORMAT_VERSION`] (schema changes invalidate old state),
+//! * the benchmark profiles, in core order — id *and* every generator
+//!   parameter (pattern, fractions, working set, gap, reuse), so a
+//!   retuned profile invalidates persisted state by content, not by a
+//!   remembered version bump,
+//! * the cache organisation (`OrgKind` discriminant + associativity),
+//! * the stacked-DRAM organisation (channels, ranks, banks, rows,
+//!   row bytes — these size the tag array via the frame count),
+//! * `warmup_ops` and the experiment `seed`.
+//!
+//! Fields deliberately **excluded** — and why reuse is sound:
+//! `design`, `arbiter`, queue capacities and timing (never consulted
+//! before the timing phase), `mapping` (bank permutation only, see
+//! above), `target_insts` (timing-phase length). If warm-up ever grows a
+//! dependency on a new field, add it to [`WarmState::fingerprint_for`]
+//! — a stale fingerprint silently reusing wrong state is the one bug
+//! this scheme must never allow, so when in doubt, include the field.
+//!
+//! ## On-disk format
+//!
+//! [`WarmState::encode`] produces a standalone little-endian blob:
+//! an 8-byte magic (`"DCAWARM\0"`), a `u32` format version, the `u64`
+//! fingerprint, the component payloads (per-core [`SramCache`] L1s,
+//! the L2, the [`TagArray`], the [`MapI`] table, and one [`TraceGen`]
+//! cursor per core) via each component's own `encode`/`decode` pair,
+//! and a trailing `u64` digest over everything before it.
+//! [`WarmState::decode`] validates the digest first, then magic,
+//! version, every component's invariants, and that the buffer is fully
+//! consumed — per-field range checks alone cannot catch a bit flip
+//! that lands inside a legal value, and a silently altered warm state
+//! is the one failure this subsystem must never allow.
+//! **Invalidation rules**: a reader must discard a blob whose digest,
+//! magic or version don't check out ([`WarmState::decode`] enforces
+//! these) or whose fingerprint is not the one it derived from its own
+//! configuration (the caller checks, e.g. `dca_bench::WarmCache`) — so
+//! bit rot, renamed benchmarks, retuned profiles behind the same id,
+//! or geometry changes all fall back to a fresh warm-up rather than
+//! corrupt a run.
+//!
+//! The [`MapI`] table rides along for checkpoint completeness even
+//! though today's warm-up never trains it (it is always the pristine
+//! paper table); if warm-up ever does, the format already carries it.
+
+use dca_cpu::{Benchmark, Pattern, TraceGen};
+use dca_dram_cache::{MapI, OrgKind, TagArray};
+use dca_mem_hier::SramCache;
+use dca_sim_core::{ByteReader, ByteWriter, CodecError};
+
+use crate::config::SystemConfig;
+
+/// Version of the checkpoint schema (fingerprint inputs + byte layout).
+/// Bump on any change to either; old state then misses cleanly.
+pub const WARM_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of an encoded [`WarmState`].
+const MAGIC: &[u8; 8] = b"DCAWARM\0";
+
+/// The complete post-warm-up state of the design-independent half of
+/// the system: per-core L1s, the shared L2, the DRAM-cache tag array,
+/// the MAP-I predictor and the per-core workload generators (with their
+/// RNG cursors). Captured by
+/// [`System::capture_warm`](crate::System::capture_warm), consumed by
+/// [`System::from_warm`](crate::System::from_warm).
+#[derive(Clone, Debug)]
+pub struct WarmState {
+    fingerprint: u64,
+    pub(crate) l1: Vec<SramCache>,
+    pub(crate) l2: SramCache,
+    pub(crate) tags: TagArray,
+    pub(crate) predictor: MapI,
+    pub(crate) gens: Vec<TraceGen>,
+}
+
+/// SplitMix64-style avalanche, the fingerprint's mixing step.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Word-at-a-time multiply-xor digest over a blob (Fx-style, like
+/// `dca_sim_core::hash`). Not cryptographic — it guards against bit
+/// rot and torn writes, not adversaries, and must stay cheap enough to
+/// run over ~30 MB on every disk load.
+fn digest(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = 0x5DCA_2016_D16E_5700u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(c.try_into().expect("8B"))).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        tail[7] |= (rem.len() as u8) << 4;
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(tail)).wrapping_mul(K);
+    }
+    h
+}
+
+impl WarmState {
+    /// Bundle captured components into a keyed checkpoint. Called by
+    /// `System::capture_warm`; the components must be in their exact
+    /// post-warm-up state.
+    pub(crate) fn new(
+        cfg: &SystemConfig,
+        benches: &[Benchmark],
+        l1: Vec<SramCache>,
+        l2: SramCache,
+        tags: TagArray,
+        predictor: MapI,
+        gens: Vec<TraceGen>,
+    ) -> Self {
+        assert_eq!(l1.len(), benches.len());
+        assert_eq!(gens.len(), benches.len());
+        WarmState {
+            fingerprint: Self::fingerprint_for(cfg, benches),
+            l1,
+            l2,
+            tags,
+            predictor,
+            gens,
+        }
+    }
+
+    /// The checkpoint's key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of cores the checkpoint was captured for.
+    pub fn cores(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Fingerprint of the warm-up a `(cfg, benches)` pair implies. See
+    /// the module docs for what is (and is deliberately not) included.
+    pub fn fingerprint_for(cfg: &SystemConfig, benches: &[Benchmark]) -> u64 {
+        let mut h = mix(0x5DCA_2016_0000_0000, WARM_FORMAT_VERSION as u64);
+        h = mix(h, benches.len() as u64);
+        for b in benches {
+            // Hash the full profile *contents*, not just the id: a
+            // retuned profile behind an unchanged id must miss the
+            // cache (the generators' entire op stream depends on these
+            // parameters), without anyone remembering a version bump.
+            let p = b.profile();
+            h = mix(h, b.id() as u64);
+            h = mix(
+                h,
+                match p.pattern {
+                    Pattern::Stream { streams } => 0x0100 | streams as u64,
+                    Pattern::Chase { chains } => 0x0200 | chains as u64,
+                    Pattern::Mixed { stream_prob } => mix(0x0300, stream_prob.to_bits()),
+                },
+            );
+            for v in [
+                p.mem_fraction.to_bits(),
+                p.store_fraction.to_bits(),
+                p.reuse_prob.to_bits(),
+                p.ws_blocks,
+                p.mean_gap as u64,
+            ] {
+                h = mix(h, v);
+            }
+        }
+        h = mix(
+            h,
+            match cfg.org_kind {
+                OrgKind::SetAssoc { ways } => 0x5A00 | ways as u64,
+                OrgKind::DirectMapped => 0xD300,
+            },
+        );
+        let org = &cfg.dram_org;
+        for v in [
+            org.channels as u64,
+            org.ranks as u64,
+            org.banks_per_rank as u64,
+            org.rows_per_bank as u64,
+            org.row_bytes as u64,
+        ] {
+            h = mix(h, v);
+        }
+        h = mix(h, cfg.warmup_ops);
+        mix(h, cfg.seed)
+    }
+
+    /// Whether this checkpoint is the warm-up `(cfg, benches)` needs.
+    pub fn matches(&self, cfg: &SystemConfig, benches: &[Benchmark]) -> bool {
+        self.fingerprint == Self::fingerprint_for(cfg, benches)
+    }
+
+    /// Serialise to the standalone on-disk blob (see module docs).
+    pub fn encode(&self) -> Vec<u8> {
+        // Dominated by the tag array (~6 B/entry); size the buffer once.
+        let approx = 64
+            + self.tags.sets() as usize * self.tags.ways() as usize * 6
+            + (self.l1.len() + 16) * 32 * 1024;
+        let mut w = ByteWriter::with_capacity(approx);
+        w.put_bytes(MAGIC);
+        w.put_u32(WARM_FORMAT_VERSION);
+        w.put_u64(self.fingerprint);
+        w.put_u32(self.l1.len() as u32);
+        for c in &self.l1 {
+            c.encode(&mut w);
+        }
+        self.l2.encode(&mut w);
+        self.tags.encode(&mut w);
+        self.predictor.encode(&mut w);
+        w.put_u32(self.gens.len() as u32);
+        for g in &self.gens {
+            g.encode(&mut w);
+        }
+        let mut blob = w.into_vec();
+        let d = digest(&blob);
+        blob.extend_from_slice(&d.to_le_bytes());
+        blob
+    }
+
+    /// Rebuild a checkpoint from an [`WarmState::encode`] blob,
+    /// validating magic, version, every component invariant, and full
+    /// consumption of the buffer.
+    pub fn decode(bytes: &[u8]) -> Result<WarmState, CodecError> {
+        // Integrity first: the trailing digest must match everything
+        // before it, or a flipped bit inside a legal field value would
+        // decode into a silently different warm state.
+        let Some(payload_len) = bytes.len().checked_sub(8) else {
+            return Err(CodecError::new("truncated input"));
+        };
+        let (payload, stored) = bytes.split_at(payload_len);
+        if digest(payload) != u64::from_le_bytes(stored.try_into().expect("8B")) {
+            return Err(CodecError::new("digest mismatch"));
+        }
+        let mut r = ByteReader::new(payload);
+        if r.bytes(MAGIC.len())? != MAGIC {
+            return Err(CodecError::new("bad magic"));
+        }
+        if r.u32()? != WARM_FORMAT_VERSION {
+            return Err(CodecError::new("unsupported warm-state version"));
+        }
+        let fingerprint = r.u64()?;
+        let n_l1 = r.u32()? as usize;
+        if n_l1 == 0 || n_l1 > 4 {
+            return Err(CodecError::new("implausible core count"));
+        }
+        let mut l1 = Vec::with_capacity(n_l1);
+        for _ in 0..n_l1 {
+            l1.push(SramCache::decode(&mut r)?);
+        }
+        let l2 = SramCache::decode(&mut r)?;
+        let tags = TagArray::decode(&mut r)?;
+        let predictor = MapI::decode(&mut r)?;
+        let n_gens = r.u32()? as usize;
+        if n_gens != n_l1 {
+            return Err(CodecError::new("generator/core count mismatch"));
+        }
+        let mut gens = Vec::with_capacity(n_gens);
+        for _ in 0..n_gens {
+            gens.push(TraceGen::decode(&mut r)?);
+        }
+        r.finish()?;
+        Ok(WarmState {
+            fingerprint,
+            l1,
+            l2,
+            tags,
+            predictor,
+            gens,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+
+    fn cfg(org: OrgKind) -> SystemConfig {
+        SystemConfig::paper(Design::Cd, org).scaled(10_000, 20_000)
+    }
+
+    const BENCHES: [Benchmark; 2] = [Benchmark::Libquantum, Benchmark::Mcf];
+
+    #[test]
+    fn fingerprint_ignores_design_mapping_and_timing_knobs() {
+        let base = cfg(OrgKind::DirectMapped);
+        let fp = WarmState::fingerprint_for(&base, &BENCHES);
+        for design in Design::ALL {
+            let mut c = base;
+            c.design = design;
+            c.mapping = dca_dram::MappingScheme::XorRemap;
+            c.target_insts = 999_999;
+            c.baseline_engine = true;
+            c.lee_writeback = true;
+            assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_warmup_inputs() {
+        let base = cfg(OrgKind::DirectMapped);
+        let fp = WarmState::fingerprint_for(&base, &BENCHES);
+        let mut c = base;
+        c.seed ^= 1;
+        assert_ne!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+        let mut c = base;
+        c.warmup_ops += 1;
+        assert_ne!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+        let c = cfg(OrgKind::paper_set_assoc());
+        assert_ne!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+        // Bench order matters: cores are seeded per index.
+        let swapped = [BENCHES[1], BENCHES[0]];
+        assert_ne!(WarmState::fingerprint_for(&base, &swapped), fp);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let c = cfg(OrgKind::DirectMapped);
+        let warm = crate::System::capture_warm(c, &BENCHES);
+        let blob = warm.encode();
+        let back = WarmState::decode(&blob).expect("decode");
+        assert_eq!(back.fingerprint(), warm.fingerprint());
+        assert_eq!(back.cores(), warm.cores());
+        // Bit-exact payload: re-encoding must reproduce the blob.
+        assert_eq!(back.encode(), blob);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let c = cfg(OrgKind::DirectMapped);
+        let blob = crate::System::capture_warm(c, &BENCHES).encode();
+        assert!(WarmState::decode(&blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(WarmState::decode(&bad).is_err(), "bad magic");
+        let mut bad = blob.clone();
+        bad[8] = 0xEE; // version byte
+        assert!(WarmState::decode(&bad).is_err(), "bad version");
+        // A single mid-payload bit flip — almost certainly landing
+        // inside a legal field value — must be caught by the digest,
+        // not silently decoded into a different warm state.
+        for at in [blob.len() / 3, blob.len() / 2, blob.len() - 9] {
+            let mut bad = blob.clone();
+            bad[at] ^= 0x10;
+            assert!(WarmState::decode(&bad).is_err(), "bit flip at {at}");
+        }
+    }
+}

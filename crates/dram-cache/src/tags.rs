@@ -11,6 +11,8 @@
 //! until one qualifies). For the direct-mapped organisation the set has
 //! one way and replacement is trivial.
 
+use dca_sim_core::{ByteReader, ByteWriter, CodecError};
+
 /// Outcome of inserting a block into a set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InsertOutcome {
@@ -169,6 +171,79 @@ impl TagArray {
     pub fn valid_count(&self) -> u64 {
         self.entries.iter().filter(|e| e.valid).count() as u64
     }
+
+    /// Capture the complete tag/dirty/replacement state as an owned
+    /// checkpoint (one flat clone).
+    pub fn snapshot(&self) -> TagArray {
+        self.clone()
+    }
+
+    /// Overwrite this array's state with a previously captured snapshot.
+    ///
+    /// # Panics
+    /// Panics on a geometry mismatch.
+    pub fn restore(&mut self, snap: &TagArray) {
+        assert_eq!(
+            (self.sets, self.ways),
+            (snap.sets, snap.ways),
+            "snapshot geometry mismatch: {}x{} vs {}x{}",
+            snap.sets,
+            snap.ways,
+            self.sets,
+            self.ways
+        );
+        *self = snap.clone();
+    }
+
+    /// Serialise the full state into `w` (checkpoint-file payload).
+    /// Layout: sets, ways, then one `(tag, valid|dirty flags, rrpv)`
+    /// record per entry.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.sets);
+        w.put_u16(self.ways);
+        for e in &self.entries {
+            w.put_u32(e.tag);
+            w.put_u8(e.valid as u8 | (e.dirty as u8) << 1);
+            w.put_u8(e.rrpv);
+        }
+    }
+
+    /// Rebuild an array from a [`TagArray::encode`] payload.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<TagArray, CodecError> {
+        let sets = r.u64()?;
+        let ways = r.u16()?;
+        if sets == 0 || ways == 0 {
+            return Err(CodecError::new("invalid tag array geometry"));
+        }
+        let n = sets
+            .checked_mul(ways as u64)
+            .ok_or(CodecError::new("tag array entry count overflow"))? as usize;
+        // 6 bytes per entry follow; reject implausible counts from a
+        // corrupt header *before* allocating for them.
+        if r.remaining() < n.saturating_mul(6) {
+            return Err(CodecError::new("tag array entry count exceeds buffer"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = r.u32()?;
+            let flags = r.u8()?;
+            let rrpv = r.u8()?;
+            if flags > 0b11 || rrpv > RRPV_MAX {
+                return Err(CodecError::new("invalid tag entry state"));
+            }
+            entries.push(TagEntry {
+                tag,
+                valid: flags & 1 != 0,
+                dirty: flags & 2 != 0,
+                rrpv,
+            });
+        }
+        Ok(TagArray {
+            entries,
+            sets,
+            ways,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +335,68 @@ mod tests {
         assert_eq!(out.evicted, Some((1, false)));
         assert_eq!(t.lookup(5, 2), Some(0));
         assert_eq!(t.lookup(5, 1), None);
+    }
+
+    #[test]
+    fn snapshot_restore_and_codec_round_trip() {
+        let mut t = TagArray::new(64, 4);
+        let mut x = 5u64;
+        for _ in 0..600 {
+            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+            let (set, tag) = (x % 64, (x >> 8) as u32 & 0xFF);
+            match t.lookup(set, tag) {
+                Some(w) => t.touch(set, w),
+                None => {
+                    t.insert(set, tag, x & 1 == 0);
+                }
+            }
+        }
+        let snap = t.snapshot();
+
+        // Codec round trip reproduces the snapshot bit-for-bit.
+        let mut w = dca_sim_core::ByteWriter::new();
+        snap.encode(&mut w);
+        let buf = w.into_vec();
+        let mut r = dca_sim_core::ByteReader::new(&buf);
+        let mut decoded = TagArray::decode(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+
+        // Diverge, restore, then both must behave identically.
+        for s in 0..64 {
+            t.insert(s, 999, true);
+        }
+        t.restore(&snap);
+        for _ in 0..600 {
+            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+            let (set, tag) = (x % 64, (x >> 8) as u32 & 0xFF);
+            assert_eq!(t.lookup(set, tag), decoded.lookup(set, tag));
+            assert_eq!(t.victim_way(set), decoded.victim_way(set));
+            assert_eq!(
+                t.insert(set, tag, x & 1 == 0),
+                decoded.insert(set, tag, x & 1 == 0)
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_invalid_rrpv() {
+        let mut t = TagArray::new(2, 1);
+        t.insert(0, 1, false);
+        let mut w = dca_sim_core::ByteWriter::new();
+        t.encode(&mut w);
+        let mut buf = w.into_vec();
+        let last = buf.len() - 1; // rrpv of the final entry
+        buf[last] = RRPV_MAX + 1;
+        let mut r = dca_sim_core::ByteReader::new(&buf);
+        assert!(TagArray::decode(&mut r).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn restore_rejects_wrong_geometry() {
+        let a = TagArray::new(4, 2);
+        let mut b = TagArray::new(8, 2);
+        b.restore(&a.snapshot());
     }
 
     #[test]

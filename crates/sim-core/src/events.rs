@@ -27,12 +27,20 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
-/// log2 of the calendar-slot width in picoseconds (1024 ps ≈ 1 ns, i.e.
-/// about four CPU cycles — finer than every DRAM timing parameter).
+/// Default log2 of the calendar-slot width in picoseconds (1024 ps ≈
+/// 1 ns, i.e. about four CPU cycles — finer than every DRAM timing
+/// parameter). Tunable per queue via [`EventQueue::with_slot_shift`]:
+/// smaller shifts spread clustered events over more buckets (cheaper
+/// in-bucket inserts, longer empty-slot scans), larger shifts shorten
+/// the scan but push more ties into one bucket.
 pub const SLOT_SHIFT: u32 = 10;
 
-/// Width of one calendar slot in picoseconds.
+/// Width of one calendar slot in picoseconds at the default shift.
 pub const SLOT_WIDTH_PS: u64 = 1 << SLOT_SHIFT;
+
+/// Largest accepted slot shift (a 1-second-wide slot; beyond this the
+/// ring degenerates to a single bucket for any realistic horizon).
+pub const MAX_SLOT_SHIFT: u32 = 40;
 
 /// Number of slots in the near-future ring (must be a power of two).
 /// `NUM_BUCKETS << SLOT_SHIFT` ps ≈ 1.05 µs of horizon — comfortably
@@ -123,15 +131,12 @@ pub struct EventQueue<E> {
     base_slot: u64,
     /// Events at or beyond `base_slot + NUM_BUCKETS` at push time.
     far: BinaryHeap<Entry<E>>,
+    /// log2 of this queue's slot width in picoseconds.
+    slot_shift: u32,
     next_seq: u64,
     now: SimTime,
     pushed: u64,
     popped: u64,
-}
-
-#[inline]
-fn slot_of(t: SimTime) -> u64 {
-    t.ps() >> SLOT_SHIFT
 }
 
 impl<E> Default for EventQueue<E> {
@@ -141,18 +146,48 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at time zero.
+    /// An empty queue with the clock at time zero and the default
+    /// [`SLOT_SHIFT`] bucket width.
     pub fn new() -> Self {
+        Self::with_slot_shift(SLOT_SHIFT)
+    }
+
+    /// An empty queue whose calendar slots are `1 << slot_shift` ps wide.
+    ///
+    /// Delivery order is identical for every shift — only the constant
+    /// factors move. The `event_clustered_*` / `event_rolling_window_*`
+    /// microbenches bracket the two failure modes: too-wide slots force
+    /// sorted in-bucket inserts under event clustering, too-narrow slots
+    /// lengthen the empty-bucket scan between sparse events.
+    ///
+    /// # Panics
+    /// Panics if `slot_shift` exceeds [`MAX_SLOT_SHIFT`].
+    pub fn with_slot_shift(slot_shift: u32) -> Self {
+        assert!(
+            slot_shift <= MAX_SLOT_SHIFT,
+            "slot_shift {slot_shift} exceeds MAX_SLOT_SHIFT {MAX_SLOT_SHIFT}"
+        );
         EventQueue {
             buckets: (0..NUM_BUCKETS).map(|_| Bucket::default()).collect(),
             near_len: 0,
             base_slot: 0,
             far: BinaryHeap::new(),
+            slot_shift,
             next_seq: 0,
             now: SimTime::ZERO,
             pushed: 0,
             popped: 0,
         }
+    }
+
+    /// This queue's slot-width exponent.
+    pub fn slot_shift(&self) -> u32 {
+        self.slot_shift
+    }
+
+    #[inline]
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.ps() >> self.slot_shift
     }
 
     /// Current simulated time: the timestamp of the last popped event
@@ -176,7 +211,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        let slot = slot_of(at);
+        let slot = self.slot_of(at);
         debug_assert!(slot >= self.base_slot);
         if slot < self.base_slot + NUM_BUCKETS as u64 {
             self.buckets[(slot & BUCKET_MASK) as usize].insert(at, seq, event);
@@ -197,14 +232,15 @@ impl<E> EventQueue<E> {
     fn migrate_far(&mut self) {
         let window_end = self.base_slot + NUM_BUCKETS as u64;
         while let Some(head) = self.far.peek() {
-            if slot_of(head.time) >= window_end {
+            if self.slot_of(head.time) >= window_end {
                 break;
             }
             let Entry { time, seq, event } = self.far.pop().expect("peeked entry");
             // The bucket may already hold later-pushed near events with
             // larger seq but possibly later/earlier times; ordered insert
             // handles both.
-            self.buckets[(slot_of(time) & BUCKET_MASK) as usize].insert(time, seq, event);
+            let slot = self.slot_of(time);
+            self.buckets[(slot & BUCKET_MASK) as usize].insert(time, seq, event);
             self.near_len += 1;
         }
     }
@@ -215,7 +251,7 @@ impl<E> EventQueue<E> {
             // Ring empty: jump the cursor straight to the far heap's
             // earliest slot (cursor moves forward only — far events are
             // never earlier than `now`).
-            let head_slot = slot_of(self.far.peek()?.time);
+            let head_slot = self.slot_of(self.far.peek()?.time);
             debug_assert!(head_slot >= self.base_slot);
             self.base_slot = head_slot;
         }
@@ -544,6 +580,57 @@ mod tests {
         );
         assert_eq!(q.pop().unwrap().1, "near-second");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn slot_shift_does_not_change_delivery_order() {
+        // The bucket width is a pure performance knob: any shift must
+        // deliver the exact same (time, seq) sequence. Exercise extreme
+        // widths (1 ps slots and 1 µs slots) against the default.
+        let mut queues = [
+            EventQueue::with_slot_shift(0),
+            EventQueue::with_slot_shift(SLOT_SHIFT),
+            EventQueue::with_slot_shift(20),
+        ];
+        let mut state = 0xFEED_FACE_CAFE_F00D_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut tag = 0u64;
+        for _ in 0..5_000 {
+            let r = next();
+            if r % 4 != 0 {
+                let dt = r % (3 * WINDOW_PS / 2); // spans near ring and far heap
+                let at = SimTime(queues[0].now().ps() + dt);
+                for q in &mut queues {
+                    q.push(at, tag);
+                }
+                tag += 1;
+            } else {
+                let expect = queues[0].pop();
+                for q in &mut queues[1..] {
+                    assert_eq!(q.pop(), expect);
+                }
+            }
+        }
+        loop {
+            let expect = queues[0].pop();
+            for q in &mut queues[1..] {
+                assert_eq!(q.pop(), expect);
+            }
+            if expect.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_SLOT_SHIFT")]
+    fn oversized_slot_shift_panics() {
+        let _q: EventQueue<()> = EventQueue::with_slot_shift(MAX_SLOT_SHIFT + 1);
     }
 
     #[test]

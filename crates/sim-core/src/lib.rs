@@ -12,6 +12,9 @@
 //!   hot-path id in the engine.
 //! * [`hash`] — an Fx-style non-cryptographic hasher for the hot maps
 //!   that remain.
+//! * [`codec`] — a bounds-checked little-endian binary codec; the
+//!   substrate of the warm-state checkpoint files (the workspace is
+//!   offline, so no serde).
 //! * [`stats`] — cheap statistics primitives (counters, running means,
 //!   fixed-bucket histograms) used by the device and controller models to
 //!   feed the paper's figures.
@@ -56,6 +59,7 @@
 //! (simulated cycles/sec and events/sec, new engine vs. baseline) and
 //! writes `BENCH_engine.json` so every PR leaves a perf trajectory.
 
+pub mod codec;
 pub mod events;
 pub mod hash;
 pub mod rng;
@@ -63,6 +67,7 @@ pub mod slab;
 pub mod stats;
 pub mod time;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use events::{BaselineEventQueue, EventQueue};
 pub use hash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use rng::SeedSplitter;

@@ -87,3 +87,24 @@ fn engines_agree_set_assoc_and_other_seed() {
     let heap = run(Design::Dca, OrgKind::paper_set_assoc(), true, 99);
     assert_eq!(fingerprint(&cal), fingerprint(&heap));
 }
+
+#[test]
+fn calendar_slot_width_is_a_pure_perf_knob() {
+    // The configurable bucket width must never leak into results: runs
+    // at extreme widths (16 ps and 64 ns slots) match the default and
+    // the heap engine bit-for-bit.
+    let reference = run(Design::Dca, OrgKind::DirectMapped, true, 23);
+    for shift in [4u32, 10, 16] {
+        let mut cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+        cfg.target_insts = 40_000;
+        cfg.warmup_ops = 150_000;
+        cfg.seed = 23;
+        cfg.event_slot_shift = shift;
+        let r = System::new(cfg, &mix(3).benches).run();
+        assert_eq!(
+            fingerprint(&r),
+            fingerprint(&reference),
+            "slot shift {shift} changed results"
+        );
+    }
+}
