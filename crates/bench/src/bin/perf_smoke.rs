@@ -22,6 +22,14 @@
 //! clock noise on shared CI runners cannot flake the gate. The JSON
 //! carries the real ratio for trajectory tracking.)
 //!
+//! Finally it runs the **trace-file smoke**: the checked-in
+//! `tests/fixtures/*.dcat` fixture is registered, bundled into a
+//! custom mix, and driven through the same `RunSpec::run_mix`
+//! warm-cached harness path the figure binaries use — once warm-cached
+//! and once cold — asserting the two reports are bit-for-bit
+//! identical. A regression anywhere on the trace front-end (format,
+//! registry, replay, warm-state participation) fails CI here.
+//!
 //! ```text
 //! cargo run --release -p dca-bench --bin perf_smoke
 //! ```
@@ -36,7 +44,8 @@
 use std::time::Instant;
 
 use dca::{Design, System, SystemConfig, SystemReport};
-use dca_cpu::mix;
+use dca_bench::RunSpec;
+use dca_cpu::{mix, register_mix, register_trace_file, Benchmark};
 use dca_dram_cache::OrgKind;
 
 /// Event-loop wall time of the hash-map/`Vec::remove` engine this PR
@@ -221,6 +230,75 @@ fn run_sweep(insts: u64, reps: u32) -> SweepResult {
     sweep
 }
 
+/// The checked-in trace fixture (resolved relative to this crate, so
+/// the smoke runs from any working directory).
+const TRACE_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/libquantum_2800.dcat"
+);
+
+/// Outcome of the trace-driven smoke config.
+struct TraceSmokeResult {
+    /// Mix id assigned to the registered trace mix.
+    mix_id: u32,
+    /// Wall-clock of the first `run_mix` (cache miss: warms once and
+    /// populates the warm cache).
+    build_s: f64,
+    /// Wall-clock of the second `run_mix` (the actual warm-cache hit).
+    warm_s: f64,
+    /// Cold wall-clock (fresh warm-up, no cache).
+    cold_s: f64,
+}
+
+/// Register the fixture trace, run it through the real harness path
+/// (`RunSpec::run_mix`, global warm cache) and assert the warm-cached
+/// reports — both the cache-populating first run and the cache-hit
+/// second run — are bit-for-bit identical to a cold one.
+fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
+    let trace = register_trace_file(TRACE_FIXTURE)
+        .unwrap_or_else(|e| panic!("cannot register {TRACE_FIXTURE}: {e}"));
+    let m = register_mix([trace, Benchmark::Mcf, Benchmark::Gcc, trace]);
+    let spec = RunSpec {
+        design: Design::Dca,
+        org: OrgKind::DirectMapped,
+        remap: false,
+        lee: false,
+        flushing_factor: 4,
+        insts: insts / 2,
+        warmup: 200_000,
+        seed: 0xDCA_2016,
+    };
+    let t0 = Instant::now();
+    let first = spec.run_mix(m.id);
+    let build_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm = spec.run_mix(m.id);
+    let warm_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let cold = spec.run_mix_cold(m.id);
+    let cold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        fingerprint(&first),
+        fingerprint(&cold),
+        "trace-driven cache-populating run diverged from cold"
+    );
+    assert_eq!(
+        fingerprint(&warm),
+        fingerprint(&cold),
+        "trace-driven warm-cached run diverged from cold"
+    );
+    assert!(
+        warm.cores.iter().all(|c| c.insts >= insts / 2),
+        "trace-driven cores must reach their budget"
+    );
+    TraceSmokeResult {
+        mix_id: m.id,
+        build_s,
+        warm_s,
+        cold_s,
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -274,6 +352,13 @@ fn main() {
         sweep.speedup()
     );
 
+    let trace = run_trace_smoke(insts);
+    println!(
+        "\ntrace smoke (fixture mix {}, RunSpec::run_mix): first (warms cache) {:.2}s   \
+         warm-cached hit {:.2}s   cold {:.2}s (reports bit-for-bit identical)",
+        trace.mix_id, trace.build_s, trace.warm_s, trace.cold_s
+    );
+
     // The pre-overhaul reference was measured at 200 k insts; at any
     // other scale the ratio would be meaningless, so omit it.
     let reference = if insts == 200_000 {
@@ -294,6 +379,8 @@ fn main() {
          \"speedup_calendar_over_heap\": {vs_heap:.4}{reference},\n  \
          \"sweep\": {{\"variants\": {}, \"reps\": {sweep_reps}, \"cold_s\": {:.4}, \
          \"warm_s\": {:.4}, \"speedup\": {:.4}}},\n  \
+         \"trace_smoke\": {{\"mix_id\": {}, \"build_s\": {:.4}, \"warm_s\": {:.4}, \
+         \"cold_s\": {:.4}}},\n  \
          \"events_processed\": {},\n  \"sim_time_us\": {:.3}\n}}\n",
         calendar.run_s,
         calendar.cycles_per_sec,
@@ -305,6 +392,10 @@ fn main() {
         sweep.cold_s,
         sweep.warm_s,
         sweep.speedup(),
+        trace.mix_id,
+        trace.build_s,
+        trace.warm_s,
+        trace.cold_s,
         calendar.report.events_processed,
         calendar.report.end_time.ps() as f64 / 1e6,
     );

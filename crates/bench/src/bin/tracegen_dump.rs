@@ -1,0 +1,89 @@
+//! `tracegen-dump` — capture a synthetic generator's op stream as a
+//! replayable `.dcat` trace file.
+//!
+//! The trace front-end's self-testing loop: dump a Table I benchmark's
+//! deterministic stream to disk, register the file back through
+//! `dca_cpu::register_trace_file`, and the replayed workload exercises
+//! the exact byte path a real application trace would. Also how the
+//! checked-in CI fixture under `tests/fixtures/` was produced.
+//!
+//! ```text
+//! cargo run -p dca-bench --bin tracegen-dump -- <bench> <ops> <out.dcat> \
+//!     [--seed N] [--absolute]
+//! ```
+//!
+//! * `<bench>` — a Table I benchmark name (`mcf`, `libquantum`, …).
+//! * `<ops>` — number of memory operations to capture.
+//! * `<out.dcat>` — output path.
+//! * `--seed N` — generator seed (default 42).
+//! * `--absolute` — absolute varint addresses instead of the default
+//!   delta encoding (larger, but simpler to post-process).
+
+use dca_cpu::{dump_synthetic, encode_trace, Benchmark, TraceEncoding};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracegen-dump <bench> <ops> <out.dcat> [--seed N] [--absolute]\n\
+         benches: {}",
+        Benchmark::ALL
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let Some(bench) = Benchmark::from_name(&args[0]) else {
+        eprintln!("unknown benchmark '{}'", args[0]);
+        usage();
+    };
+    if bench.is_trace() {
+        eprintln!("'{}' is already a trace workload", args[0]);
+        std::process::exit(2);
+    }
+    let Ok(ops) = args[1].parse::<u64>() else {
+        usage();
+    };
+    if ops == 0 {
+        eprintln!("a trace must hold at least one record");
+        std::process::exit(2);
+    }
+    let out = &args[2];
+    let mut seed = 42u64;
+    let mut encoding = TraceEncoding::Delta;
+    let mut rest = args[3..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--seed" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage(),
+            },
+            "--absolute" => encoding = TraceEncoding::Absolute,
+            _ => usage(),
+        }
+    }
+
+    let records = dump_synthetic(bench, ops, seed);
+    let bytes = encode_trace(&records, encoding);
+    let stores = records.iter().filter(|r| r.is_store).count();
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out}: {} records ({} loads, {stores} stores) from {} seed {seed}, \
+         {} bytes ({:.2} B/record, {:?})",
+        records.len(),
+        records.len() - stores,
+        bench.name(),
+        bytes.len(),
+        bytes.len() as f64 / records.len() as f64,
+        encoding,
+    );
+}

@@ -243,6 +243,13 @@ impl Default for AloneIpc {
 /// Run `f` over `items` with bounded std::thread parallelism, preserving
 /// input order in the result.
 ///
+/// A panic inside `f` is re-raised on the calling thread with its
+/// **original payload** (via `std::panic::resume_unwind`), after all
+/// other workers have drained — not wrapped in a confusing join/lock
+/// error. `assert!` messages and `panic!` strings from worker closures
+/// therefore surface to the caller exactly as they would single-
+/// threaded.
+///
 /// Work distribution is chunked and atomic: items are pre-split into
 /// small index-tagged chunks, workers claim chunks through one
 /// `fetch_add` counter, and each worker accumulates `(index, result)`
@@ -310,10 +317,26 @@ where
                 })
             })
             .collect();
+        // Join every worker before re-raising, so a panic in one
+        // closure cannot leave siblings running detached; the first
+        // panic payload (in worker order) is the one propagated.
+        let mut panic_payload = None;
         for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                slots[i] = Some(r);
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
             }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
         }
     });
     slots
@@ -417,6 +440,31 @@ mod tests {
             x + 1
         });
         assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated worker failure on item 13")]
+    fn run_parallel_propagates_the_original_panic_payload() {
+        // The payload must surface verbatim on the caller — not as a
+        // "worker panicked" join error or a poisoned-lock unwrap.
+        run_parallel((0..64u64).collect(), |x| {
+            if x == 13 {
+                panic!("simulated worker failure on item {x}");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated worker failure")]
+    fn run_parallel_propagates_panics_from_multiple_workers() {
+        // Several failing items: still a clean, original-payload panic.
+        run_parallel((0..64u64).collect(), |x| {
+            if x % 2 == 0 {
+                panic!("simulated worker failure on item {x}");
+            }
+            x
+        });
     }
 
     #[test]

@@ -18,11 +18,23 @@
 //! * `DCA_WARM_PERSIST=1` — also write/read blobs under `results/warm/`.
 //! * `DCA_WARM_DIR=path` — persist under `path` instead.
 //!
-//! On-disk blobs are validated by magic, format version *and*
+//! Every `DCA_WARM*` knob is **latched once, at cache construction**
+//! (for the shared instance: first use of [`WarmCache::global`]).
+//! Flipping the environment mid-process can therefore never split one
+//! sweep into cached and cold halves — a sweep sees exactly the policy
+//! it started under.
+//!
+//! On-disk blobs are validated by magic, format version, digest *and*
 //! fingerprint before use (see `dca::warm` for the format and the
-//! invalidation rules); anything stale or corrupt is ignored and the
-//! state is rebuilt — reuse can only ever be a cache hit of the exact
-//! bytes a cold warm-up would produce.
+//! invalidation rules); anything stale, truncated or corrupt — e.g. a
+//! blob torn by a crashed writer — is logged as a warning and treated
+//! as a cache miss, falling back to a cold warm-up rather than an
+//! error. Writers stage into a uniquely named temp file and atomically
+//! rename it into place, so concurrent `run_parallel` workers (or
+//! whole processes) persisting the same fingerprint can never
+//! interleave partial writes into one visible blob — reuse can only
+//! ever be a cache hit of the exact bytes a cold warm-up would
+//! produce.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -54,6 +66,9 @@ pub struct WarmCache {
     slots: Mutex<(FastHashMap<u64, WarmSlot>, VecDeque<u64>)>,
     cap: usize,
     disk_dir: Option<PathBuf>,
+    /// `DCA_WARM` latched at construction: whether callers should reuse
+    /// warm state at all.
+    reuse: bool,
     builds: AtomicU64,
     hits: AtomicU64,
     disk_loads: AtomicU64,
@@ -76,7 +91,9 @@ impl Default for WarmCache {
 const DEFAULT_CAP: usize = 48;
 
 impl WarmCache {
-    /// A cache configured from the environment (see module docs).
+    /// A cache configured from the environment (see module docs). All
+    /// `DCA_WARM*` knobs are read here, exactly once — the returned
+    /// cache's policy is immutable for its lifetime.
     pub fn new() -> Self {
         let cap = std::env::var("DCA_WARM_CAP")
             .ok()
@@ -92,26 +109,44 @@ impl WarmCache {
                     .unwrap_or(false)
                     .then(|| PathBuf::from("results/warm"))
             });
+        let reuse = std::env::var("DCA_WARM").map(|v| v != "0").unwrap_or(true);
+        Self::with_policy(cap, disk_dir, reuse)
+    }
+
+    /// A cache with an explicit policy, bypassing the environment
+    /// (tests and embedders that must not depend on process-global
+    /// state).
+    pub fn with_policy(cap: usize, disk_dir: Option<PathBuf>, reuse: bool) -> Self {
         WarmCache {
             slots: Mutex::new((FastHashMap::default(), VecDeque::new())),
-            cap,
+            cap: cap.max(1),
             disk_dir,
+            reuse,
             builds: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
         }
     }
 
-    /// The process-wide shared instance.
+    /// The process-wide shared instance. Environment knobs are latched
+    /// the first time this is called and never re-read.
     pub fn global() -> &'static WarmCache {
         static GLOBAL: OnceLock<WarmCache> = OnceLock::new();
         GLOBAL.get_or_init(WarmCache::new)
     }
 
-    /// Whether warm reuse is enabled for this process (`DCA_WARM=0`
-    /// opts out; anything else opts in).
+    /// Whether warm reuse is enabled for this cache (`DCA_WARM=0` at
+    /// construction opts out; anything else opts in).
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse
+    }
+
+    /// Whether warm reuse is enabled for the process-wide instance.
+    /// Latched once at [`WarmCache::global`] construction: flipping
+    /// `DCA_WARM` mid-process cannot make one sweep mix cached and
+    /// cold runs.
     pub fn enabled() -> bool {
-        std::env::var("DCA_WARM").map(|v| v != "0").unwrap_or(true)
+        Self::global().reuse_enabled()
     }
 
     /// Counters so far.
@@ -165,12 +200,36 @@ impl WarmCache {
             .map(|d| d.join(format!("{fp:016x}.warm")))
     }
 
-    /// Load and fully validate an on-disk blob; any mismatch (version,
-    /// fingerprint, corruption) is treated as a miss.
+    /// Load and fully validate an on-disk blob. A missing file is a
+    /// silent miss; a file that *exists* but fails validation
+    /// (truncated, bit-rotted, torn, or carrying the wrong
+    /// fingerprint) is a **logged** miss — the caller falls back to a
+    /// cold warm-up instead of erroring, and the next store replaces
+    /// the bad blob.
     fn try_disk_load(&self, fp: u64) -> Option<WarmState> {
-        let bytes = std::fs::read(self.blob_path(fp)?).ok()?;
-        let state = WarmState::decode(&bytes).ok()?;
-        (state.fingerprint() == fp).then_some(state)
+        let path = self.blob_path(fp)?;
+        let bytes = std::fs::read(&path).ok()?;
+        match WarmState::decode(&bytes) {
+            Ok(state) if state.fingerprint() == fp => Some(state),
+            Ok(state) => {
+                eprintln!(
+                    "warning: warm blob {} carries fingerprint {:#018x}, expected {:#018x}; \
+                     ignoring it and warming cold",
+                    path.display(),
+                    state.fingerprint(),
+                    fp
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: warm blob {} is truncated or corrupt ({e}); \
+                     ignoring it and warming cold",
+                    path.display()
+                );
+                None
+            }
+        }
     }
 
     /// Best-effort persistence; I/O failure only costs future reuse.
@@ -183,10 +242,21 @@ impl WarmCache {
                 return;
             }
         }
-        // Write-then-rename so a concurrent reader never sees a torn blob.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, state.encode()).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        // Exclusive staging + atomic rename: the temp name is unique
+        // per (process, store) so two workers — threads or whole
+        // processes — racing on the same fingerprint each write their
+        // own complete file, and whichever renames last wins with a
+        // whole blob. A reader can never observe a partial write.
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Whether the write failed (partial file) or the rename did,
+        // never leave the uniquely named staging file behind.
+        if std::fs::write(&tmp, state.encode()).is_err() || std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 }
@@ -235,6 +305,81 @@ mod tests {
         cache.get_or_build(&tiny_cfg(3), &benches);
         cache.get_or_build(&tiny_cfg(4), &benches);
         assert_eq!(cache.stats().builds, 2);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dca-warm-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn disk_persistence_round_trips_across_cache_instances() {
+        let dir = scratch_dir("roundtrip");
+        let cfg = tiny_cfg(20);
+        let benches = [Benchmark::Gcc];
+        let writer = WarmCache::with_policy(4, Some(dir.clone()), true);
+        writer.get_or_build(&cfg, &benches);
+        assert_eq!(writer.stats().builds, 1);
+        // A fresh cache (think: next process) loads from disk, no build.
+        let reader = WarmCache::with_policy(4, Some(dir.clone()), true);
+        reader.get_or_build(&cfg, &benches);
+        let s = reader.stats();
+        assert_eq!((s.builds, s.disk_loads), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_blobs_fall_back_to_cold_warmup() {
+        let dir = scratch_dir("corrupt");
+        let cfg = tiny_cfg(21);
+        let benches = [Benchmark::Gcc];
+        let fp = dca::WarmState::fingerprint_for(&cfg, &benches);
+        let blob_path = dir.join(format!("{fp:016x}.warm"));
+
+        // Pure garbage where a blob should be.
+        std::fs::write(&blob_path, b"not a warm state at all").expect("write garbage");
+        let cache = WarmCache::with_policy(4, Some(dir.clone()), true);
+        let state = cache.get_or_build(&cfg, &benches);
+        let s = cache.stats();
+        assert_eq!(
+            (s.builds, s.disk_loads),
+            (1, 0),
+            "garbage blob must rebuild"
+        );
+
+        // The rebuild replaced the garbage with a valid blob.
+        let healed = WarmCache::with_policy(4, Some(dir.clone()), true);
+        assert!(Arc::ptr_eq(
+            &healed.get_or_build(&cfg, &benches),
+            &healed.get_or_build(&cfg, &benches)
+        ));
+        assert_eq!(healed.stats().disk_loads, 1, "store healed the blob");
+
+        // A torn write: truncate the now-valid blob mid-payload.
+        let bytes = std::fs::read(&blob_path).expect("read blob");
+        std::fs::write(&blob_path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let torn = WarmCache::with_policy(4, Some(dir.clone()), true);
+        let rebuilt = torn.get_or_build(&cfg, &benches);
+        assert_eq!(torn.stats().builds, 1, "truncated blob must rebuild");
+        assert_eq!(rebuilt.fingerprint(), state.fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_is_latched_at_construction() {
+        // `with_policy` freezes the reuse decision; the instance cannot
+        // be re-configured afterwards (the env equivalents are read
+        // exactly once, in `new`).
+        let on = WarmCache::with_policy(4, None, true);
+        let off = WarmCache::with_policy(4, None, false);
+        assert!(on.reuse_enabled());
+        assert!(!off.reuse_enabled());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use std::collections::VecDeque;
 
-use dca_cpu::{Benchmark, Core, CoreConfig, MemOp, MemPort, PortResponse, TraceGen};
+use dca_cpu::{Benchmark, Core, CoreConfig, MemOp, MemPort, OpStream, PortResponse};
 use dca_dram::DramChannel;
 use dca_dram_cache::{
     CacheGeometry, CacheReqKind, CacheRequest, MapI, OrgKind, RequestFsm, RequestId, TagArray,
@@ -332,7 +332,7 @@ struct HierState {
     l2: SramCache,
     tags: TagArray,
     predictor: MapI,
-    gens: Vec<TraceGen>,
+    gens: Vec<OpStream>,
 }
 
 impl System {
@@ -416,11 +416,7 @@ impl System {
                 .enumerate()
                 .map(|(i, b)| {
                     let base = (i as u64 + 1) << 26;
-                    TraceGen::new(
-                        b.profile(),
-                        base,
-                        seeds.split("core").split_index(i as u64).seed(),
-                    )
+                    OpStream::for_bench(*b, base, seeds.split("core").split_index(i as u64).seed())
                 })
                 .collect(),
         }
@@ -1027,6 +1023,27 @@ mod tests {
         let mut other = cfg;
         other.seed ^= 0xBAD;
         System::from_warm(other, &benches, &warm);
+    }
+
+    #[test]
+    fn trace_replay_system_runs_and_restores_from_warm() {
+        use dca_cpu::{dump_synthetic, encode_trace, register_trace_bytes, TraceEncoding};
+        // A trace captured from a synthetic run drives a full system —
+        // including warm-up and warm-state restore — like any Table I
+        // benchmark.
+        let records = dump_synthetic(Benchmark::Libquantum, 20_000, 17);
+        let bytes = encode_trace(&records, TraceEncoding::Delta);
+        let tb = register_trace_bytes("system-trace-test", &bytes).expect("register");
+        let cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped).scaled(25_000, 50_000);
+        let benches = [tb, Benchmark::Mcf];
+        let cold = System::new(cfg, &benches).run();
+        assert!(cold.cores.iter().all(|c| c.insts >= 25_000));
+        assert_eq!(cold.cores[0].bench, "system-trace-test");
+        let warm = System::capture_warm(cfg, &benches);
+        let restored = System::from_warm(cfg, &benches, &warm).run();
+        assert_eq!(cold.end_time, restored.end_time);
+        assert_eq!(cold.events_processed, restored.events_processed);
+        assert_eq!(cold.cache_read_hits, restored.cache_read_hits);
     }
 
     #[test]

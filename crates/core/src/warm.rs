@@ -18,10 +18,13 @@
 //! exactly the inputs that determine the warmed state:
 //!
 //! * [`WARM_FORMAT_VERSION`] (schema changes invalidate old state),
-//! * the benchmark profiles, in core order — id *and* every generator
-//!   parameter (pattern, fractions, working set, gap, reuse), so a
-//!   retuned profile invalidates persisted state by content, not by a
-//!   remembered version bump,
+//! * the workloads, in core order. For a synthetic benchmark that is
+//!   its id *and* every generator parameter (pattern, fractions,
+//!   working set, gap, reuse), so a retuned profile invalidates
+//!   persisted state by content, not by a remembered version bump. For
+//!   a trace workload it is the trace file's **content digest** — an
+//!   edited trace yields a new digest and therefore misses every stale
+//!   checkpoint by construction (paths and mtimes are never consulted),
 //! * the cache organisation (`OrgKind` discriminant + associativity),
 //! * the stacked-DRAM organisation (channels, ranks, banks, rows,
 //!   row bytes — these size the tag array via the frame count),
@@ -40,9 +43,11 @@
 //! [`WarmState::encode`] produces a standalone little-endian blob:
 //! an 8-byte magic (`"DCAWARM\0"`), a `u32` format version, the `u64`
 //! fingerprint, the component payloads (per-core [`SramCache`] L1s,
-//! the L2, the [`TagArray`], the [`MapI`] table, and one [`TraceGen`]
-//! cursor per core) via each component's own `encode`/`decode` pair,
-//! and a trailing `u64` digest over everything before it.
+//! the L2, the [`TagArray`], the [`MapI`] table, and one tagged
+//! [`OpStream`] cursor per core — a [`dca_cpu::TraceGen`] generator or
+//! a [`dca_cpu::TraceReader`] replay position) via each component's
+//! own `encode`/`decode` pair, and a trailing `u64` digest over
+//! everything before it.
 //! [`WarmState::decode`] validates the digest first, then magic,
 //! version, every component's invariants, and that the buffer is fully
 //! consumed — per-field range checks alone cannot catch a bit flip
@@ -60,16 +65,18 @@
 //! though today's warm-up never trains it (it is always the pristine
 //! paper table); if warm-up ever does, the format already carries it.
 
-use dca_cpu::{Benchmark, Pattern, TraceGen};
+use dca_cpu::{tracefile, Benchmark, OpStream, Pattern};
 use dca_dram_cache::{MapI, OrgKind, TagArray};
 use dca_mem_hier::SramCache;
-use dca_sim_core::{ByteReader, ByteWriter, CodecError};
+use dca_sim_core::{digest64, ByteReader, ByteWriter, CodecError};
 
 use crate::config::SystemConfig;
 
 /// Version of the checkpoint schema (fingerprint inputs + byte layout).
 /// Bump on any change to either; old state then misses cleanly.
-pub const WARM_FORMAT_VERSION: u32 = 1;
+/// (v2: per-core workload cursors are kind-tagged [`OpStream`]s so
+/// trace replays checkpoint alongside synthetic generators.)
+pub const WARM_FORMAT_VERSION: u32 = 2;
 
 /// Magic prefix of an encoded [`WarmState`].
 const MAGIC: &[u8; 8] = b"DCAWARM\0";
@@ -87,7 +94,7 @@ pub struct WarmState {
     pub(crate) l2: SramCache,
     pub(crate) tags: TagArray,
     pub(crate) predictor: MapI,
-    pub(crate) gens: Vec<TraceGen>,
+    pub(crate) gens: Vec<OpStream>,
 }
 
 /// SplitMix64-style avalanche, the fingerprint's mixing step.
@@ -97,27 +104,6 @@ fn mix(h: u64, v: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
-}
-
-/// Word-at-a-time multiply-xor digest over a blob (Fx-style, like
-/// `dca_sim_core::hash`). Not cryptographic — it guards against bit
-/// rot and torn writes, not adversaries, and must stay cheap enough to
-/// run over ~30 MB on every disk load.
-fn digest(bytes: &[u8]) -> u64 {
-    const K: u64 = 0x517c_c1b7_2722_0a95;
-    let mut h = 0x5DCA_2016_D16E_5700u64;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        h = (h.rotate_left(5) ^ u64::from_le_bytes(c.try_into().expect("8B"))).wrapping_mul(K);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut tail = [0u8; 8];
-        tail[..rem.len()].copy_from_slice(rem);
-        tail[7] |= (rem.len() as u8) << 4;
-        h = (h.rotate_left(5) ^ u64::from_le_bytes(tail)).wrapping_mul(K);
-    }
-    h
 }
 
 impl WarmState {
@@ -131,7 +117,7 @@ impl WarmState {
         l2: SramCache,
         tags: TagArray,
         predictor: MapI,
-        gens: Vec<TraceGen>,
+        gens: Vec<OpStream>,
     ) -> Self {
         assert_eq!(l1.len(), benches.len());
         assert_eq!(gens.len(), benches.len());
@@ -161,28 +147,41 @@ impl WarmState {
         let mut h = mix(0x5DCA_2016_0000_0000, WARM_FORMAT_VERSION as u64);
         h = mix(h, benches.len() as u64);
         for b in benches {
-            // Hash the full profile *contents*, not just the id: a
-            // retuned profile behind an unchanged id must miss the
-            // cache (the generators' entire op stream depends on these
-            // parameters), without anyone remembering a version bump.
-            let p = b.profile();
-            h = mix(h, b.id() as u64);
-            h = mix(
-                h,
-                match p.pattern {
-                    Pattern::Stream { streams } => 0x0100 | streams as u64,
-                    Pattern::Chase { chains } => 0x0200 | chains as u64,
-                    Pattern::Mixed { stream_prob } => mix(0x0300, stream_prob.to_bits()),
-                },
-            );
-            for v in [
-                p.mem_fraction.to_bits(),
-                p.store_fraction.to_bits(),
-                p.reuse_prob.to_bits(),
-                p.ws_blocks,
-                p.mean_gap as u64,
-            ] {
-                h = mix(h, v);
+            match b {
+                // A trace workload's op stream is exactly its records:
+                // hash the file's content digest (never its path or
+                // registration order), so an edited trace invalidates
+                // stale checkpoints by construction.
+                Benchmark::Trace(id) => {
+                    h = mix(h, 0x7472_6163_6500_0000); // "trace"
+                    h = mix(h, tracefile::trace_data(*id).digest);
+                }
+                // Hash the full profile *contents*, not just the id: a
+                // retuned profile behind an unchanged id must miss the
+                // cache (the generators' entire op stream depends on
+                // these parameters), without anyone remembering a
+                // version bump.
+                b => {
+                    let p = b.profile();
+                    h = mix(h, b.id() as u64);
+                    h = mix(
+                        h,
+                        match p.pattern {
+                            Pattern::Stream { streams } => 0x0100 | streams as u64,
+                            Pattern::Chase { chains } => 0x0200 | chains as u64,
+                            Pattern::Mixed { stream_prob } => mix(0x0300, stream_prob.to_bits()),
+                        },
+                    );
+                    for v in [
+                        p.mem_fraction.to_bits(),
+                        p.store_fraction.to_bits(),
+                        p.reuse_prob.to_bits(),
+                        p.ws_blocks,
+                        p.mean_gap as u64,
+                    ] {
+                        h = mix(h, v);
+                    }
+                }
             }
         }
         h = mix(
@@ -233,7 +232,7 @@ impl WarmState {
             g.encode(&mut w);
         }
         let mut blob = w.into_vec();
-        let d = digest(&blob);
+        let d = digest64(&blob);
         blob.extend_from_slice(&d.to_le_bytes());
         blob
     }
@@ -249,7 +248,7 @@ impl WarmState {
             return Err(CodecError::new("truncated input"));
         };
         let (payload, stored) = bytes.split_at(payload_len);
-        if digest(payload) != u64::from_le_bytes(stored.try_into().expect("8B")) {
+        if digest64(payload) != u64::from_le_bytes(stored.try_into().expect("8B")) {
             return Err(CodecError::new("digest mismatch"));
         }
         let mut r = ByteReader::new(payload);
@@ -277,7 +276,7 @@ impl WarmState {
         }
         let mut gens = Vec::with_capacity(n_gens);
         for _ in 0..n_gens {
-            gens.push(TraceGen::decode(&mut r)?);
+            gens.push(OpStream::decode(&mut r)?);
         }
         r.finish()?;
         Ok(WarmState {
@@ -332,6 +331,43 @@ mod tests {
         // Bench order matters: cores are seeded per index.
         let swapped = [BENCHES[1], BENCHES[0]];
         assert_ne!(WarmState::fingerprint_for(&base, &swapped), fp);
+    }
+
+    #[test]
+    fn fingerprint_keys_trace_workloads_by_content_digest() {
+        use dca_cpu::{encode_trace, register_trace_bytes, TraceEncoding, TraceRecord};
+        let records: Vec<TraceRecord> = (0..100)
+            .map(|i| TraceRecord {
+                gap: 2,
+                block: i,
+                is_store: i % 5 == 0,
+            })
+            .collect();
+        let a = register_trace_bytes("warm-fp-a", &encode_trace(&records, TraceEncoding::Delta))
+            .expect("register");
+        let c = cfg(OrgKind::DirectMapped);
+        let fp_a = WarmState::fingerprint_for(&c, &[a, Benchmark::Mcf]);
+        // Same content registered under another name: same fingerprint.
+        let same = register_trace_bytes(
+            "warm-fp-renamed",
+            &encode_trace(&records, TraceEncoding::Delta),
+        )
+        .expect("register");
+        assert_eq!(
+            WarmState::fingerprint_for(&c, &[same, Benchmark::Mcf]),
+            fp_a
+        );
+        // One edited record: a different digest, a different key.
+        let mut edited = records;
+        edited[50].is_store = !edited[50].is_store;
+        let b = register_trace_bytes("warm-fp-a", &encode_trace(&edited, TraceEncoding::Delta))
+            .expect("register");
+        assert_ne!(WarmState::fingerprint_for(&c, &[b, Benchmark::Mcf]), fp_a);
+        // Trace vs synthetic in the same slot: different key.
+        assert_ne!(
+            WarmState::fingerprint_for(&c, &[Benchmark::Gcc, Benchmark::Mcf]),
+            fp_a
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! writeback streams (row locality, read/write balance, dependence), not
 //! exact MPKI values.
 
-/// The benchmarks appearing in Table I.
+use crate::tracefile::{self, TraceId};
+
+/// The benchmarks appearing in Table I, plus registered trace-file
+/// workloads (see [`crate::tracefile`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(non_camel_case_types)]
 pub enum Benchmark {
@@ -37,10 +40,18 @@ pub enum Benchmark {
     Lbm,
     /// 433.milc — lattice QCD, strided/mixed.
     Milc,
+    /// A replayed trace-file workload, registered through
+    /// [`crate::tracefile::register_trace_file`]. The handle is `Copy`
+    /// like every Table I benchmark, so trace workloads slot into mixes
+    /// and harness tables unchanged; the records live in the process
+    /// trace registry.
+    Trace(TraceId),
 }
 
 impl Benchmark {
-    /// All benchmarks, in a fixed order (indexing PCs and seeds).
+    /// All *synthetic* benchmarks, in a fixed order (indexing PCs and
+    /// seeds). Trace workloads are registered at runtime and do not
+    /// appear here.
     pub const ALL: [Benchmark; 11] = [
         Benchmark::Mcf,
         Benchmark::Soplex,
@@ -55,7 +66,9 @@ impl Benchmark {
         Benchmark::Milc,
     ];
 
-    /// Canonical lower-case name as used in Table I.
+    /// Canonical lower-case name as used in Table I; for trace
+    /// workloads, the name given at registration (usually the file
+    /// stem).
     pub fn name(self) -> &'static str {
         match self {
             Benchmark::Mcf => "mcf",
@@ -69,20 +82,42 @@ impl Benchmark {
             Benchmark::Bwaves => "bwaves",
             Benchmark::Lbm => "lbm",
             Benchmark::Milc => "milc",
+            Benchmark::Trace(id) => tracefile::trace_data(id).name,
         }
     }
 
-    /// Parse a Table I name.
+    /// Parse a Table I name, falling back to registered trace names.
     pub fn from_name(s: &str) -> Option<Benchmark> {
-        Benchmark::ALL.iter().copied().find(|b| b.name() == s)
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == s)
+            .or_else(|| tracefile::find_trace_by_name(s))
     }
 
-    /// Stable small integer id (PC-space partitioning).
+    /// Stable small integer id (PC-space partitioning). Synthetic
+    /// benchmarks occupy 0..11; trace workloads follow in registration
+    /// order, so every workload keeps a private 4096-entry PC window.
     pub fn id(self) -> u32 {
-        Benchmark::ALL.iter().position(|&b| b == self).unwrap() as u32
+        match self {
+            Benchmark::Trace(id) => Benchmark::ALL.len() as u32 + id.index() as u32,
+            b => Benchmark::ALL.iter().position(|&x| x == b).unwrap() as u32,
+        }
+    }
+
+    /// Whether this workload replays a trace file rather than a
+    /// synthetic generator.
+    pub fn is_trace(self) -> bool {
+        matches!(self, Benchmark::Trace(_))
     }
 
     /// This benchmark's generator profile.
+    ///
+    /// # Panics
+    /// Panics for trace workloads — a replayed trace has no synthetic
+    /// profile; build an op stream with
+    /// [`OpStream::for_bench`](crate::stream::OpStream::for_bench)
+    /// instead of reaching for the generator parameters.
     pub fn profile(self) -> Profile {
         use Pattern::*;
         // (pattern, mem_fraction, store_fraction, ws_mb, mean_gap)
@@ -98,6 +133,10 @@ impl Benchmark {
             Benchmark::Bwaves => Profile::new(self, Stream { streams: 4 }, 0.40, 0.30, 96, 2),
             Benchmark::Lbm => Profile::new(self, Stream { streams: 3 }, 0.40, 0.47, 192, 2),
             Benchmark::Milc => Profile::new(self, Mixed { stream_prob: 0.45 }, 0.36, 0.34, 64, 3),
+            Benchmark::Trace(id) => panic!(
+                "trace workload '{}' has no synthetic profile; drive it through an OpStream",
+                tracefile::trace_data(id).name
+            ),
         }
     }
 }
@@ -198,6 +237,25 @@ mod tests {
             assert!(p.ws_blocks >= 20 * 1024 * 1024 / 64, "{b:?} ws too small");
             assert!(p.mean_gap >= 2, "{b:?}");
         }
+    }
+
+    #[test]
+    fn trace_handles_have_names_ids_and_no_profile() {
+        use crate::tracefile::{encode_trace, register_trace_bytes, TraceEncoding, TraceRecord};
+        let bytes = encode_trace(
+            &[TraceRecord {
+                gap: 1,
+                block: 42,
+                is_store: false,
+            }],
+            TraceEncoding::Delta,
+        );
+        let b = register_trace_bytes("profile-trace-test", &bytes).expect("register");
+        assert!(b.is_trace());
+        assert_eq!(b.name(), "profile-trace-test");
+        assert!(b.id() >= Benchmark::ALL.len() as u32, "ids follow Table I");
+        assert_eq!(Benchmark::from_name("profile-trace-test"), Some(b));
+        assert!(std::panic::catch_unwind(move || b.profile()).is_err());
     }
 
     #[test]

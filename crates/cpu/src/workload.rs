@@ -1,4 +1,12 @@
-//! The 30 four-benchmark multiprogrammed mixes of Table I.
+//! The 30 four-benchmark multiprogrammed mixes of Table I, plus
+//! runtime-registered custom mixes (the entry point for trace-file
+//! workloads: register traces with
+//! [`crate::tracefile::register_trace_file`], bundle the handles into a
+//! mix with [`register_mix`], and every harness path that accepts a mix
+//! id — `RunSpec::run_mix`, `evaluate`, the figure binaries — runs it
+//! unchanged).
+
+use std::sync::{Mutex, OnceLock};
 
 use crate::profile::Benchmark;
 
@@ -60,16 +68,53 @@ pub const TABLE1_MIXES: [[Benchmark; 4]; 30] = [
     [Omnetpp, Bwaves, Leslie3d, GemsFDTD],   // 30
 ];
 
-/// Mix `id` (1-based, as in Table I).
+/// First id handed out to runtime-registered mixes; 1..=30 stays
+/// reserved for Table I.
+pub const CUSTOM_MIX_BASE: u32 = 1000;
+
+fn custom_mixes() -> &'static Mutex<Vec<Mix>> {
+    static CUSTOM: OnceLock<Mutex<Vec<Mix>>> = OnceLock::new();
+    CUSTOM.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a custom 4-core mix (typically holding [`Benchmark::Trace`]
+/// handles), returning it with a fresh id ≥ [`CUSTOM_MIX_BASE`] that
+/// [`mix`] resolves for the rest of the process lifetime. Registering
+/// the same benchmark quadruple again returns the existing id.
+pub fn register_mix(benches: [Benchmark; 4]) -> Mix {
+    let mut reg = custom_mixes().lock().unwrap();
+    if let Some(m) = reg.iter().find(|m| m.benches == benches) {
+        return *m;
+    }
+    let m = Mix {
+        id: CUSTOM_MIX_BASE + reg.len() as u32,
+        benches,
+    };
+    reg.push(m);
+    m
+}
+
+/// Mix `id`: 1-based Table I ids, or an id returned by [`register_mix`].
 ///
 /// # Panics
-/// Panics if `id` is not in `1..=30`.
+/// Panics if `id` is neither in `1..=30` nor registered.
 pub fn mix(id: u32) -> Mix {
-    assert!((1..=30).contains(&id), "mix id must be 1..=30, got {id}");
-    Mix {
-        id,
-        benches: TABLE1_MIXES[(id - 1) as usize],
+    if (1..=30).contains(&id) {
+        return Mix {
+            id,
+            benches: TABLE1_MIXES[(id - 1) as usize],
+        };
     }
+    if id >= CUSTOM_MIX_BASE {
+        if let Some(m) = custom_mixes()
+            .lock()
+            .unwrap()
+            .get((id - CUSTOM_MIX_BASE) as usize)
+        {
+            return *m;
+        }
+    }
+    panic!("mix id must be 1..=30 or a registered custom mix, got {id}");
 }
 
 /// All thirty mixes.
@@ -118,6 +163,23 @@ mod tests {
     #[should_panic(expected = "1..=30")]
     fn mix_zero_panics() {
         mix(0);
+    }
+
+    #[test]
+    fn custom_mixes_register_and_resolve() {
+        let benches = [Mcf, Mcf, Gcc, Lbm]; // not a Table I quadruple
+        let m = register_mix(benches);
+        assert!(m.id >= CUSTOM_MIX_BASE);
+        assert_eq!(mix(m.id), m);
+        assert_eq!(register_mix(benches).id, m.id, "idempotent");
+        let other = register_mix([Lbm, Lbm, Lbm, Lbm]);
+        assert_ne!(other.id, m.id);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered custom mix")]
+    fn unregistered_custom_mix_panics() {
+        mix(CUSTOM_MIX_BASE + 9999);
     }
 
     #[test]

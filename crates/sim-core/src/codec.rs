@@ -115,6 +115,23 @@ impl ByteWriter {
             self.put_u64(v);
         }
     }
+
+    /// Write a `u64` as an LEB128 varint (1–10 bytes; small values are
+    /// one byte). The density lever behind the trace-file record
+    /// encoding — gaps and address deltas are almost always tiny.
+    pub fn put_varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Write an `i64` as a zigzag-mapped varint (small magnitudes of
+    /// either sign stay short).
+    pub fn put_varint_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
 }
 
 /// Cursor over an encoded buffer; every read is bounds-checked.
@@ -198,6 +215,33 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// Read an LEB128 varint `u64` (see [`ByteWriter::put_varint`]).
+    /// Rejects encodings longer than 10 bytes and 10-byte encodings
+    /// whose final byte overflows 64 bits, so every value has exactly
+    /// the representations the writer can produce plus benign
+    /// non-canonical short forms.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for i in 0..10 {
+            let b = self.u8()?;
+            if i == 9 && b > 0x01 {
+                return Err(CodecError::new("varint overflows u64"));
+            }
+            v |= ((b & 0x7F) as u64) << (7 * i);
+            if b < 0x80 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::new("varint longer than 10 bytes"))
+    }
+
+    /// Read a zigzag-mapped varint `i64` (see
+    /// [`ByteWriter::put_varint_signed`]).
+    pub fn varint_signed(&mut self) -> Result<i64, CodecError> {
+        let z = self.varint()?;
+        Ok((z >> 1) as i64 ^ -((z & 1) as i64))
+    }
+
     /// Assert the buffer is fully consumed (catches trailing garbage and
     /// reader/writer schema drift).
     pub fn finish(&self) -> Result<(), CodecError> {
@@ -247,6 +291,77 @@ mod tests {
         assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3, u64::MAX]);
         assert_eq!(r.u64_vec().unwrap(), Vec::<u64>::new());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_round_trips_across_magnitudes() {
+        let values = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        r.finish().unwrap();
+        // Small values really are one byte.
+        let mut w = ByteWriter::new();
+        w.put_varint(0x7F);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn signed_varint_round_trips() {
+        let values = [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 40,
+            -(1 << 40),
+            i64::MAX,
+            i64::MIN,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_varint_signed(v);
+        }
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.varint_signed().unwrap(), v);
+        }
+        r.finish().unwrap();
+        // ±1 cost one byte under zigzag.
+        let mut w = ByteWriter::new();
+        w.put_varint_signed(-1);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflow() {
+        // 11 continuation bytes: longer than any legal u64 encoding.
+        let overlong = [0x80u8; 11];
+        assert!(ByteReader::new(&overlong).varint().is_err());
+        // 10th byte carries bits above the 64th.
+        let overflow = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert!(ByteReader::new(&overflow).varint().is_err());
+        // Truncated mid-varint.
+        let truncated = [0x80u8, 0x80];
+        assert!(ByteReader::new(&truncated).varint().is_err());
     }
 
     #[test]

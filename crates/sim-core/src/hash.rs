@@ -81,6 +81,20 @@ impl Hasher for FastHasher {
     }
 }
 
+/// One-shot Fx-style digest of a byte blob (word-at-a-time multiply-xor
+/// with a length-salted tail, exactly [`FastHasher::write`]'s mixing but
+/// seeded so an empty blob is nonzero). Not cryptographic: it guards
+/// checkpoint and trace files against bit rot and torn writes, not
+/// adversaries, and must stay cheap enough to run over tens of MB on
+/// every load.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h = FastHasher {
+        hash: 0x5DCA_2016_D16E_5700,
+    };
+    h.write(bytes);
+    h.finish()
+}
+
 /// `BuildHasher` for [`FastHasher`].
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
@@ -128,6 +142,17 @@ mod tests {
             low7.insert(hash_of(b) & 127);
         }
         assert!(low7.len() > 64, "low bits too clumpy: {}", low7.len());
+    }
+
+    #[test]
+    fn digest64_is_deterministic_and_sensitive() {
+        let blob = vec![0xA5u8; 1000];
+        assert_eq!(digest64(&blob), digest64(&blob));
+        let mut flipped = blob.clone();
+        flipped[500] ^= 0x10;
+        assert_ne!(digest64(&blob), digest64(&flipped));
+        assert_ne!(digest64(&blob[..999]), digest64(&blob));
+        assert_ne!(digest64(b""), 0, "empty blob digest is seeded");
     }
 
     #[test]

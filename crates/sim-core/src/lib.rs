@@ -69,7 +69,7 @@ pub mod time;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use events::{BaselineEventQueue, EventQueue};
-pub use hash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
+pub use hash::{digest64, FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use rng::SeedSplitter;
 pub use slab::{Slab, SlabKey};
 pub use stats::{Counter, Histogram, RunningMean};

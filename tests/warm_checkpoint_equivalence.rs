@@ -61,6 +61,41 @@ fn remapped_run_restores_from_unmapped_capture() {
 }
 
 #[test]
+fn trace_driven_restored_runs_match_cold_runs() {
+    // The trace front-end must be a full citizen of warm-state
+    // checkpointing: a mix containing trace-replay cores restores from
+    // a capture — in memory *and* through the on-disk codec — to a
+    // byte-identical report, for every design.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/libquantum_2800.dcat"
+    );
+    let trace = dca_cpu::register_trace_file(fixture).expect("register fixture");
+    let benches = [trace, Benchmark::Mcf];
+    let warm = System::capture_warm(cfg(Design::Cd, OrgKind::DirectMapped), &benches);
+    let decoded = WarmState::decode(&warm.encode()).expect("decode");
+    assert_eq!(decoded.fingerprint(), warm.fingerprint());
+    for design in Design::ALL {
+        let c = cfg(design, OrgKind::DirectMapped);
+        let cold = System::new(c, &benches).run();
+        let restored = System::from_warm(c, &benches, &warm).run();
+        assert_eq!(
+            report_bytes(&cold),
+            report_bytes(&restored),
+            "{} trace-driven restored run diverged from cold",
+            design.label()
+        );
+        let redecoded = System::from_warm(c, &benches, &decoded).run();
+        assert_eq!(
+            report_bytes(&cold),
+            report_bytes(&redecoded),
+            "{} trace-driven codec-restored run diverged from cold",
+            design.label()
+        );
+    }
+}
+
+#[test]
 fn codec_round_trip_preserves_run_equivalence() {
     // Cold run vs a run restored from a decode(encode(state)) blob —
     // the full on-disk path, not just the in-memory clone.
