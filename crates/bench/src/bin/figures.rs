@@ -4,30 +4,176 @@
 //! cargo run -p dca-bench --bin figures --release -- --all
 //! cargo run -p dca-bench --bin figures --release -- --fig8 --fig9
 //! DCA_FULL=1 cargo run -p dca-bench --bin figures --release -- --all
+//! cargo run -p dca-bench --bin figures --release -- --all --jobs 8
 //! ```
 //!
-//! Output goes to stdout and `results/<figure>.md`.
+//! Output goes to stdout and `results/<figure>.{md,csv,json}`.
+//!
+//! ## Sharded mode
+//!
+//! `--jobs N` splits the run across `N` worker subprocesses: the
+//! requested figures are decomposed into deterministically named jobs
+//! (see `dca_bench::shard`), each worker (`figures --worker --job
+//! <id>`) writes a JSON partial under `results/partials/`, and the
+//! coordinator merges the partials into the same figure files a serial
+//! run writes — bit-identical, which `crates/bench/tests/shard.rs`
+//! locks. Partials that already validate on disk are reused, so a
+//! crashed or interrupted run resumes where it stopped; a failing
+//! worker is retried once before the run aborts. Workers share
+//! warm-ups through `DCA_WARM_DIR` (default `results/warm`), guarded
+//! by the warm cache's advisory lock so no fingerprint is warmed
+//! twice. `--chunk M` sets the mixes (and alone benchmarks) per job.
 
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use dca::{Design, System, SystemConfig};
-use dca_bench::{evaluate, AloneIpc, RunSpec, Scale, WarmCache};
+use dca_bench::shard::{self, Coordinator, FigurePlan, PartialStore, DEFAULT_CHUNK};
+use dca_bench::{Scale, WarmCache};
 use dca_cpu::{mix, Benchmark, TraceGen};
 use dca_dram_cache::{OrgKind, TagCache};
 use dca_metrics::Table;
 
+/// Set when any figure file failed to write; turns into exit code 1.
+static WRITE_FAILED: AtomicBool = AtomicBool::new(false);
+
+/// Every user-facing selection flag, in `--all` output order.
+const FIGURE_FLAGS: &[&str] = &[
+    "--table1", "--table2", "--fig7", "--fig8", "--fig9", "--fig10", "--fig11", "--fig12",
+    "--fig13", "--fig14", "--fig15", "--fig16", "--fig17", "--fig18", "--fig19", "--ff",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: figures [--all] [{}] [--jobs N] [--chunk M]\n\
+         \x20      figures --worker --job <id>\n\
+         \n\
+         \x20 --all        regenerate everything (default with no figure flags)\n\
+         \x20 --jobs N     shard the run across N worker subprocesses\n\
+         \x20 --chunk M    mixes per sharded job (default {DEFAULT_CHUNK})\n\
+         \x20 --worker     run one job and write its JSON partial (internal)\n\
+         \x20 --job <id>   the job a worker executes\n\
+         \n\
+         environment: DCA_FULL, DCA_INSTS, DCA_MIXES, DCA_WARMUP, DCA_WARM*",
+        FIGURE_FLAGS.join("] [")
+    )
+}
+
+struct Cli {
+    /// Selected figure flags (without `--`); empty means all.
+    figures: Vec<String>,
+    /// Worker-subprocess count; `None` is the serial in-process path.
+    jobs: Option<usize>,
+    /// Mixes per sharded job.
+    chunk: usize,
+    /// Worker mode: the job to execute.
+    worker_job: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        figures: Vec::new(),
+        jobs: None,
+        chunk: DEFAULT_CHUNK,
+        worker_job: None,
+    };
+    let mut all = false;
+    let mut worker = false;
+    let mut it = args.iter().peekable();
+    let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                    flag: &str,
+                    inline: Option<&str>|
+     -> Result<String, String> {
+        if let Some(v) = inline {
+            return Ok(v.to_string());
+        }
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        // Only --job/--jobs/--chunk take a value; an inline `=value` on
+        // any other flag is a typo'd invocation, not a selection.
+        let no_value = |flag: &str| -> Result<(), String> {
+            match inline {
+                Some(v) => Err(format!("{flag} takes no value, got {flag}={v:?}")),
+                None => Ok(()),
+            }
+        };
+        match flag {
+            "--all" => {
+                no_value("--all")?;
+                all = true;
+            }
+            "--worker" => {
+                no_value("--worker")?;
+                worker = true;
+            }
+            "--job" => cli.worker_job = Some(value_of(&mut it, "--job", inline)?),
+            "--jobs" => {
+                let v = value_of(&mut it, "--jobs", inline)?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs wants a worker count >= 1, got {v:?}"))?;
+                cli.jobs = Some(n);
+            }
+            "--chunk" => {
+                let v = value_of(&mut it, "--chunk", inline)?;
+                cli.chunk = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--chunk wants a size >= 1, got {v:?}"))?;
+            }
+            f if FIGURE_FLAGS.contains(&f) => {
+                no_value(f)?;
+                cli.figures.push(f.trim_start_matches("--").to_string())
+            }
+            f => return Err(format!("unrecognized flag {f:?}")),
+        }
+    }
+    if worker != cli.worker_job.is_some() {
+        return Err("--worker and --job must be used together".to_string());
+    }
+    if worker && (all || !cli.figures.is_empty() || cli.jobs.is_some()) {
+        return Err("--worker takes no figure selection and no --jobs".to_string());
+    }
+    if all {
+        cli.figures.clear();
+    }
+    Ok(cli)
+}
+
+fn wanted(cli: &Cli, flag: &str) -> bool {
+    cli.figures.is_empty() || cli.figures.iter().any(|f| f == flag)
+}
+
+/// Write one figure to stdout and `results/<name>.{md,csv,json}`.
+/// A failed write is an error on stderr and a non-zero process exit —
+/// never a silently missing file.
 fn out(name: &str, title: &str, table: &Table) {
     let md = format!("# {title}\n\n{}\n", table.to_markdown());
     println!("\n== {title} ==\n{}", table.to_markdown());
-    fs::create_dir_all("results").ok();
-    fs::write(Path::new("results").join(format!("{name}.md")), &md).ok();
-    fs::write(
-        Path::new("results").join(format!("{name}.csv")),
-        table.to_csv(),
-    )
-    .ok();
+    let results = Path::new("results");
+    for (file, content) in [
+        (format!("{name}.md"), md),
+        (format!("{name}.csv"), table.to_csv()),
+        (format!("{name}.json"), table.to_json(title)),
+    ] {
+        let path = results.join(file);
+        if let Err(e) = fs::write(&path, &content) {
+            eprintln!("figures: error: cannot write {}: {e}", path.display());
+            WRITE_FAILED.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 fn fmt(v: f64) -> String {
@@ -135,210 +281,6 @@ fn fig7() {
     out("fig7", "Fig 7 — CD vs ROD vs DCA service behaviour", &t);
 }
 
-/// Figs 8 & 9: average normalized weighted speedup, without/with remap.
-fn fig8_9(scale: &Scale) {
-    for (figname, remap) in [("fig8", false), ("fig9", true)] {
-        let mut t = Table::new(vec!["organisation", "CD", "ROD", "DCA"]);
-        for org in [OrgKind::paper_set_assoc(), OrgKind::DirectMapped] {
-            let alone = AloneIpc::new();
-            alone.prime(&scale.mixes, org);
-            // Baseline: CD *without* remap, as in the paper's Fig 9.
-            let base = evaluate(
-                RunSpec::new(Design::Cd, org),
-                &scale.mixes,
-                &alone,
-                "CD-base",
-            );
-            let mut cells = vec![org.label().to_string()];
-            for design in Design::ALL {
-                let mut spec = RunSpec::new(design, org);
-                if remap {
-                    spec = spec.with_remap();
-                }
-                let s = evaluate(spec, &scale.mixes, &alone, design.label());
-                cells.push(fmt(s.ws_geomean() / base.ws_geomean()));
-            }
-            t.row(cells);
-        }
-        let title = if remap {
-            "Fig 9 — average speedup with XOR remapping (normalized to CD without remapping)"
-        } else {
-            "Fig 8 — average normalized weighted speedup"
-        };
-        out(figname, title, &t);
-    }
-}
-
-/// Figs 10 & 11: per-workload speedups.
-fn fig10_11(scale: &Scale) {
-    for (figname, org, title) in [
-        (
-            "fig10",
-            OrgKind::paper_set_assoc(),
-            "Fig 10 — per-workload speedup (set-associative)",
-        ),
-        (
-            "fig11",
-            OrgKind::DirectMapped,
-            "Fig 11 — per-workload speedup (direct-mapped)",
-        ),
-    ] {
-        let alone = AloneIpc::new();
-        alone.prime(&scale.mixes, org);
-        let mut summaries = Vec::new();
-        for design in Design::ALL {
-            summaries.push(evaluate(
-                RunSpec::new(design, org),
-                &scale.mixes,
-                &alone,
-                design.label(),
-            ));
-        }
-        for design in Design::ALL {
-            summaries.push(evaluate(
-                RunSpec::new(design, org).with_remap(),
-                &scale.mixes,
-                &alone,
-                &format!("XOR+{}", design.label()),
-            ));
-        }
-        let base_ws = summaries[0].ws.clone();
-        let mut header = vec!["mix".to_string()];
-        header.extend(summaries.iter().map(|s| s.label.clone()));
-        let mut t = Table::new(header);
-        for (i, &mid) in scale.mixes.iter().enumerate() {
-            let mut row = vec![mix(mid).name()];
-            for s in &summaries {
-                row.push(fmt(s.ws[i] / base_ws[i]));
-            }
-            t.row(row);
-        }
-        out(figname, title, &t);
-    }
-}
-
-/// Figs 12 & 13: L2 miss latency improvement over CD.
-fn fig12_13(scale: &Scale) {
-    for (figname, org, title) in [
-        (
-            "fig12",
-            OrgKind::paper_set_assoc(),
-            "Fig 12 — L2 miss latency improvement (set-associative)",
-        ),
-        (
-            "fig13",
-            OrgKind::DirectMapped,
-            "Fig 13 — L2 miss latency improvement (direct-mapped)",
-        ),
-    ] {
-        let alone = AloneIpc::new();
-        let mut t = Table::new(vec![
-            "design",
-            "mean miss latency (ns)",
-            "improvement vs CD",
-        ]);
-        let base = evaluate(RunSpec::new(Design::Cd, org), &scale.mixes, &alone, "CD");
-        for design in Design::ALL {
-            let s = evaluate(
-                RunSpec::new(design, org),
-                &scale.mixes,
-                &alone,
-                design.label(),
-            );
-            t.row(vec![
-                design.label().to_string(),
-                format!("{:.1}", s.mean_latency()),
-                fmt(base.mean_latency() / s.mean_latency()),
-            ]);
-        }
-        for design in Design::ALL {
-            let s = evaluate(
-                RunSpec::new(design, org).with_remap(),
-                &scale.mixes,
-                &alone,
-                design.label(),
-            );
-            t.row(vec![
-                format!("XOR+{}", design.label()),
-                format!("{:.1}", s.mean_latency()),
-                fmt(base.mean_latency() / s.mean_latency()),
-            ]);
-        }
-        out(figname, title, &t);
-    }
-}
-
-/// Figs 14 & 15: accesses per turnaround.
-fn fig14_15(scale: &Scale) {
-    for (figname, org, title) in [
-        (
-            "fig14",
-            OrgKind::paper_set_assoc(),
-            "Fig 14 — accesses per turnaround (set-associative)",
-        ),
-        (
-            "fig15",
-            OrgKind::DirectMapped,
-            "Fig 15 — accesses per turnaround (direct-mapped)",
-        ),
-    ] {
-        let alone = AloneIpc::new();
-        let mut t = Table::new(vec!["design", "accesses/turnaround"]);
-        for design in Design::ALL {
-            let s = evaluate(
-                RunSpec::new(design, org),
-                &scale.mixes,
-                &alone,
-                design.label(),
-            );
-            t.row(vec![
-                design.label().to_string(),
-                format!("{:.2}", s.mean_apt()),
-            ]);
-        }
-        out(figname, title, &t);
-    }
-}
-
-/// Figs 16 & 17: read row-buffer hit rate.
-fn fig16_17(scale: &Scale) {
-    for (figname, org, title) in [
-        (
-            "fig16",
-            OrgKind::paper_set_assoc(),
-            "Fig 16 — row buffer hit rate (set-associative)",
-        ),
-        (
-            "fig17",
-            OrgKind::DirectMapped,
-            "Fig 17 — row buffer hit rate (direct-mapped)",
-        ),
-    ] {
-        let alone = AloneIpc::new();
-        let mut t = Table::new(vec!["design", "no remap", "with remap"]);
-        for design in Design::ALL {
-            let s = evaluate(
-                RunSpec::new(design, org),
-                &scale.mixes,
-                &alone,
-                design.label(),
-            );
-            let sr = evaluate(
-                RunSpec::new(design, org).with_remap(),
-                &scale.mixes,
-                &alone,
-                design.label(),
-            );
-            t.row(vec![
-                design.label().to_string(),
-                fmt(s.mean_row_hit()),
-                fmt(sr.mean_row_hit()),
-            ]);
-        }
-        out(figname, title, &t);
-    }
-}
-
 /// Fig 18: DRAM tag accesses vs tag-cache size, normalized to no tag
 /// cache (offline study over the set-access stream, as in ATCache \[4\]).
 fn fig18(scale: &Scale) {
@@ -380,104 +322,248 @@ fn fig18(scale: &Scale) {
     );
 }
 
-/// Fig 19: speedup under Lee's DRAM-aware L2 writeback (direct-mapped).
-fn fig19(scale: &Scale) {
-    let org = OrgKind::DirectMapped;
-    let alone = AloneIpc::new();
-    alone.prime(&scale.mixes, org);
-    let base = evaluate(
-        RunSpec::new(Design::Cd, org).with_lee(),
-        &scale.mixes,
-        &alone,
-        "LEE+CD",
-    );
-    let mut t = Table::new(vec!["design (with Lee writeback)", "speedup vs LEE+CD"]);
-    t.row(vec!["LEE+CD".to_string(), fmt(1.0)]);
-    for design in [Design::Rod, Design::Dca] {
-        let s = evaluate(
-            RunSpec::new(design, org).with_lee(),
-            &scale.mixes,
-            &alone,
-            design.label(),
-        );
-        t.row(vec![
-            format!("LEE+{}", design.label()),
-            fmt(s.ws_geomean() / base.ws_geomean()),
-        ]);
+/// Render one planned (shardable) figure from the merged store. The
+/// unit layouts here mirror `shard::figure_plan` exactly.
+fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), String> {
+    let s = |i: usize| store.summary(&plan.units[i], &plan.mixes, chunk);
+    match plan.name {
+        "fig8" | "fig9" => {
+            // Per org: [CD-base, CD, ROD, DCA].
+            let mut t = Table::new(vec!["organisation", "CD", "ROD", "DCA"]);
+            for oi in 0..2 {
+                let base = s(oi * 4)?;
+                let mut cells = vec![plan.units[oi * 4].spec.org.label().to_string()];
+                for d in 0..3 {
+                    cells.push(fmt(s(oi * 4 + 1 + d)?.ws_geomean() / base.ws_geomean()));
+                }
+                t.row(cells);
+            }
+            let title = if plan.name == "fig9" {
+                "Fig 9 — average speedup with XOR remapping (normalized to CD without remapping)"
+            } else {
+                "Fig 8 — average normalized weighted speedup"
+            };
+            out(plan.name, title, &t);
+        }
+        "fig10" | "fig11" => {
+            // [CD, ROD, DCA, XOR+CD, XOR+ROD, XOR+DCA].
+            let summaries: Vec<_> = (0..plan.units.len()).map(s).collect::<Result<_, _>>()?;
+            let base_ws = summaries[0].ws.clone();
+            let mut header = vec!["mix".to_string()];
+            header.extend(summaries.iter().map(|x| x.label.clone()));
+            let mut t = Table::new(header);
+            for (i, &mid) in plan.mixes.iter().enumerate() {
+                let mut row = vec![mix(mid).name()];
+                for x in &summaries {
+                    row.push(fmt(x.ws[i] / base_ws[i]));
+                }
+                t.row(row);
+            }
+            let title = if plan.name == "fig10" {
+                "Fig 10 — per-workload speedup (set-associative)"
+            } else {
+                "Fig 11 — per-workload speedup (direct-mapped)"
+            };
+            out(plan.name, title, &t);
+        }
+        "fig12" | "fig13" => {
+            // [CD-base, CD, ROD, DCA, XOR+CD, XOR+ROD, XOR+DCA].
+            let base = s(0)?;
+            let mut t = Table::new(vec![
+                "design",
+                "mean miss latency (ns)",
+                "improvement vs CD",
+            ]);
+            for i in 1..plan.units.len() {
+                let x = s(i)?;
+                t.row(vec![
+                    x.label.clone(),
+                    format!("{:.1}", x.mean_latency()),
+                    fmt(base.mean_latency() / x.mean_latency()),
+                ]);
+            }
+            let title = if plan.name == "fig12" {
+                "Fig 12 — L2 miss latency improvement (set-associative)"
+            } else {
+                "Fig 13 — L2 miss latency improvement (direct-mapped)"
+            };
+            out(plan.name, title, &t);
+        }
+        "fig14" | "fig15" => {
+            let mut t = Table::new(vec!["design", "accesses/turnaround"]);
+            for i in 0..plan.units.len() {
+                let x = s(i)?;
+                t.row(vec![x.label.clone(), format!("{:.2}", x.mean_apt())]);
+            }
+            let title = if plan.name == "fig14" {
+                "Fig 14 — accesses per turnaround (set-associative)"
+            } else {
+                "Fig 15 — accesses per turnaround (direct-mapped)"
+            };
+            out(plan.name, title, &t);
+        }
+        "fig16" | "fig17" => {
+            // Pairs: [CD, XOR+CD, ROD, XOR+ROD, DCA, XOR+DCA].
+            let mut t = Table::new(vec!["design", "no remap", "with remap"]);
+            for pair in 0..3 {
+                let plain = s(pair * 2)?;
+                let remap = s(pair * 2 + 1)?;
+                t.row(vec![
+                    plain.label.clone(),
+                    fmt(plain.mean_row_hit()),
+                    fmt(remap.mean_row_hit()),
+                ]);
+            }
+            let title = if plan.name == "fig16" {
+                "Fig 16 — row buffer hit rate (set-associative)"
+            } else {
+                "Fig 17 — row buffer hit rate (direct-mapped)"
+            };
+            out(plan.name, title, &t);
+        }
+        "fig19" => {
+            // [LEE+CD, LEE+ROD, LEE+DCA].
+            let base = s(0)?;
+            let mut t = Table::new(vec!["design (with Lee writeback)", "speedup vs LEE+CD"]);
+            t.row(vec!["LEE+CD".to_string(), fmt(1.0)]);
+            for i in 1..plan.units.len() {
+                let x = s(i)?;
+                t.row(vec![
+                    x.label.clone(),
+                    fmt(x.ws_geomean() / base.ws_geomean()),
+                ]);
+            }
+            out(
+                "fig19",
+                "Fig 19 — speedup under DRAM-aware writeback (direct-mapped)",
+                &t,
+            );
+        }
+        "ablation_ff" => {
+            // [FF-1 .. FF-5]; normalize to FF-4.
+            let base = s(3)?;
+            let mut t = Table::new(vec!["flushing factor", "WS geomean (normalized to FF-4)"]);
+            for i in 0..plan.units.len() {
+                let x = s(i)?;
+                t.row(vec![
+                    x.label.clone(),
+                    fmt(x.ws_geomean() / base.ws_geomean()),
+                ]);
+            }
+            out(
+                "ablation_ff",
+                "§IV-C — flushing-factor sensitivity (DCA, set-associative)",
+                &t,
+            );
+        }
+        other => return Err(format!("no renderer for figure {other:?}")),
     }
-    out(
-        "fig19",
-        "Fig 19 — speedup under DRAM-aware writeback (direct-mapped)",
-        &t,
-    );
+    Ok(())
 }
 
-/// §IV-C ablation: flushing-factor sensitivity (FF-1..FF-5).
-fn ablation_ff(scale: &Scale) {
-    let org = OrgKind::paper_set_assoc();
-    let alone = AloneIpc::new();
-    alone.prime(&scale.mixes, org);
-    let mut t = Table::new(vec!["flushing factor", "WS geomean (normalized to FF-4)"]);
-    let mut results = Vec::new();
-    for ff in 1..=5u8 {
-        let mut spec = RunSpec::new(Design::Dca, org);
-        spec.flushing_factor = ff;
-        let s = evaluate(spec, &scale.mixes, &alone, &format!("FF-{ff}"));
-        results.push((ff, s.ws_geomean()));
-    }
-    let base = results.iter().find(|(ff, _)| *ff == 4).unwrap().1;
-    for (ff, ws) in results {
-        t.row(vec![format!("FF-{ff}"), fmt(ws / base)]);
-    }
-    out(
-        "ablation_ff",
-        "§IV-C — flushing-factor sensitivity (DCA, set-associative)",
-        &t,
-    );
+/// Which shardable figures a selection pulls in, in `--all` order.
+/// `shard::figure_plan` is the single authority on shardability: names
+/// it declines (tables, fig7, fig18 — the local figures) are dropped
+/// by the `filter_map` at the call site.
+fn planned_figures(cli: &Cli) -> Vec<&'static str> {
+    FIGURE_FLAGS
+        .iter()
+        .map(|flag| flag.trim_start_matches("--"))
+        .filter(|short| wanted(cli, short))
+        .map(|short| if short == "ff" { "ablation_ff" } else { short })
+        .collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag || a == "--all");
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("figures: error: {e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    // Worker mode: one job, one partial, no banner, no figure output.
+    if let Some(job_id) = &cli.worker_job {
+        if let Err(e) = shard::run_worker(job_id) {
+            eprintln!("figures worker: error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // The output directory is load-bearing for every figure — create it
+    // up front and refuse to run if that fails, instead of quietly
+    // producing nothing.
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("figures: error: cannot create results/: {e}");
+        std::process::exit(1);
+    }
+
     let scale = Scale::from_env();
     eprintln!(
-        "figures: insts/core={}, mixes={:?} (set DCA_FULL=1 for paper scale; \
-         DCA_WARM=0 for cold warm-ups; DCA_WARM_PERSIST=1 to persist under results/warm/)",
-        scale.insts, scale.mixes
+        "figures: insts/core={}, warmup/core={}, mixes={:?} (set DCA_FULL=1 for paper scale; \
+         DCA_WARM=0 for cold warm-ups; DCA_WARM_PERSIST=1 to persist under results/warm/; \
+         --jobs N to shard across processes)",
+        scale.insts, scale.warmup, scale.mixes
     );
     let t0 = Instant::now();
-    if want("--table1") {
+
+    // Local (unsharded) figures.
+    if wanted(&cli, "table1") {
         table1();
     }
-    if want("--table2") {
+    if wanted(&cli, "table2") {
         table2();
     }
-    if want("--fig7") {
+    if wanted(&cli, "fig7") {
         fig7();
     }
-    if want("--fig8") || want("--fig9") {
-        fig8_9(&scale);
-    }
-    if want("--fig10") || want("--fig11") {
-        fig10_11(&scale);
-    }
-    if want("--fig12") || want("--fig13") {
-        fig12_13(&scale);
-    }
-    if want("--fig14") || want("--fig15") {
-        fig14_15(&scale);
-    }
-    if want("--fig16") || want("--fig17") {
-        fig16_17(&scale);
-    }
-    if want("--fig18") {
+    if wanted(&cli, "fig18") {
         fig18(&scale);
     }
-    if want("--fig19") {
-        fig19(&scale);
+
+    // Shardable figures: plan → execute (inline or across workers) →
+    // merge → render, one shared pipeline for both modes. A name that
+    // neither plans nor appears in the local list above is a wiring
+    // bug — fail loudly rather than silently rendering nothing.
+    const LOCAL_FIGURES: &[&str] = &["table1", "table2", "fig7", "fig18"];
+    let mut plans: Vec<FigurePlan> = Vec::new();
+    for name in planned_figures(&cli) {
+        match shard::figure_plan(name, &scale) {
+            Some(plan) => plans.push(plan),
+            None => assert!(
+                LOCAL_FIGURES.contains(&name),
+                "figure {name} has neither a shard plan nor a local renderer"
+            ),
+        }
     }
-    if want("--ff") {
-        ablation_ff(&scale);
+    if !plans.is_empty() {
+        let jobs = shard::plan_jobs(&plans, cli.chunk);
+        let store = match cli.jobs {
+            Some(workers) => match Coordinator::new(workers).run(&jobs) {
+                Ok((store, stats)) => {
+                    eprintln!(
+                        "figures: shard coordinator: {} jobs run, {} reused from prior \
+                         partials, {} retried, {} workers",
+                        stats.run, stats.reused, stats.retried, workers
+                    );
+                    store
+                }
+                Err(e) => {
+                    eprintln!("figures: error: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => shard::execute_inline(&jobs),
+        };
+        for plan in &plans {
+            if let Err(e) = render(plan, &store, cli.chunk) {
+                eprintln!("figures: error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     // Sweep wall-clock trajectory: how much warm-up sharing saved. Each
@@ -487,12 +573,16 @@ fn main() {
     // warm path asserted bit-identical to cold, in BENCH_engine.json.)
     let s = WarmCache::global().stats();
     eprintln!(
-        "figures: wall-clock {:.1}s; warm cache: {} warm-ups built, {} reused, {} disk-loaded \
-         ({} warm-ups avoided vs cold harness)",
+        "figures: wall-clock {:.1}s; warm cache: {} warm-ups built, {} reused, {} disk-loaded, \
+         {} lock-waits ({} warm-ups avoided vs cold harness)",
         t0.elapsed().as_secs_f64(),
         s.builds,
         s.hits,
         s.disk_loads,
+        s.lock_waits,
         s.hits + s.disk_loads
     );
+    if WRITE_FAILED.load(Ordering::Relaxed) {
+        std::process::exit(1);
+    }
 }

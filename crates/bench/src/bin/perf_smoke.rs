@@ -22,6 +22,14 @@
 //! clock noise on shared CI runners cannot flake the gate. The JSON
 //! carries the real ratio for trajectory tracking.)
 //!
+//! It also runs the **shard smoke**: a tiny two-mix figure
+//! (`figures --fig14`) once serially and once through the process-
+//! sharded coordinator (`--jobs 2`), in separate scratch directories,
+//! asserting the rendered `results/fig14.{md,json,csv}` files are
+//! **byte-identical** between the two modes and recording both wall
+//! clocks in the JSON's `shard` section. CI runs this binary, so any
+//! coordinator/serial divergence fails the build.
+//!
 //! Finally it runs the **trace-file smoke**: the checked-in
 //! `tests/fixtures/*.dcat` fixture is registered, bundled into a
 //! custom mix, and driven through the same `RunSpec::run_mix`
@@ -299,6 +307,80 @@ fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
     }
 }
 
+/// Outcome of the serial-vs-sharded figure smoke.
+struct ShardSmokeResult {
+    /// Worker subprocesses used in the sharded flavour.
+    jobs: u32,
+    /// Serial (in-process) wall clock.
+    serial_s: f64,
+    /// Sharded coordinator wall clock.
+    sharded_s: f64,
+}
+
+/// Run `figures --fig14` serially and with `--jobs 2` on a tiny
+/// two-mix scale, in separate scratch directories, and assert the
+/// rendered outputs are byte-identical. Returns both wall clocks.
+fn run_shard_smoke() -> ShardSmokeResult {
+    use std::path::PathBuf;
+    use std::process::Command;
+
+    let exe = std::env::current_exe().expect("current exe");
+    let figures = exe.with_file_name("figures");
+    assert!(
+        figures.exists(),
+        "figures binary not found next to perf_smoke ({}); build the workspace first",
+        figures.display()
+    );
+    let scratch = |tag: &str| -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dca-shard-smoke-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    };
+    let run = |dir: &PathBuf, extra: &[&str]| -> f64 {
+        let t0 = Instant::now();
+        // The child's tables are byte-compared below, not read by a
+        // human here — keep them off perf_smoke's own report.
+        let status = Command::new(&figures)
+            .arg("--fig14")
+            .args(extra)
+            .current_dir(dir)
+            .env("DCA_MIXES", "1,2")
+            .env("DCA_INSTS", "20000")
+            .env("DCA_WARMUP", "60000")
+            .env_remove("DCA_FULL")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("spawn figures");
+        assert!(status.success(), "figures {extra:?} failed with {status}");
+        t0.elapsed().as_secs_f64()
+    };
+
+    let serial_dir = scratch("serial");
+    let shard_dir = scratch("jobs2");
+    let serial_s = run(&serial_dir, &[]);
+    let jobs = 2u32;
+    let sharded_s = run(&shard_dir, &["--jobs", "2"]);
+
+    for file in ["fig14.md", "fig14.json", "fig14.csv"] {
+        let a = std::fs::read(serial_dir.join("results").join(file)).expect(file);
+        let b = std::fs::read(shard_dir.join("results").join(file)).expect(file);
+        assert_eq!(
+            a, b,
+            "sharded {file} diverged from the serial run — coordinator merge broke bit-identity"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    ShardSmokeResult {
+        jobs,
+        serial_s,
+        sharded_s,
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -352,6 +434,16 @@ fn main() {
         sweep.speedup()
     );
 
+    let shard = run_shard_smoke();
+    println!(
+        "\nshard smoke (fig14, 2 mixes): serial {:.2}s   --jobs {} {:.2}s   ratio {:.3}x \
+         (figure files byte-identical)",
+        shard.serial_s,
+        shard.jobs,
+        shard.sharded_s,
+        shard.serial_s / shard.sharded_s
+    );
+
     let trace = run_trace_smoke(insts);
     println!(
         "\ntrace smoke (fixture mix {}, RunSpec::run_mix): first (warms cache) {:.2}s   \
@@ -379,6 +471,8 @@ fn main() {
          \"speedup_calendar_over_heap\": {vs_heap:.4}{reference},\n  \
          \"sweep\": {{\"variants\": {}, \"reps\": {sweep_reps}, \"cold_s\": {:.4}, \
          \"warm_s\": {:.4}, \"speedup\": {:.4}}},\n  \
+         \"shard\": {{\"figure\": \"fig14\", \"jobs\": {}, \"serial_s\": {:.4}, \
+         \"sharded_s\": {:.4}, \"speedup\": {:.4}}},\n  \
          \"trace_smoke\": {{\"mix_id\": {}, \"build_s\": {:.4}, \"warm_s\": {:.4}, \
          \"cold_s\": {:.4}}},\n  \
          \"events_processed\": {},\n  \"sim_time_us\": {:.3}\n}}\n",
@@ -392,6 +486,10 @@ fn main() {
         sweep.cold_s,
         sweep.warm_s,
         sweep.speedup(),
+        shard.jobs,
+        shard.serial_s,
+        shard.sharded_s,
+        shard.serial_s / shard.sharded_s,
         trace.mix_id,
         trace.build_s,
         trace.warm_s,

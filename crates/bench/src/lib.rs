@@ -14,6 +14,21 @@
 //! * `DCA_FULL=1` — paper scale (2 M instructions/core, all 30 mixes).
 //! * `DCA_INSTS=n` — instructions per core.
 //! * `DCA_MIXES=a,b,c` — explicit mix ids (1..=30).
+//! * `DCA_WARMUP=n` — warm-up ops per core (default: `insts/2` clamped
+//!   to 400 k..=1 M; the override exists so tiny CI/shard smoke runs
+//!   don't pay a 400 k-op functional warm-up per key).
+//!
+//! ## Process sharding
+//!
+//! The `figures` binary can split a figure run across worker
+//! *subprocesses* (`figures --jobs N`): the run is decomposed into
+//! deterministically named jobs, workers emit machine-readable JSON
+//! partials under `results/partials/`, and the coordinator merges them
+//! into the same per-figure outputs a single-process run writes —
+//! bit-identical, by construction and by test. See [`shard`] for the
+//! job model, the partial schema, and the crash-safety rules, and
+//! [`warm`] for how concurrent workers coordinate warm-ups through the
+//! shared `DCA_WARM_DIR`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,12 +40,16 @@ use dca_dram::MappingScheme;
 use dca_dram_cache::OrgKind;
 use dca_metrics::{geomean, weighted_speedup};
 
+pub mod shard;
 pub mod warm;
 
 pub use warm::{WarmCache, WarmCacheStats};
 
+/// The experiment seed shared by every harness entry point.
+pub const DEFAULT_SEED: u64 = 0xDCA_2016;
+
 /// Everything that defines one simulation run (minus the workload).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunSpec {
     /// Controller design.
     pub design: Design,
@@ -53,7 +72,12 @@ pub struct RunSpec {
 impl RunSpec {
     /// Paper-default spec at the harness scale.
     pub fn new(design: Design, org: OrgKind) -> Self {
-        let scale = Scale::from_env();
+        Self::at_scale(design, org, &Scale::from_env())
+    }
+
+    /// Paper-default spec at an explicit scale (the sharded planner and
+    /// its tests build specs without consulting the environment).
+    pub fn at_scale(design: Design, org: OrgKind, scale: &Scale) -> Self {
         RunSpec {
             design,
             org,
@@ -62,7 +86,7 @@ impl RunSpec {
             flushing_factor: 4,
             insts: scale.insts,
             warmup: scale.warmup,
-            seed: 0xDCA_2016,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -137,14 +161,18 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Read `DCA_FULL` / `DCA_INSTS` / `DCA_MIXES`.
+    /// Read `DCA_FULL` / `DCA_INSTS` / `DCA_MIXES` / `DCA_WARMUP`.
     pub fn from_env() -> Scale {
         let full = std::env::var("DCA_FULL").map(|v| v == "1").unwrap_or(false);
         let insts = std::env::var("DCA_INSTS")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(if full { 2_000_000 } else { 400_000 });
-        let warmup = (insts / 2).clamp(400_000, 1_000_000);
+        let warmup = std::env::var("DCA_WARMUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&w: &u64| w > 0)
+            .unwrap_or((insts / 2).clamp(400_000, 1_000_000));
         let mixes = std::env::var("DCA_MIXES")
             .ok()
             .map(|v| {
@@ -345,6 +373,69 @@ where
         .collect()
 }
 
+/// The raw, serialisable measurement one mix contributes to a figure:
+/// everything a worker must report so the coordinator can finish the
+/// figure math (weighted speedups need the alone-IPC table, which lives
+/// in separate jobs, so workers ship per-core IPCs instead of WS).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixPoint {
+    /// Mix id the point was measured on.
+    pub mix: u32,
+    /// Per-core shared-run IPC, in core order.
+    pub core_ipc: Vec<f64>,
+    /// Mean L2 miss latency (ns).
+    pub miss_latency_ns: f64,
+    /// Accesses per bus turnaround.
+    pub apt: f64,
+    /// Read row-buffer hit rate.
+    pub row_hit: f64,
+}
+
+impl MixPoint {
+    /// Measure one mix under `spec` (warm-cached like
+    /// [`RunSpec::run_mix`]).
+    pub fn measure(spec: &RunSpec, mix_id: u32) -> MixPoint {
+        let r = spec.run_mix(mix_id);
+        MixPoint {
+            mix: mix_id,
+            core_ipc: r.cores.iter().map(|c| c.ipc).collect(),
+            miss_latency_ns: r.l2_miss_latency.mean_ns(),
+            apt: r.accesses_per_turnaround(),
+            row_hit: r.read_row_hit_rate(),
+        }
+    }
+}
+
+/// Fold measured [`MixPoint`]s into a [`DesignSummary`], resolving each
+/// benchmark's alone IPC through `alone` (an [`AloneIpc`] table in
+/// single-process mode, a merged partial store in sharded mode). Both
+/// paths run the exact same float operations in the exact same order,
+/// which is what makes sharded output bit-identical to serial output.
+pub fn summarize<F>(label: &str, org: OrgKind, points: &[MixPoint], alone: F) -> DesignSummary
+where
+    F: Fn(Benchmark, OrgKind) -> f64,
+{
+    let mut ws = Vec::new();
+    let mut lat = Vec::new();
+    let mut apt = Vec::new();
+    let mut rhr = Vec::new();
+    for p in points {
+        let m = mix(p.mix);
+        let alone_ipc: Vec<f64> = m.benches.iter().map(|&b| alone(b, org)).collect();
+        ws.push(weighted_speedup(&p.core_ipc, &alone_ipc));
+        lat.push(p.miss_latency_ns);
+        apt.push(p.apt);
+        rhr.push(p.row_hit);
+    }
+    DesignSummary {
+        label: label.to_string(),
+        ws,
+        miss_latency_ns: lat,
+        apt,
+        row_hit: rhr,
+    }
+}
+
 /// Per-design summary over a set of mixes.
 #[derive(Clone, Debug)]
 pub struct DesignSummary {
@@ -384,25 +475,8 @@ impl DesignSummary {
 
 /// Evaluate `spec` over `mixes` (parallel), producing a summary.
 pub fn evaluate(spec: RunSpec, mixes: &[u32], alone: &AloneIpc, label: &str) -> DesignSummary {
-    let reports = run_parallel(mixes.to_vec(), |id| (id, spec.run_mix(id)));
-    let mut ws = Vec::new();
-    let mut lat = Vec::new();
-    let mut apt = Vec::new();
-    let mut rhr = Vec::new();
-    for (id, r) in &reports {
-        let m = mix(*id);
-        ws.push(alone.weighted_speedup(r, &m, spec.org));
-        lat.push(r.l2_miss_latency.mean_ns());
-        apt.push(r.accesses_per_turnaround());
-        rhr.push(r.read_row_hit_rate());
-    }
-    DesignSummary {
-        label: label.to_string(),
-        ws,
-        miss_latency_ns: lat,
-        apt,
-        row_hit: rhr,
-    }
+    let points = run_parallel(mixes.to_vec(), |id| MixPoint::measure(&spec, id));
+    summarize(label, spec.org, &points, |b, org| alone.get(b, org))
 }
 
 #[cfg(test)]

@@ -35,11 +35,27 @@
 //! interleave partial writes into one visible blob — reuse can only
 //! ever be a cache hit of the exact bytes a cold warm-up would
 //! produce.
+//!
+//! ## Cross-process coordination
+//!
+//! When several *processes* share one `DCA_WARM_DIR` (the sharded
+//! figure harness, `figures --jobs N`), atomic renames alone still let
+//! two workers *build* the same warm-up concurrently — correct but
+//! wasted work. A coarse **advisory lock file** (`<fp>.lock`, created
+//! with `O_EXCL`) closes that hole: the first builder of a fingerprint
+//! takes the lock, everyone else polls the blob path (**read → verify
+//! → retry**) until the finished blob validates, the lock disappears
+//! (then whoever re-acquires proceeds), or a deadline passes
+//! (`DCA_WARM_LOCK_MS`, default 60 000) — at which point the waiter
+//! shrugs and builds locally, because the lock is advisory and a
+//! crashed holder must never wedge the sweep. Lock waits are counted
+//! in [`WarmCacheStats::lock_waits`].
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use dca::{System, SystemConfig, WarmState};
 use dca_cpu::Benchmark;
@@ -54,6 +70,8 @@ pub struct WarmCacheStats {
     pub hits: u64,
     /// States loaded from a valid on-disk blob.
     pub disk_loads: u64,
+    /// Times this cache waited on another process's advisory lock.
+    pub lock_waits: u64,
 }
 
 /// One per-key rendezvous point: same-key builders serialise on the
@@ -69,9 +87,13 @@ pub struct WarmCache {
     /// `DCA_WARM` latched at construction: whether callers should reuse
     /// warm state at all.
     reuse: bool,
+    /// How long to wait on another process's advisory build lock before
+    /// giving up and building locally (`DCA_WARM_LOCK_MS`).
+    lock_timeout: Duration,
     builds: AtomicU64,
     hits: AtomicU64,
     disk_loads: AtomicU64,
+    lock_waits: AtomicU64,
 }
 
 impl Default for WarmCache {
@@ -90,27 +112,79 @@ impl Default for WarmCache {
 /// `DCA_WARM_CAP`; the default 8-mix scale stays under ~600 MB).
 const DEFAULT_CAP: usize = 48;
 
+/// Default advisory-lock wait (ms): generous against a slow builder,
+/// small against a whole sweep's wall clock.
+const DEFAULT_LOCK_MS: u64 = 60_000;
+
 impl WarmCache {
     /// A cache configured from the environment (see module docs). All
     /// `DCA_WARM*` knobs are read here, exactly once — the returned
-    /// cache's policy is immutable for its lifetime.
+    /// cache's policy is immutable for its lifetime. A malformed knob
+    /// warns (once, here) naming the offending value and the fallback
+    /// used, instead of silently pretending it was never set.
     pub fn new() -> Self {
-        let cap = std::env::var("DCA_WARM_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n: &usize| n > 0)
-            .unwrap_or(DEFAULT_CAP);
+        let cap = match std::env::var("DCA_WARM_CAP") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                Ok(_) => {
+                    eprintln!(
+                        "warning: DCA_WARM_CAP={v:?} must be a positive integer; \
+                         using the default cap of {DEFAULT_CAP}"
+                    );
+                    DEFAULT_CAP
+                }
+                Err(_) => {
+                    eprintln!(
+                        "warning: DCA_WARM_CAP={v:?} is not an integer; \
+                         using the default cap of {DEFAULT_CAP}"
+                    );
+                    DEFAULT_CAP
+                }
+            },
+            Err(_) => DEFAULT_CAP,
+        };
+        let persist = match std::env::var("DCA_WARM_PERSIST") {
+            Ok(v) if v == "1" => true,
+            Ok(v) if v == "0" || v.is_empty() => false,
+            Ok(v) => {
+                eprintln!(
+                    "warning: DCA_WARM_PERSIST={v:?} is neither \"0\" nor \"1\"; \
+                     treating it as disabled (set DCA_WARM_PERSIST=1 to persist)"
+                );
+                false
+            }
+            Err(_) => false,
+        };
         let disk_dir = std::env::var("DCA_WARM_DIR")
             .ok()
             .map(PathBuf::from)
-            .or_else(|| {
-                std::env::var("DCA_WARM_PERSIST")
-                    .map(|v| v == "1")
-                    .unwrap_or(false)
-                    .then(|| PathBuf::from("results/warm"))
-            });
-        let reuse = std::env::var("DCA_WARM").map(|v| v != "0").unwrap_or(true);
-        Self::with_policy(cap, disk_dir, reuse)
+            .or_else(|| persist.then(|| PathBuf::from("results/warm")));
+        let reuse = match std::env::var("DCA_WARM") {
+            Ok(v) if v == "0" => false,
+            Ok(v) if v == "1" => true,
+            Ok(v) => {
+                eprintln!(
+                    "warning: DCA_WARM={v:?} is neither \"0\" nor \"1\"; \
+                     treating it as enabled (set DCA_WARM=0 to disable warm reuse)"
+                );
+                true
+            }
+            Err(_) => true,
+        };
+        let lock_ms = match std::env::var("DCA_WARM_LOCK_MS") {
+            Ok(v) => match v.parse::<u64>() {
+                Ok(ms) => ms,
+                Err(_) => {
+                    eprintln!(
+                        "warning: DCA_WARM_LOCK_MS={v:?} is not an integer; \
+                         using the default of {DEFAULT_LOCK_MS} ms"
+                    );
+                    DEFAULT_LOCK_MS
+                }
+            },
+            Err(_) => DEFAULT_LOCK_MS,
+        };
+        Self::with_policy(cap, disk_dir, reuse).with_lock_timeout(Duration::from_millis(lock_ms))
     }
 
     /// A cache with an explicit policy, bypassing the environment
@@ -122,10 +196,18 @@ impl WarmCache {
             cap: cap.max(1),
             disk_dir,
             reuse,
+            lock_timeout: Duration::from_millis(DEFAULT_LOCK_MS),
             builds: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
         }
+    }
+
+    /// Override the advisory-lock wait deadline (tests mostly).
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
     }
 
     /// The process-wide shared instance. Environment knobs are latched
@@ -155,6 +237,7 @@ impl WarmCache {
             builds: self.builds.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -182,16 +265,77 @@ impl WarmCache {
             }
         };
         slot.get_or_init(|| {
-            if let Some(state) = self.try_disk_load(fp) {
-                self.disk_loads.fetch_add(1, Ordering::Relaxed);
-                return Arc::new(state);
-            }
+            let guard = match self.disk_coordinate(fp) {
+                DiskOutcome::Loaded(state) => {
+                    self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                    return Arc::new(state);
+                }
+                DiskOutcome::Build(guard) => guard,
+            };
             self.builds.fetch_add(1, Ordering::Relaxed);
             let state = System::capture_warm(*cfg, benches);
             self.try_disk_store(&state);
+            // Release the advisory lock only after the blob is visible,
+            // so a waiter that sees the lock vanish finds the result.
+            drop(guard);
             Arc::new(state)
         })
         .clone()
+    }
+
+    /// Decide how to satisfy a miss when a disk pool is configured:
+    /// load an existing blob, wait out another process's build
+    /// (read → verify → retry under the advisory lock), or build
+    /// locally — holding the lock when we could get it, lock-free when
+    /// the wait deadline passed (the lock is advisory; a crashed
+    /// holder must never wedge the sweep).
+    fn disk_coordinate(&self, fp: u64) -> DiskOutcome {
+        let Some(path) = self.blob_path(fp) else {
+            return DiskOutcome::Build(None);
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let lock_path = path.with_extension("lock");
+        let deadline = Instant::now() + self.lock_timeout;
+        let mut waited = false;
+        loop {
+            // quiet after the first pass: while polling, a not-yet-
+            // complete or not-yet-replaced blob is expected, not news.
+            if let Some(state) = self.try_disk_load_impl(fp, waited) {
+                return DiskOutcome::Loaded(state);
+            }
+            match LockGuard::try_acquire(&lock_path) {
+                Acquire::Held(guard) => {
+                    // We own the build — but re-check the blob once
+                    // more: the previous holder may have finished
+                    // storing between our read and our acquisition
+                    // (read-verify-retry).
+                    if let Some(state) = self.try_disk_load_impl(fp, true) {
+                        return DiskOutcome::Loaded(state);
+                    }
+                    return DiskOutcome::Build(Some(guard));
+                }
+                Acquire::Busy => {}
+                // An unusable warm dir must degrade to an immediate
+                // cold build, not a full lock-deadline sleep per key.
+                Acquire::Unavailable => return DiskOutcome::Build(None),
+            }
+            if !waited {
+                waited = true;
+                self.lock_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            if Instant::now() >= deadline {
+                eprintln!(
+                    "warning: warm lock {} still held after {:?}; building locally \
+                     (the lock is advisory — a crashed holder cannot block this run)",
+                    lock_path.display(),
+                    self.lock_timeout
+                );
+                return DiskOutcome::Build(None);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     fn blob_path(&self, fp: u64) -> Option<PathBuf> {
@@ -203,30 +347,35 @@ impl WarmCache {
     /// Load and fully validate an on-disk blob. A missing file is a
     /// silent miss; a file that *exists* but fails validation
     /// (truncated, bit-rotted, torn, or carrying the wrong
-    /// fingerprint) is a **logged** miss — the caller falls back to a
-    /// cold warm-up instead of erroring, and the next store replaces
-    /// the bad blob.
-    fn try_disk_load(&self, fp: u64) -> Option<WarmState> {
+    /// fingerprint) is a **logged** miss (unless `quiet`, used while
+    /// polling another process's in-flight build) — the caller falls
+    /// back to a cold warm-up instead of erroring, and the next store
+    /// replaces the bad blob.
+    fn try_disk_load_impl(&self, fp: u64, quiet: bool) -> Option<WarmState> {
         let path = self.blob_path(fp)?;
         let bytes = std::fs::read(&path).ok()?;
         match WarmState::decode(&bytes) {
             Ok(state) if state.fingerprint() == fp => Some(state),
             Ok(state) => {
-                eprintln!(
-                    "warning: warm blob {} carries fingerprint {:#018x}, expected {:#018x}; \
-                     ignoring it and warming cold",
-                    path.display(),
-                    state.fingerprint(),
-                    fp
-                );
+                if !quiet {
+                    eprintln!(
+                        "warning: warm blob {} carries fingerprint {:#018x}, expected {:#018x}; \
+                         ignoring it and warming cold",
+                        path.display(),
+                        state.fingerprint(),
+                        fp
+                    );
+                }
                 None
             }
             Err(e) => {
-                eprintln!(
-                    "warning: warm blob {} is truncated or corrupt ({e}); \
-                     ignoring it and warming cold",
-                    path.display()
-                );
+                if !quiet {
+                    eprintln!(
+                        "warning: warm blob {} is truncated or corrupt ({e}); \
+                         ignoring it and warming cold",
+                        path.display()
+                    );
+                }
                 None
             }
         }
@@ -258,6 +407,62 @@ impl WarmCache {
         if std::fs::write(&tmp, state.encode()).is_err() || std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
+    }
+}
+
+/// How a disk-backed miss gets satisfied.
+enum DiskOutcome {
+    /// A valid blob was (eventually) read.
+    Loaded(WarmState),
+    /// Build locally; the guard (if any) is the held advisory lock,
+    /// released by the caller after the blob is stored.
+    Build(Option<LockGuard>),
+}
+
+/// Holder of one `<fp>.lock` advisory file; best-effort removal on
+/// drop. Creation uses `create_new` (O_EXCL), so exactly one process
+/// can hold a given lock at a time.
+struct LockGuard {
+    path: PathBuf,
+}
+
+/// Outcome of one lock-acquisition attempt.
+enum Acquire {
+    /// We hold the lock.
+    Held(LockGuard),
+    /// Someone else holds it (`EEXIST`) — waiting is meaningful.
+    Busy,
+    /// The lock file cannot be created at all (missing/read-only dir,
+    /// …) — waiting would spin until the deadline for nothing, so the
+    /// caller should build immediately.
+    Unavailable,
+}
+
+impl LockGuard {
+    fn try_acquire(path: &std::path::Path) -> Acquire {
+        use std::io::Write as _;
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                // The pid is for humans poking at a stuck pool, nothing
+                // parses it.
+                let _ = writeln!(f, "{}", std::process::id());
+                Acquire::Held(LockGuard {
+                    path: path.to_path_buf(),
+                })
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Acquire::Busy,
+            Err(_) => Acquire::Unavailable,
+        }
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -380,6 +585,87 @@ mod tests {
         let off = WarmCache::with_policy(4, None, false);
         assert!(on.reuse_enabled());
         assert!(!off.reuse_enabled());
+    }
+
+    #[test]
+    fn concurrent_caches_sharing_one_disk_dir_build_once() {
+        // Two *independent* cache instances (stand-ins for two worker
+        // processes) race on the same fingerprint in one DCA_WARM_DIR:
+        // the advisory lock must let exactly one build while the other
+        // waits and then loads the stored blob — no corruption, no
+        // double warm-up.
+        let dir = scratch_dir("advisory");
+        let cfg = tiny_cfg(30);
+        let benches = [Benchmark::Gcc];
+        let a = WarmCache::with_policy(4, Some(dir.clone()), true);
+        let b = WarmCache::with_policy(4, Some(dir.clone()), true);
+        let (fa, fb) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| a.get_or_build(&cfg, &benches).fingerprint());
+            let hb = scope.spawn(|| b.get_or_build(&cfg, &benches).fingerprint());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(fa, fb, "both instances must resolve the same state");
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(
+            sa.builds + sb.builds,
+            1,
+            "exactly one build across the two instances (a={sa:?}, b={sb:?})"
+        );
+        assert_eq!(
+            sa.disk_loads + sb.disk_loads,
+            1,
+            "the non-builder must load the builder's blob (a={sa:?}, b={sb:?})"
+        );
+        // The winning blob must be whole and reloadable.
+        let fresh = WarmCache::with_policy(4, Some(dir.clone()), true);
+        fresh.get_or_build(&cfg, &benches);
+        assert_eq!(fresh.stats().disk_loads, 1, "blob survived the race intact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_advisory_lock_times_out_and_builds() {
+        // A lock left behind by a crashed process must only delay, not
+        // block: after the (shortened) deadline the waiter builds
+        // locally and still produces a valid state.
+        let dir = scratch_dir("stale-lock");
+        let cfg = tiny_cfg(31);
+        let benches = [Benchmark::Gcc];
+        let fp = dca::WarmState::fingerprint_for(&cfg, &benches);
+        std::fs::write(dir.join(format!("{fp:016x}.lock")), b"99999\n").expect("plant stale lock");
+        let cache = WarmCache::with_policy(4, Some(dir.clone()), true)
+            .with_lock_timeout(Duration::from_millis(200));
+        let t0 = Instant::now();
+        let state = cache.get_or_build(&cfg, &benches);
+        assert_eq!(state.fingerprint(), fp);
+        let s = cache.stats();
+        assert_eq!((s.builds, s.lock_waits), (1, 1), "waited, then built");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(200),
+            "must actually have waited out the deadline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_disk_dir_builds_immediately_without_lock_wait() {
+        // A warm dir that cannot exist (a path *under a plain file*)
+        // must degrade to an immediate cold build — not spin out the
+        // whole lock deadline for every fingerprint.
+        let dir = scratch_dir("unusable");
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, b"file, not dir").expect("blocker file");
+        let cache = WarmCache::with_policy(4, Some(blocker.join("warm")), true)
+            .with_lock_timeout(Duration::from_secs(60));
+        let t0 = Instant::now();
+        cache.get_or_build(&tiny_cfg(32), &[Benchmark::Gcc]);
+        let s = cache.stats();
+        assert_eq!((s.builds, s.lock_waits), (1, 0), "built cold, no wait");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "must not sleep toward the lock deadline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! End-to-end tests of the process-sharded figure harness: the
+//! `figures` binary is driven as a real subprocess (coordinator,
+//! workers, crash injection) against scratch working directories, and
+//! its sharded output is compared byte-for-byte to the serial path.
+//! Also covers the bench front-end bugfixes: unknown flags exit 2 with
+//! a usage listing, an unwritable `results/` is a reported error, and
+//! malformed `DCA_WARM*` knobs warn instead of silently falling back.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use dca_bench::shard::{figure_plan, plan_jobs, JobPayload, DEFAULT_CHUNK};
+use dca_bench::Scale;
+
+const FIGURES: &str = env!("CARGO_BIN_EXE_figures");
+
+/// The tiny scale every subprocess in this file runs at. Small enough
+/// for debug-mode CI, big enough that the three designs diverge.
+const INSTS: &str = "2000";
+const WARMUP: &str = "5000";
+const MIXES: &str = "1,2";
+
+fn tiny_scale() -> Scale {
+    Scale {
+        insts: 2000,
+        warmup: 5000,
+        mixes: vec![1, 2],
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dca-shard-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn figures_cmd(dir: &Path) -> Command {
+    let mut cmd = Command::new(FIGURES);
+    cmd.current_dir(dir)
+        .env("DCA_INSTS", INSTS)
+        .env("DCA_WARMUP", WARMUP)
+        .env("DCA_MIXES", MIXES)
+        .env_remove("DCA_FULL")
+        .env_remove("DCA_WARM")
+        .env_remove("DCA_WARM_CAP")
+        .env_remove("DCA_WARM_PERSIST")
+        .env_remove("DCA_WARM_DIR")
+        .env_remove("DCA_SHARD_FAIL_ONCE")
+        .env_remove("DCA_SHARD_FAIL_ALWAYS");
+    cmd
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn figures");
+    assert!(
+        out.status.success(),
+        "figures failed ({}):\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn read_outputs(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    ["fig14.md", "fig14.csv", "fig14.json"]
+        .iter()
+        .map(|f| {
+            let bytes = std::fs::read(dir.join("results").join(f))
+                .unwrap_or_else(|e| panic!("{f} missing in {}: {e}", dir.display()));
+            (f.to_string(), bytes)
+        })
+        .collect()
+}
+
+/// The tentpole guarantee: a `--jobs 2` coordinator run produces
+/// byte-identical figure files to the serial in-process run, the
+/// injected worker crash is retried and reported, and a re-run against
+/// the surviving partials reuses them all (crash-safe resume).
+#[test]
+fn sharded_run_is_bit_identical_retries_crashes_and_resumes() {
+    // Serial reference.
+    let serial_dir = scratch("serial");
+    run_ok(figures_cmd(&serial_dir).arg("--fig14"));
+    let serial = read_outputs(&serial_dir);
+
+    // Pick a real eval job id to crash, from the same plan the binary
+    // derives (same scale → same ids).
+    let plan = figure_plan("fig14", &tiny_scale()).expect("fig14 is shardable");
+    let jobs = plan_jobs(std::slice::from_ref(&plan), DEFAULT_CHUNK);
+    let crash_id = jobs
+        .iter()
+        .find(|j| matches!(j.payload, JobPayload::Eval { .. }))
+        .expect("an eval job")
+        .id
+        .clone();
+
+    // Sharded run with one injected worker crash.
+    let shard_dir = scratch("jobs2");
+    let out = run_ok(
+        figures_cmd(&shard_dir)
+            .args(["--fig14", "--jobs", "2"])
+            .env("DCA_SHARD_FAIL_ONCE", &crash_id),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("retrying") && stderr.contains(&crash_id),
+        "coordinator must report the retried job:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("1 retried"),
+        "exactly one retry expected:\n{stderr}"
+    );
+    assert_eq!(
+        serial,
+        read_outputs(&shard_dir),
+        "sharded figure files must be byte-identical to serial"
+    );
+
+    // Crash-safe resume: every partial survived, so a second sharded
+    // run executes zero jobs and still renders identical files.
+    let out = run_ok(figures_cmd(&shard_dir).args(["--fig14", "--jobs", "2"]));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("0 jobs run") && stderr.contains(&format!("{} reused", jobs.len())),
+        "resume must reuse all {} partials:\n{stderr}",
+        jobs.len()
+    );
+    assert_eq!(serial, read_outputs(&shard_dir));
+
+    // A corrupted partial is detected, re-run, and heals.
+    let victim = dca_bench::shard::partial_path(&crash_id);
+    let victim = shard_dir.join(victim);
+    std::fs::write(&victim, b"{\"schema\": 1, \"job\": \"torn").expect("corrupt partial");
+    let out = run_ok(figures_cmd(&shard_dir).args(["--fig14", "--jobs", "2"]));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ignoring invalid partial") && stderr.contains("1 jobs run"),
+        "corrupt partial must be re-run:\n{stderr}"
+    );
+    assert_eq!(serial, read_outputs(&shard_dir));
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+}
+
+/// A worker that crashes on both attempts must fail the whole run with
+/// the job id in the error, not hang or succeed vacuously.
+#[test]
+fn persistent_worker_failure_aborts_with_the_job_id() {
+    let dir = scratch("hardfail");
+    let plan = figure_plan("fig14", &tiny_scale()).expect("plan");
+    let job_id = plan_jobs(std::slice::from_ref(&plan), DEFAULT_CHUNK)[0]
+        .id
+        .clone();
+    let out = figures_cmd(&dir)
+        .args(["--fig14", "--jobs", "2"])
+        .env("DCA_SHARD_FAIL_ALWAYS", &job_id)
+        .output()
+        .expect("spawn");
+    assert!(
+        !out.status.success(),
+        "run must fail once a job exhausts its attempts"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed after 2 attempts") && stderr.contains(&job_id),
+        "final failure must name the job and the attempt count:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite bugfix: unknown flags exit 2 with a usage listing instead
+/// of silently producing nothing.
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    for bad in [
+        &["--fig99"][..],
+        &["--figs"],
+        &["--jobs", "zero"],
+        &["--fig14=2"],
+        &["--all=x"],
+    ] {
+        let dir = scratch("badflag");
+        let out = figures_cmd(&dir).args(bad).output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{bad:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("usage: figures"),
+            "{bad:?} must print usage:\n{stderr}"
+        );
+        assert!(
+            std::fs::read_dir(dir.join("results")).is_err(),
+            "a rejected invocation must not create outputs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Satellite bugfix: when `results/` cannot be created, the run fails
+/// loudly instead of writing nothing and exiting 0.
+#[test]
+fn unwritable_results_dir_is_a_reported_error() {
+    let dir = scratch("noresults");
+    // A plain file where the directory must go.
+    std::fs::write(dir.join("results"), b"in the way").expect("block results/");
+    let out = figures_cmd(&dir).arg("--table1").output().expect("spawn");
+    assert!(!out.status.success(), "must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create results/"),
+        "failure must be reported:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite bugfix: malformed `DCA_WARM*` knobs warn (naming the
+/// value and the fallback) instead of silently using defaults.
+#[test]
+fn malformed_warm_knobs_warn_on_stderr() {
+    let dir = scratch("knobs");
+    let out = run_ok(
+        figures_cmd(&dir)
+            .arg("--table1")
+            .env("DCA_WARM_CAP", "abc")
+            .env("DCA_WARM_PERSIST", "yes")
+            .env("DCA_WARM", "2"),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("DCA_WARM_CAP=\"abc\" is not an integer"),
+        "cap warning missing:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("DCA_WARM_PERSIST=\"yes\""),
+        "persist warning missing:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("DCA_WARM=\"2\""),
+        "reuse warning missing:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // And a zero cap warns about positivity.
+    let dir = scratch("knobs0");
+    let out = run_ok(figures_cmd(&dir).arg("--table1").env("DCA_WARM_CAP", "0"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("DCA_WARM_CAP=\"0\" must be a positive integer"),
+        "zero-cap warning missing:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The worker CLI is self-contained: a job id re-run by hand produces
+/// a partial the coordinator would accept.
+#[test]
+fn worker_mode_writes_a_valid_partial() {
+    let dir = scratch("worker");
+    let plan = figure_plan("fig14", &tiny_scale()).expect("plan");
+    let job = plan_jobs(std::slice::from_ref(&plan), DEFAULT_CHUNK)
+        .into_iter()
+        .find(|j| matches!(j.payload, JobPayload::Alone { .. }))
+        .expect("an alone job");
+    run_ok(figures_cmd(&dir).args(["--worker", "--job", &job.id]));
+    let text = std::fs::read_to_string(dir.join(dca_bench::shard::partial_path(&job.id)))
+        .expect("partial written");
+    dca_bench::shard::decode_partial(&text, &job).expect("partial validates");
+    // Worker mode with a malformed id fails cleanly.
+    let out = figures_cmd(&dir)
+        .args(["--worker", "--job", "ev_bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

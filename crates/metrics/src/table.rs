@@ -65,6 +65,49 @@ impl Table {
         out
     }
 
+    /// Render as a small JSON document: `{"title", "header", "rows"}`.
+    /// All cells are emitted as JSON strings — the table stores
+    /// formatted text, not raw values — so the output is stable across
+    /// renderers.
+    pub fn to_json(&self, title: &str) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let cells = |row: &[String]| {
+            row.iter()
+                .map(|c| format!("\"{}\"", esc(c)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"title\": \"{}\",\n  \"header\": [{}],\n  \"rows\": [",
+            esc(title),
+            cells(&self.header)
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = write!(out, "\n    [{}]{}", cells(row), sep);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
     /// Render as CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -107,6 +150,16 @@ mod tests {
         assert!(md.lines().count() == 4);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a\"b\\c", "1"]);
+        let js = t.to_json("Fig X — \"quoted\"");
+        assert!(js.contains("\"title\": \"Fig X — \\\"quoted\\\"\""));
+        assert!(js.contains("\"a\\\"b\\\\c\""));
+        assert!(js.contains("\"header\": [\"name\", \"value\"]"));
     }
 
     #[test]
