@@ -41,20 +41,36 @@ static WRITE_FAILED: AtomicBool = AtomicBool::new(false);
 
 /// Every user-facing selection flag, in `--all` output order.
 const FIGURE_FLAGS: &[&str] = &[
-    "--table1", "--table2", "--fig7", "--fig8", "--fig9", "--fig10", "--fig11", "--fig12",
-    "--fig13", "--fig14", "--fig15", "--fig16", "--fig17", "--fig18", "--fig19", "--ff",
+    "--table1",
+    "--table2",
+    "--fig7",
+    "--fig8",
+    "--fig9",
+    "--fig10",
+    "--fig11",
+    "--fig12",
+    "--fig13",
+    "--fig14",
+    "--fig15",
+    "--fig16",
+    "--fig17",
+    "--fig18",
+    "--fig19",
+    "--ff",
+    "--mainmem",
 ];
 
 fn usage() -> String {
     format!(
-        "usage: figures [--all] [{}] [--jobs N] [--chunk M]\n\
-         \x20      figures --worker --job <id>\n\
+        "usage: figures [--all] [{}] [--jobs N] [--chunk M] [--batch B]\n\
+         \x20      figures --worker --job <id> [--job <id> ...]\n\
          \n\
          \x20 --all        regenerate everything (default with no figure flags)\n\
          \x20 --jobs N     shard the run across N worker subprocesses\n\
          \x20 --chunk M    mixes per sharded job (default {DEFAULT_CHUNK})\n\
-         \x20 --worker     run one job and write its JSON partial (internal)\n\
-         \x20 --job <id>   the job a worker executes\n\
+         \x20 --batch B    jobs per worker process (default: automatic)\n\
+         \x20 --worker     drain the given jobs, one JSON partial each (internal)\n\
+         \x20 --job <id>   a job the worker executes (repeatable)\n\
          \n\
          environment: DCA_FULL, DCA_INSTS, DCA_MIXES, DCA_WARMUP, DCA_WARM*",
         FIGURE_FLAGS.join("] [")
@@ -68,8 +84,10 @@ struct Cli {
     jobs: Option<usize>,
     /// Mixes per sharded job.
     chunk: usize,
-    /// Worker mode: the job to execute.
-    worker_job: Option<String>,
+    /// Jobs per worker process; `None` lets the coordinator pick.
+    batch: Option<usize>,
+    /// Worker mode: the jobs to drain.
+    worker_jobs: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -77,7 +95,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         figures: Vec::new(),
         jobs: None,
         chunk: DEFAULT_CHUNK,
-        worker_job: None,
+        batch: None,
+        worker_jobs: Vec::new(),
     };
     let mut all = false;
     let mut worker = false;
@@ -98,8 +117,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             Some((f, v)) => (f, Some(v)),
             None => (arg.as_str(), None),
         };
-        // Only --job/--jobs/--chunk take a value; an inline `=value` on
-        // any other flag is a typo'd invocation, not a selection.
+        // Only --job/--jobs/--chunk/--batch take a value; an inline
+        // `=value` on any other flag is a typo'd invocation, not a
+        // selection.
         let no_value = |flag: &str| -> Result<(), String> {
             match inline {
                 Some(v) => Err(format!("{flag} takes no value, got {flag}={v:?}")),
@@ -115,7 +135,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 no_value("--worker")?;
                 worker = true;
             }
-            "--job" => cli.worker_job = Some(value_of(&mut it, "--job", inline)?),
+            "--job" => cli.worker_jobs.push(value_of(&mut it, "--job", inline)?),
             "--jobs" => {
                 let v = value_of(&mut it, "--jobs", inline)?;
                 let n: usize = v
@@ -124,6 +144,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs wants a worker count >= 1, got {v:?}"))?;
                 cli.jobs = Some(n);
+            }
+            "--batch" => {
+                let v = value_of(&mut it, "--batch", inline)?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--batch wants a job count >= 1, got {v:?}"))?;
+                cli.batch = Some(n);
             }
             "--chunk" => {
                 let v = value_of(&mut it, "--chunk", inline)?;
@@ -140,11 +169,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             f => return Err(format!("unrecognized flag {f:?}")),
         }
     }
-    if worker != cli.worker_job.is_some() {
+    if worker == cli.worker_jobs.is_empty() {
         return Err("--worker and --job must be used together".to_string());
     }
-    if worker && (all || !cli.figures.is_empty() || cli.jobs.is_some()) {
-        return Err("--worker takes no figure selection and no --jobs".to_string());
+    if worker && (all || !cli.figures.is_empty() || cli.jobs.is_some() || cli.batch.is_some()) {
+        return Err("--worker takes no figure selection, --jobs or --batch".to_string());
     }
     if all {
         cli.figures.clear();
@@ -456,6 +485,44 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
                 &t,
             );
         }
+        "mainmem" => {
+            // Pairs per backend: [CD, DCA]. Absolute WS geomeans (each
+            // normalised to its own backend's alone-IPC baseline), plus
+            // DCA/CD to show whether the paper's edge survives a real
+            // (or slower) backing store, plus the CD miss latency the
+            // backend implies.
+            let mut t = Table::new(vec![
+                "main memory",
+                "CD WS",
+                "DCA WS",
+                "DCA/CD",
+                "CD miss ns",
+                "DCA miss ns",
+            ]);
+            for pair in 0..plan.units.len() / 2 {
+                let cd = s(pair * 2)?;
+                let dca = s(pair * 2 + 1)?;
+                let backend = plan.units[pair * 2]
+                    .label
+                    .split('+')
+                    .next()
+                    .unwrap_or("?")
+                    .to_string();
+                t.row(vec![
+                    backend,
+                    fmt(cd.ws_geomean()),
+                    fmt(dca.ws_geomean()),
+                    fmt(dca.ws_geomean() / cd.ws_geomean()),
+                    format!("{:.1}", cd.mean_latency()),
+                    format!("{:.1}", dca.mean_latency()),
+                ]);
+            }
+            out(
+                "mainmem",
+                "Main-memory sensitivity — flat vs cycle-level DDR4 backend (direct-mapped)",
+                &t,
+            );
+        }
         other => return Err(format!("no renderer for figure {other:?}")),
     }
     Ok(())
@@ -484,9 +551,10 @@ fn main() {
         }
     };
 
-    // Worker mode: one job, one partial, no banner, no figure output.
-    if let Some(job_id) = &cli.worker_job {
-        if let Err(e) = shard::run_worker(job_id) {
+    // Worker mode: drain the given jobs (one partial each), no banner,
+    // no figure output.
+    if !cli.worker_jobs.is_empty() {
+        if let Err(e) = shard::run_worker_many(&cli.worker_jobs) {
             eprintln!("figures worker: error: {e}");
             std::process::exit(1);
         }
@@ -542,7 +610,10 @@ fn main() {
     if !plans.is_empty() {
         let jobs = shard::plan_jobs(&plans, cli.chunk);
         let store = match cli.jobs {
-            Some(workers) => match Coordinator::new(workers).run(&jobs) {
+            Some(workers) => match Coordinator::new(workers)
+                .with_batch(cli.batch.unwrap_or(0))
+                .run(&jobs)
+            {
                 Ok((store, stats)) => {
                     eprintln!(
                         "figures: shard coordinator: {} jobs run, {} reused from prior \

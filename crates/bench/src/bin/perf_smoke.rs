@@ -30,6 +30,18 @@
 //! clocks in the JSON's `shard` section. CI runs this binary, so any
 //! coordinator/serial divergence fails the build.
 //!
+//! The shard smoke runs three flavours — serial, `--jobs 2 --batch 1`
+//! (one job per worker process) and `--jobs 2` with automatic batching
+//! (one worker drains several jobs) — so the `shard` JSON section
+//! records how much batching amortises spawn + warm-blob decode.
+//!
+//! It also runs the **main-memory smoke**: the same workload on the
+//! flat (seed) backend and on the cycle-level DDR4 backend, recording
+//! both wall clocks in the JSON's `main_mem` section and asserting the
+//! cycle backend completes and restores from a warm checkpoint
+//! bit-for-bit. CI runs this binary, so the cycle-level device is
+//! exercised on every push.
+//!
 //! Finally it runs the **trace-file smoke**: the checked-in
 //! `tests/fixtures/*.dcat` fixture is registered, bundled into a
 //! custom mix, and driven through the same `RunSpec::run_mix`
@@ -52,7 +64,7 @@
 use std::time::Instant;
 
 use dca::{Design, System, SystemConfig, SystemReport};
-use dca_bench::RunSpec;
+use dca_bench::{MainMemKind, RunSpec};
 use dca_cpu::{mix, register_mix, register_trace_file, Benchmark};
 use dca_dram_cache::OrgKind;
 
@@ -272,6 +284,7 @@ fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
         remap: false,
         lee: false,
         flushing_factor: 4,
+        main_mem: MainMemKind::Flat,
         insts: insts / 2,
         warmup: 200_000,
         seed: 0xDCA_2016,
@@ -309,17 +322,23 @@ fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
 
 /// Outcome of the serial-vs-sharded figure smoke.
 struct ShardSmokeResult {
-    /// Worker subprocesses used in the sharded flavour.
+    /// Worker subprocesses used in the sharded flavours.
     jobs: u32,
     /// Serial (in-process) wall clock.
     serial_s: f64,
-    /// Sharded coordinator wall clock.
+    /// Sharded coordinator wall clock at `--batch 1` (one job per
+    /// worker process — the pre-batching behaviour).
     sharded_s: f64,
+    /// Sharded coordinator wall clock with automatic batching (one
+    /// worker process drains several jobs, amortising spawn + warm
+    /// decode).
+    sharded_batched_s: f64,
 }
 
-/// Run `figures --fig14` serially and with `--jobs 2` on a tiny
-/// two-mix scale, in separate scratch directories, and assert the
-/// rendered outputs are byte-identical. Returns both wall clocks.
+/// Run `figures --fig14` serially, with `--jobs 2 --batch 1`, and with
+/// `--jobs 2` (automatic batching) on a tiny two-mix scale, in
+/// separate scratch directories, and assert all rendered outputs are
+/// byte-identical. Returns the wall clocks.
 fn run_shard_smoke() -> ShardSmokeResult {
     use std::path::PathBuf;
     use std::process::Command;
@@ -360,24 +379,91 @@ fn run_shard_smoke() -> ShardSmokeResult {
 
     let serial_dir = scratch("serial");
     let shard_dir = scratch("jobs2");
+    let batch_dir = scratch("jobs2batched");
     let serial_s = run(&serial_dir, &[]);
     let jobs = 2u32;
-    let sharded_s = run(&shard_dir, &["--jobs", "2"]);
+    let sharded_s = run(&shard_dir, &["--jobs", "2", "--batch", "1"]);
+    let sharded_batched_s = run(&batch_dir, &["--jobs", "2"]);
 
     for file in ["fig14.md", "fig14.json", "fig14.csv"] {
         let a = std::fs::read(serial_dir.join("results").join(file)).expect(file);
         let b = std::fs::read(shard_dir.join("results").join(file)).expect(file);
+        let c = std::fs::read(batch_dir.join("results").join(file)).expect(file);
         assert_eq!(
             a, b,
             "sharded {file} diverged from the serial run — coordinator merge broke bit-identity"
         );
+        assert_eq!(
+            a, c,
+            "batched sharded {file} diverged from the serial run — batching broke bit-identity"
+        );
     }
     let _ = std::fs::remove_dir_all(&serial_dir);
     let _ = std::fs::remove_dir_all(&shard_dir);
+    let _ = std::fs::remove_dir_all(&batch_dir);
     ShardSmokeResult {
         jobs,
         serial_s,
         sharded_s,
+        sharded_batched_s,
+    }
+}
+
+/// Outcome of the flat-vs-cycle main-memory smoke.
+struct MainMemSmokeResult {
+    /// Wall clock of the flat-backend run.
+    flat_s: f64,
+    /// Wall clock of the cycle-backend run.
+    cycle_s: f64,
+    /// Main-memory reads the cycle backend served.
+    cycle_mem_reads: u64,
+    /// Row-buffer hit rate at the cycle-level device.
+    cycle_row_hit_rate: f64,
+}
+
+/// Run the smoke workload on the flat and the cycle-level main-memory
+/// backends, asserting the cycle backend completes, stays warm-restore
+/// bit-identical to its own cold run, and recording the wall-clock
+/// cost of the extra fidelity.
+fn run_main_mem_smoke(insts: u64) -> MainMemSmokeResult {
+    let m = mix(1);
+    let mut flat_cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+    flat_cfg.target_insts = insts;
+    flat_cfg.warmup_ops = 400_000;
+    let mut cycle_cfg = SystemConfig::paper_cycle_mem(Design::Dca, OrgKind::DirectMapped);
+    cycle_cfg.target_insts = insts;
+    cycle_cfg.warmup_ops = 400_000;
+
+    let t0 = Instant::now();
+    let flat = System::new(flat_cfg, &m.benches).run();
+    let flat_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let cycle = System::new(cycle_cfg, &m.benches).run();
+    let cycle_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(cycle.main_mem.backend, "cycle");
+    assert_eq!(flat.main_mem.backend, "flat");
+    assert!(
+        cycle.cores.iter().all(|c| c.insts >= insts),
+        "cycle-backend run must complete"
+    );
+    // The cycle backend is a full warm-checkpoint citizen: one capture
+    // (reusable from the flat run's fingerprint class) restores to a
+    // bit-identical report.
+    let warm = System::capture_warm(cycle_cfg, &m.benches);
+    let restored = System::from_warm(cycle_cfg, &m.benches, &warm).run();
+    assert_eq!(
+        fingerprint(&cycle),
+        fingerprint(&restored),
+        "cycle-backend warm-restored run diverged from cold"
+    );
+
+    MainMemSmokeResult {
+        flat_s,
+        cycle_s,
+        cycle_mem_reads: cycle.mem_reads,
+        cycle_row_hit_rate: cycle.main_mem.row_hit_rate(),
     }
 }
 
@@ -436,12 +522,26 @@ fn main() {
 
     let shard = run_shard_smoke();
     println!(
-        "\nshard smoke (fig14, 2 mixes): serial {:.2}s   --jobs {} {:.2}s   ratio {:.3}x \
-         (figure files byte-identical)",
+        "\nshard smoke (fig14, 2 mixes): serial {:.2}s   --jobs {} --batch 1 {:.2}s   \
+         --jobs {} batched {:.2}s   batch effect {:.3}x (figure files byte-identical)",
         shard.serial_s,
         shard.jobs,
         shard.sharded_s,
-        shard.serial_s / shard.sharded_s
+        shard.jobs,
+        shard.sharded_batched_s,
+        shard.sharded_s / shard.sharded_batched_s
+    );
+
+    let main_mem = run_main_mem_smoke(insts);
+    println!(
+        "\nmain-mem smoke (mix 1, DCA, direct-mapped): flat {:.2}s   cycle-level {:.2}s   \
+         overhead {:.3}x   ({} device reads, row-hit rate {:.3}; cycle warm-restore \
+         bit-identical)",
+        main_mem.flat_s,
+        main_mem.cycle_s,
+        main_mem.cycle_s / main_mem.flat_s,
+        main_mem.cycle_mem_reads,
+        main_mem.cycle_row_hit_rate
     );
 
     let trace = run_trace_smoke(insts);
@@ -472,7 +572,10 @@ fn main() {
          \"sweep\": {{\"variants\": {}, \"reps\": {sweep_reps}, \"cold_s\": {:.4}, \
          \"warm_s\": {:.4}, \"speedup\": {:.4}}},\n  \
          \"shard\": {{\"figure\": \"fig14\", \"jobs\": {}, \"serial_s\": {:.4}, \
-         \"sharded_s\": {:.4}, \"speedup\": {:.4}}},\n  \
+         \"sharded_s\": {:.4}, \"speedup\": {:.4}, \"sharded_batched_s\": {:.4}, \
+         \"batch_speedup_vs_batch1\": {:.4}}},\n  \
+         \"main_mem\": {{\"flat_s\": {:.4}, \"cycle_s\": {:.4}, \"cycle_overhead\": {:.4}, \
+         \"cycle_mem_reads\": {}, \"cycle_row_hit_rate\": {:.4}}},\n  \
          \"trace_smoke\": {{\"mix_id\": {}, \"build_s\": {:.4}, \"warm_s\": {:.4}, \
          \"cold_s\": {:.4}}},\n  \
          \"events_processed\": {},\n  \"sim_time_us\": {:.3}\n}}\n",
@@ -490,6 +593,13 @@ fn main() {
         shard.serial_s,
         shard.sharded_s,
         shard.serial_s / shard.sharded_s,
+        shard.sharded_batched_s,
+        shard.sharded_s / shard.sharded_batched_s,
+        main_mem.flat_s,
+        main_mem.cycle_s,
+        main_mem.cycle_s / main_mem.flat_s,
+        main_mem.cycle_mem_reads,
+        main_mem.cycle_row_hit_rate,
         trace.mix_id,
         trace.build_s,
         trace.warm_s,

@@ -35,9 +35,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dca::{Design, System, SystemConfig, SystemReport};
-use dca_cpu::{mix, Benchmark, Mix};
+use dca_cpu::{mix, Benchmark};
 use dca_dram::MappingScheme;
 use dca_dram_cache::OrgKind;
+use dca_mem_hier::MainMemConfig;
 use dca_metrics::{geomean, weighted_speedup};
 
 pub mod shard;
@@ -47,6 +48,64 @@ pub use warm::{WarmCache, WarmCacheStats};
 
 /// The experiment seed shared by every harness entry point.
 pub const DEFAULT_SEED: u64 = 0xDCA_2016;
+
+/// Main-memory backend a [`RunSpec`] selects — compact enough to ride
+/// in a shard job id (see `shard`'s grammar: `mmf` / `mmd<slow>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MainMemKind {
+    /// The flat 50 ns + bus seed model (the default everywhere).
+    Flat,
+    /// Cycle-level DDR4 with its data bandwidth divided by `slow`
+    /// (`slow == 1` is the full-rate device) — the sensitivity knob.
+    Ddr4 {
+        /// Bandwidth divisor (≥ 1).
+        slow: u8,
+    },
+}
+
+impl MainMemKind {
+    /// The [`MainMemConfig`] this selector stands for.
+    pub fn config(self) -> MainMemConfig {
+        match self {
+            MainMemKind::Flat => MainMemConfig::paper_flat(),
+            MainMemKind::Ddr4 { slow } => MainMemConfig::ddr4_bandwidth_div(slow.max(1) as u32),
+        }
+    }
+
+    /// Human-readable label for tables.
+    pub fn label(self) -> String {
+        match self {
+            MainMemKind::Flat => "flat-50ns".to_string(),
+            MainMemKind::Ddr4 { slow: 1 } => "ddr4-2400".to_string(),
+            MainMemKind::Ddr4 { slow } => format!("ddr4-2400/{slow}"),
+        }
+    }
+
+    /// Job-id token (`mmf` / `mmd<slow>`), kept here so the shard
+    /// grammar and this type cannot drift apart.
+    pub fn token(self) -> String {
+        match self {
+            MainMemKind::Flat => "mmf".to_string(),
+            MainMemKind::Ddr4 { slow } => format!("mmd{slow}"),
+        }
+    }
+
+    /// Inverse of [`MainMemKind::token`].
+    pub fn parse_token(t: &str) -> Result<MainMemKind, String> {
+        if t == "mmf" {
+            return Ok(MainMemKind::Flat);
+        }
+        if let Some(slow) = t.strip_prefix("mmd") {
+            let slow: u8 = slow
+                .parse()
+                .ok()
+                .filter(|&s| s >= 1)
+                .ok_or_else(|| format!("bad main-mem token {t:?}"))?;
+            return Ok(MainMemKind::Ddr4 { slow });
+        }
+        Err(format!("bad main-mem token {t:?}"))
+    }
+}
 
 /// Everything that defines one simulation run (minus the workload).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +120,8 @@ pub struct RunSpec {
     pub lee: bool,
     /// DCA flushing factor (ablation; paper default 4).
     pub flushing_factor: u8,
+    /// Main-memory backend (default flat — the seed model).
+    pub main_mem: MainMemKind,
     /// Instructions per core.
     pub insts: u64,
     /// Warm-up ops per core.
@@ -84,6 +145,7 @@ impl RunSpec {
             remap: false,
             lee: false,
             flushing_factor: 4,
+            main_mem: MainMemKind::Flat,
             insts: scale.insts,
             warmup: scale.warmup,
             seed: DEFAULT_SEED,
@@ -102,6 +164,12 @@ impl RunSpec {
         self
     }
 
+    /// Select a main-memory backend.
+    pub fn with_main_mem(mut self, mm: MainMemKind) -> Self {
+        self.main_mem = mm;
+        self
+    }
+
     /// Materialise the system configuration.
     pub fn config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::paper(self.design, self.org);
@@ -110,6 +178,7 @@ impl RunSpec {
         }
         cfg.lee_writeback = self.lee;
         cfg.dca.flushing_factor = self.flushing_factor;
+        cfg.main_mem = self.main_mem.config();
         cfg.target_insts = self.insts;
         cfg.warmup_ops = self.warmup;
         cfg.seed = self.seed;
@@ -203,7 +272,7 @@ impl Scale {
 /// organisation (the denominator is shared by all designs so design
 /// deltas come from the shared runs only).
 pub struct AloneIpc {
-    cache: Mutex<HashMap<(Benchmark, &'static str), f64>>,
+    cache: Mutex<HashMap<(Benchmark, &'static str, MainMemKind), f64>>,
     insts: u64,
     warmup: u64,
     seed: u64,
@@ -221,9 +290,17 @@ impl AloneIpc {
         }
     }
 
-    /// Alone IPC of `bench` under organisation `org` (cached).
+    /// Alone IPC of `bench` under organisation `org` with the flat
+    /// main-memory backend (cached).
     pub fn get(&self, bench: Benchmark, org: OrgKind) -> f64 {
-        let key = (bench, org.label());
+        self.get_with(bench, org, MainMemKind::Flat)
+    }
+
+    /// Alone IPC of `bench` under `org` × main-memory backend `mm`
+    /// (cached) — the baseline shares the backend under test so
+    /// main-memory sensitivity does not leak into the denominator.
+    pub fn get_with(&self, bench: Benchmark, org: OrgKind, mm: MainMemKind) -> f64 {
+        let key = (bench, org.label(), mm);
         if let Some(&v) = self.cache.lock().unwrap().get(&key) {
             return v;
         }
@@ -233,6 +310,7 @@ impl AloneIpc {
             remap: false,
             lee: false,
             flushing_factor: 4,
+            main_mem: mm,
             insts: self.insts,
             warmup: self.warmup,
             seed: self.seed,
@@ -252,13 +330,6 @@ impl AloneIpc {
         run_parallel(benches, |b| {
             self.get(b, org);
         });
-    }
-
-    /// Weighted speedup of a report, per §V.
-    pub fn weighted_speedup(&self, report: &SystemReport, m: &Mix, org: OrgKind) -> f64 {
-        let shared: Vec<f64> = report.cores.iter().map(|c| c.ipc).collect();
-        let alone: Vec<f64> = m.benches.iter().map(|&b| self.get(b, org)).collect();
-        weighted_speedup(&shared, &alone)
     }
 }
 
@@ -473,10 +544,14 @@ impl DesignSummary {
     }
 }
 
-/// Evaluate `spec` over `mixes` (parallel), producing a summary.
+/// Evaluate `spec` over `mixes` (parallel), producing a summary. The
+/// weighted-speedup baseline runs on the spec's own main-memory
+/// backend.
 pub fn evaluate(spec: RunSpec, mixes: &[u32], alone: &AloneIpc, label: &str) -> DesignSummary {
     let points = run_parallel(mixes.to_vec(), |id| MixPoint::measure(&spec, id));
-    summarize(label, spec.org, &points, |b, org| alone.get(b, org))
+    summarize(label, spec.org, &points, |b, org| {
+        alone.get_with(b, org, spec.main_mem)
+    })
 }
 
 #[cfg(test)]

@@ -13,12 +13,14 @@
 //! `figures --worker --job <id>`. The grammar:
 //!
 //! ```text
-//! ev_<org>_<design>_x<0|1>_l<0|1>_ff<n>_i<insts>_w<warmup>_s<seed hex>_m<mix>.<mix>...
-//! al_<org>_i<insts>_w<warmup>_s<seed hex>_b<bench>.<bench>...
+//! ev_<org>_<design>_x<0|1>_l<0|1>_ff<n>_i<insts>_w<warmup>_s<seed hex>_<mm>_m<mix>.<mix>...
+//! al_<org>_i<insts>_w<warmup>_s<seed hex>_<mm>_b<bench>.<bench>...
 //! ```
 //!
-//! with `<org>` one of `sa<ways>` / `dm` and `<design>` one of
-//! `cd` / `rod` / `dca`. Identical units shared by several figures
+//! with `<org>` one of `sa<ways>` / `dm`, `<design>` one of
+//! `cd` / `rod` / `dca`, and `<mm>` the main-memory backend token
+//! (`mmf` flat, `mmd<n>` cycle-level DDR4 at bandwidth ÷ n — see
+//! [`crate::MainMemKind`]). Identical units shared by several figures
 //! (e.g. the CD baseline of Figs 8 and 12) collapse to one job.
 //!
 //! ## Partials
@@ -47,10 +49,13 @@
 //!
 //! [`Coordinator::run`] is a work queue: it skips jobs whose partial
 //! already exists and validates (crash-safe resume — a killed run
-//! loses at most the in-flight jobs), spawns up to `N` workers
-//! (`figures --worker --job <id>`), refills as they exit, retries a
-//! failed job once with a warning, and aborts with the job id if the
-//! retry fails too. Workers inherit the coordinator's cwd and
+//! loses at most the in-flight jobs), spawns up to `N` workers, each
+//! handed a *batch* of jobs (`figures --worker --job a --job b ...`,
+//! sized by `--batch` or automatically) so spawn and warm-blob decode
+//! amortise across jobs, refills as workers exit, retries a failed job
+//! once with a warning (judging each job of a batch by its own
+//! partial, so a mid-batch failure retries only the jobs that left
+//! none), and aborts with the job id if the retry fails too. Workers inherit the coordinator's cwd and
 //! environment plus an explicit `DCA_WARM_DIR`, so all workers share
 //! one on-disk warm-state pool; the advisory lock in
 //! [`crate::warm`] keeps two workers from double-warming the same
@@ -68,7 +73,7 @@ use dca::Design;
 use dca_cpu::{mix, Benchmark};
 use dca_dram_cache::OrgKind;
 
-use crate::{run_parallel, summarize, DesignSummary, MixPoint, RunSpec, Scale};
+use crate::{run_parallel, summarize, DesignSummary, MainMemKind, MixPoint, RunSpec, Scale};
 
 /// Version tag every partial carries; a mismatch invalidates the file.
 pub const PARTIAL_SCHEMA: u64 = 1;
@@ -112,7 +117,8 @@ pub enum JobPayload {
         mixes: Vec<u32>,
     },
     /// Alone-IPC runs: each benchmark alone on the CD/no-remap baseline
-    /// of `org` (the weighted-speedup denominator).
+    /// of `org` × `main_mem` (the weighted-speedup denominator shares
+    /// the backend under test).
     Alone {
         /// Cache organisation.
         org: OrgKind,
@@ -122,6 +128,8 @@ pub enum JobPayload {
         warmup: u64,
         /// Experiment seed.
         seed: u64,
+        /// Main-memory backend.
+        main_mem: MainMemKind,
         /// Benchmarks, in order.
         benches: Vec<Benchmark>,
     },
@@ -189,7 +197,7 @@ pub fn encode_job_id(payload: &JobPayload) -> String {
         JobPayload::Eval { spec, mixes } => {
             let mixes: Vec<String> = mixes.iter().map(|m| m.to_string()).collect();
             format!(
-                "ev_{}_{}_x{}_l{}_ff{}_i{}_w{}_s{:x}_m{}",
+                "ev_{}_{}_x{}_l{}_ff{}_i{}_w{}_s{:x}_{}_m{}",
                 org_token(spec.org),
                 design_token(spec.design),
                 spec.remap as u8,
@@ -198,6 +206,7 @@ pub fn encode_job_id(payload: &JobPayload) -> String {
                 spec.insts,
                 spec.warmup,
                 spec.seed,
+                spec.main_mem.token(),
                 mixes.join(".")
             )
         }
@@ -206,15 +215,17 @@ pub fn encode_job_id(payload: &JobPayload) -> String {
             insts,
             warmup,
             seed,
+            main_mem,
             benches,
         } => {
             let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
             format!(
-                "al_{}_i{}_w{}_s{:x}_b{}",
+                "al_{}_i{}_w{}_s{:x}_{}_b{}",
                 org_token(*org),
                 insts,
                 warmup,
                 seed,
+                main_mem.token(),
                 names.join(".")
             )
         }
@@ -238,8 +249,8 @@ fn tagged<'a>(tok: &'a str, tag: &str) -> Result<&'a str, String> {
 pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
     if let Some(rest) = id.strip_prefix("ev_") {
         let t: Vec<&str> = rest.split('_').collect();
-        if t.len() != 9 {
-            return Err(format!("eval job id has {} fields, expected 9", t.len()));
+        if t.len() != 10 {
+            return Err(format!("eval job id has {} fields, expected 10", t.len()));
         }
         let org = parse_org_token(field(&t, 0, "org")?)?;
         let design = parse_design_token(field(&t, 1, "design")?)?;
@@ -256,7 +267,8 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
             .map_err(|_| "bad warmup".to_string())?;
         let seed = u64::from_str_radix(tagged(field(&t, 7, "seed")?, "s")?, 16)
             .map_err(|_| "bad seed".to_string())?;
-        let mixes: Vec<u32> = tagged(field(&t, 8, "mixes")?, "m")?
+        let main_mem = MainMemKind::parse_token(field(&t, 8, "main memory")?)?;
+        let mixes: Vec<u32> = tagged(field(&t, 9, "mixes")?, "m")?
             .split('.')
             .map(|m| m.parse().map_err(|_| format!("bad mix id {m:?}")))
             .collect::<Result<_, _>>()?;
@@ -270,6 +282,7 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
                 remap,
                 lee,
                 flushing_factor: ff,
+                main_mem,
                 insts,
                 warmup,
                 seed,
@@ -278,10 +291,10 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
         })
     } else if let Some(rest) = id.strip_prefix("al_") {
         let t: Vec<&str> = rest.split('_').collect();
-        if t.len() != 5 {
+        if t.len() != 6 {
             // Also catches benchmark names containing '_' (registered
             // trace stems), which the grammar cannot carry.
-            return Err(format!("alone job id has {} fields, expected 5", t.len()));
+            return Err(format!("alone job id has {} fields, expected 6", t.len()));
         }
         let org = parse_org_token(field(&t, 0, "org")?)?;
         let insts: u64 = tagged(field(&t, 1, "insts")?, "i")?
@@ -292,7 +305,8 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
             .map_err(|_| "bad warmup".to_string())?;
         let seed = u64::from_str_radix(tagged(field(&t, 3, "seed")?, "s")?, 16)
             .map_err(|_| "bad seed".to_string())?;
-        let benches: Vec<Benchmark> = tagged(field(&t, 4, "benches")?, "b")?
+        let main_mem = MainMemKind::parse_token(field(&t, 4, "main memory")?)?;
+        let benches: Vec<Benchmark> = tagged(field(&t, 5, "benches")?, "b")?
             .split('.')
             .map(|n| {
                 Benchmark::from_name(n).ok_or_else(|| format!("unknown benchmark {n:?} in job id"))
@@ -306,6 +320,7 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
             insts,
             warmup,
             seed,
+            main_mem,
             benches,
         })
     } else {
@@ -365,6 +380,17 @@ pub const SHARDED_FIGURES: &[&str] = &[
     "fig17",
     "fig19",
     "ablation_ff",
+    "mainmem",
+];
+
+/// Main-memory backends the sensitivity sweep evaluates, in render
+/// order: the flat seed model, then the cycle-level DDR4 device at
+/// full, half and quarter data bandwidth.
+pub const MAINMEM_SWEEP: &[MainMemKind] = &[
+    MainMemKind::Flat,
+    MainMemKind::Ddr4 { slow: 1 },
+    MainMemKind::Ddr4 { slow: 2 },
+    MainMemKind::Ddr4 { slow: 4 },
 ];
 
 /// Plan `name` at `scale`, or `None` for a figure that is not sharded.
@@ -475,6 +501,20 @@ pub fn figure_plan(name: &str, scale: &Scale) -> Option<FigurePlan> {
             }
             "ablation_ff"
         }
+        "mainmem" => {
+            // Main-memory sensitivity: CD and DCA per backend, so the
+            // table shows both absolute WS and whether DCA's edge
+            // survives a slower (or cycle-accurate) backing store.
+            for &mm in MAINMEM_SWEEP {
+                for design in [Design::Cd, Design::Dca] {
+                    units.push(EvalUnit::new(
+                        format!("{}+{}", mm.label(), design.label()),
+                        spec(design, dm).with_main_mem(mm),
+                    ));
+                }
+            }
+            "mainmem"
+        }
         _ => return None,
     };
     Some(FigurePlan {
@@ -515,18 +555,19 @@ pub fn plan_jobs(plans: &[FigurePlan], chunk: usize) -> Vec<Job> {
         }
         // Alone jobs first: the merge needs the full table anyway, and
         // scheduling them early keeps workers busy with short runs
-        // while the 4-core evals stream in behind them.
-        let mut orgs: Vec<OrgKind> = Vec::new();
+        // while the 4-core evals stream in behind them. One alone table
+        // per (org, main-memory backend) pair the plan's units touch.
+        let mut keys: Vec<(OrgKind, MainMemKind)> = Vec::new();
         for u in &plan.units {
-            if !orgs.contains(&u.spec.org) {
-                orgs.push(u.spec.org);
+            if !keys.contains(&(u.spec.org, u.spec.main_mem)) {
+                keys.push((u.spec.org, u.spec.main_mem));
             }
         }
         let mut benches: Vec<Benchmark> =
             plan.mixes.iter().flat_map(|&id| mix(id).benches).collect();
         benches.sort();
         benches.dedup();
-        for org in orgs {
+        for (org, main_mem) in keys {
             let scale_of = &plan.units[0].spec;
             for bench_chunk in chunked(&benches, chunk) {
                 push(JobPayload::Alone {
@@ -534,6 +575,7 @@ pub fn plan_jobs(plans: &[FigurePlan], chunk: usize) -> Vec<Job> {
                     insts: scale_of.insts,
                     warmup: scale_of.warmup,
                     seed: scale_of.seed,
+                    main_mem,
                     benches: bench_chunk,
                 });
             }
@@ -577,6 +619,7 @@ pub fn execute_job(payload: &JobPayload) -> JobResult {
             insts,
             warmup,
             seed,
+            main_mem,
             benches,
         } => {
             let spec = RunSpec {
@@ -585,6 +628,7 @@ pub fn execute_job(payload: &JobPayload) -> JobResult {
                 remap: false,
                 lee: false,
                 flushing_factor: 4,
+                main_mem: *main_mem,
                 insts: *insts,
                 warmup: *warmup,
                 seed: *seed,
@@ -748,6 +792,27 @@ pub fn run_worker(job_id: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot write partial for {job_id}: {e}"))
 }
 
+/// Worker entry point for a *batch* of jobs (`figures --worker --job a
+/// --job b ...`): one process drains the whole list, amortising process
+/// spawn and warm-blob decode across jobs. Each job writes its own
+/// atomic partial the moment it finishes, and a failing job does not
+/// abort the batch — the remaining jobs still run, the worker exits
+/// non-zero naming every failure, and the coordinator retries exactly
+/// the jobs that left no valid partial.
+pub fn run_worker_many(job_ids: &[String]) -> Result<(), String> {
+    let mut errors = Vec::new();
+    for id in job_ids {
+        if let Err(e) = run_worker(id) {
+            errors.push(e);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("; "))
+    }
+}
+
 // ---------------------------------------------------------------------
 // Merged store
 // ---------------------------------------------------------------------
@@ -759,7 +824,7 @@ pub fn run_worker(job_id: &str) -> Result<(), String> {
 #[derive(Default)]
 pub struct PartialStore {
     eval: HashMap<String, Vec<MixPoint>>,
-    alone: HashMap<(Benchmark, &'static str), f64>,
+    alone: HashMap<(Benchmark, &'static str, MainMemKind), f64>,
 }
 
 impl PartialStore {
@@ -769,25 +834,32 @@ impl PartialStore {
             (JobPayload::Eval { .. }, JobResult::Eval(points)) => {
                 self.eval.insert(job.id.clone(), points);
             }
-            (JobPayload::Alone { org, .. }, JobResult::Alone(rows)) => {
+            (JobPayload::Alone { org, main_mem, .. }, JobResult::Alone(rows)) => {
                 for (bench, ipc) in rows {
-                    self.alone.insert((bench, org.label()), ipc);
+                    self.alone.insert((bench, org.label(), *main_mem), ipc);
                 }
             }
             _ => unreachable!("decode_partial enforces kind agreement"),
         }
     }
 
-    /// Alone IPC of `bench` under `org`.
+    /// Alone IPC of `bench` under `org` × `main_mem`.
     ///
     /// # Panics
     /// Panics if the planner never scheduled that alone run — a plan
     /// bug, not a runtime condition.
-    pub fn alone_ipc(&self, bench: Benchmark, org: OrgKind) -> f64 {
+    pub fn alone_ipc(&self, bench: Benchmark, org: OrgKind, main_mem: MainMemKind) -> f64 {
         *self
             .alone
-            .get(&(bench, org.label()))
-            .unwrap_or_else(|| panic!("no alone IPC for {}/{}", bench.name(), org.label()))
+            .get(&(bench, org.label(), main_mem))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no alone IPC for {}/{}/{}",
+                    bench.name(),
+                    org.label(),
+                    main_mem.label()
+                )
+            })
     }
 
     /// Resolve one evaluation unit into a [`DesignSummary`] by
@@ -811,7 +883,7 @@ impl PartialStore {
             );
         }
         Ok(summarize(&unit.label, unit.spec.org, &points, |b, org| {
-            self.alone_ipc(b, org)
+            self.alone_ipc(b, org, unit.spec.main_mem)
         }))
     }
 }
@@ -846,26 +918,51 @@ pub struct CoordStats {
     pub retried: usize,
 }
 
-/// Spawns and refills `workers` subprocesses over a job queue.
+/// Spawns and refills `workers` subprocesses over a job queue, handing
+/// each worker a *batch* of jobs so process spawn and warm-blob decode
+/// amortise across several jobs (the ROADMAP's "drain several jobs"
+/// lever).
 pub struct Coordinator {
     /// Concurrent worker processes.
     pub workers: usize,
     /// Attempts per job (first run + retries).
     pub max_attempts: u32,
+    /// Jobs handed to one worker process per spawn. `0` (the default)
+    /// picks automatically: enough to split the initial queue roughly
+    /// twice over the workers, capped at 8 so one straggler batch
+    /// cannot serialise the tail.
+    pub batch: usize,
 }
 
 struct Running {
     child: Child,
-    job: Job,
-    attempt: u32,
+    /// The batch this worker is draining, with per-job attempt counts.
+    jobs: Vec<(Job, u32)>,
 }
 
 impl Coordinator {
-    /// A coordinator with the default retry policy (one retry).
+    /// A coordinator with the default retry policy (one retry) and
+    /// automatic batch sizing.
     pub fn new(workers: usize) -> Coordinator {
         Coordinator {
             workers: workers.max(1),
             max_attempts: 2,
+            batch: 0,
+        }
+    }
+
+    /// Fix the jobs-per-worker-process batch size (`0` = automatic).
+    pub fn with_batch(mut self, batch: usize) -> Coordinator {
+        self.batch = batch;
+        self
+    }
+
+    /// The batch size actually used for a queue of `jobs` jobs.
+    pub fn effective_batch(&self, jobs: usize) -> usize {
+        if self.batch >= 1 {
+            self.batch
+        } else {
+            (jobs.div_ceil(self.workers * 2)).clamp(1, 8)
         }
     }
 
@@ -906,6 +1003,7 @@ impl Coordinator {
             }
         }
 
+        let batch = self.effective_batch(queue.len());
         let mut running: Vec<Running> = Vec::new();
         let fail = |running: &mut Vec<Running>, msg: String| {
             for r in running.iter_mut() {
@@ -915,25 +1013,25 @@ impl Coordinator {
             Err(msg)
         };
         while !queue.is_empty() || !running.is_empty() {
-            while running.len() < self.workers {
-                let Some((job, attempt)) = queue.pop_front() else {
-                    break;
-                };
-                let child = Command::new(&exe)
-                    .args(["--worker", "--job", &job.id])
-                    .env("DCA_WARM_DIR", &warm_dir)
-                    .spawn();
-                match child {
-                    Ok(child) => running.push(Running {
-                        child,
-                        job,
-                        attempt,
-                    }),
+            while running.len() < self.workers && !queue.is_empty() {
+                let mut jobs: Vec<(Job, u32)> = Vec::with_capacity(batch);
+                while jobs.len() < batch {
+                    let Some(next) = queue.pop_front() else { break };
+                    jobs.push(next);
+                }
+                let mut cmd = Command::new(&exe);
+                cmd.arg("--worker").env("DCA_WARM_DIR", &warm_dir);
+                for (job, _) in &jobs {
+                    cmd.args(["--job", &job.id]);
+                }
+                match cmd.spawn() {
+                    Ok(child) => running.push(Running { child, jobs }),
                     Err(e) => {
+                        let ids: Vec<&str> = jobs.iter().map(|(j, _)| j.id.as_str()).collect();
                         return fail(
                             &mut running,
-                            format!("cannot spawn worker for {}: {e}", job.id),
-                        )
+                            format!("cannot spawn worker for {}: {e}", ids.join(", ")),
+                        );
                     }
                 }
             }
@@ -944,45 +1042,55 @@ impl Coordinator {
                     Ok(None) => i += 1,
                     Ok(Some(status)) => {
                         progressed = true;
-                        let Running { job, attempt, .. } = running.swap_remove(i);
-                        // A zero exit whose partial does not validate is
-                        // treated exactly like a crash: retry, then report.
-                        let outcome = if status.success() {
-                            Self::load_existing_partial(&job)
-                                .ok_or_else(|| "worker exited 0 but left no valid partial".into())
-                        } else {
-                            Err(format!("worker exited with {status}"))
-                        };
-                        match outcome {
-                            Ok(result) => {
-                                store.insert(&job, result);
-                                stats.run += 1;
-                            }
-                            Err(why) if attempt < self.max_attempts => {
-                                stats.retried += 1;
-                                eprintln!(
-                                    "figures: warning: job {} failed ({why}); retrying \
-                                     (attempt {}/{})",
-                                    job.id,
-                                    attempt + 1,
-                                    self.max_attempts
-                                );
-                                queue.push_back((job, attempt + 1));
-                            }
-                            Err(why) => {
-                                return fail(
-                                    &mut running,
-                                    format!(
-                                        "job {} failed after {} attempts: {why}",
-                                        job.id, self.max_attempts
-                                    ),
-                                );
+                        let Running { jobs, .. } = running.swap_remove(i);
+                        // Judge each job of the batch by its own partial:
+                        // jobs finished before a mid-batch crash stay
+                        // done, only the rest retry. A zero exit whose
+                        // partial does not validate is treated exactly
+                        // like a crash: retry, then report.
+                        for (job, attempt) in jobs {
+                            let outcome = match Self::load_existing_partial(&job) {
+                                Some(result) => Ok(result),
+                                None if status.success() => {
+                                    Err("worker exited 0 but left no valid partial".to_string())
+                                }
+                                None => Err(format!("worker exited with {status}")),
+                            };
+                            match outcome {
+                                Ok(result) => {
+                                    store.insert(&job, result);
+                                    stats.run += 1;
+                                }
+                                Err(why) if attempt < self.max_attempts => {
+                                    stats.retried += 1;
+                                    eprintln!(
+                                        "figures: warning: job {} failed ({why}); retrying \
+                                         (attempt {}/{})",
+                                        job.id,
+                                        attempt + 1,
+                                        self.max_attempts
+                                    );
+                                    queue.push_back((job, attempt + 1));
+                                }
+                                Err(why) => {
+                                    return fail(
+                                        &mut running,
+                                        format!(
+                                            "job {} failed after {} attempts: {why}",
+                                            job.id, self.max_attempts
+                                        ),
+                                    );
+                                }
                             }
                         }
                     }
                     Err(e) => {
-                        let job_id = running[i].job.id.clone();
-                        return fail(&mut running, format!("cannot wait on {job_id}: {e}"));
+                        let ids: Vec<String> =
+                            running[i].jobs.iter().map(|(j, _)| j.id.clone()).collect();
+                        return fail(
+                            &mut running,
+                            format!("cannot wait on {}: {e}", ids.join(", ")),
+                        );
                     }
                 }
             }
@@ -1290,11 +1398,56 @@ mod tests {
             "al_dm_i1_w1_s0_bnosuchbench",
             // Trailing fields (e.g. a trace stem with '_') must not be
             // silently ignored.
-            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_m1_extra",
-            "al_dm_i1_w1_s0_bgcc_2800",
+            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_m1_extra",
+            "al_dm_i1_w1_s0_mmf_bgcc_2800",
+            // Unknown / malformed main-memory backend tokens.
+            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmq_m1",
+            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmd0_m1",
+            "al_dm_i1_w1_s0_mmd_bgcc",
+            // Pre-refactor (9-field / 5-field) ids must not half-parse.
+            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_m1",
+            "al_dm_i1_w1_s0_bgcc",
         ] {
             assert!(parse_job_id(id).is_err(), "{id:?} should not parse");
         }
+    }
+
+    #[test]
+    fn effective_batch_scales_with_queue_and_workers() {
+        let c = Coordinator::new(2);
+        assert_eq!(c.effective_batch(0), 1);
+        assert_eq!(c.effective_batch(1), 1);
+        assert_eq!(c.effective_batch(8), 2);
+        assert_eq!(c.effective_batch(100), 8, "capped against stragglers");
+        assert_eq!(Coordinator::new(2).with_batch(5).effective_batch(100), 5);
+    }
+
+    #[test]
+    fn mainmem_plan_sweeps_backends_and_keys_alone_jobs_per_backend() {
+        let scale = tiny_scale();
+        let plan = figure_plan("mainmem", &scale).expect("shardable");
+        assert_eq!(plan.units.len(), 2 * MAINMEM_SWEEP.len());
+        // CD/DCA pairs share each backend; labels carry it.
+        assert!(plan.units[0].label.starts_with("flat-50ns"));
+        assert!(plan.units[2].label.starts_with("ddr4-2400+"));
+        let jobs = plan_jobs(std::slice::from_ref(&plan), 4);
+        let alone: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| matches!(j.payload, JobPayload::Alone { .. }))
+            .collect();
+        // Alone tables exist for *every* backend (single org), so
+        // speedups are normalised within their own backend.
+        let mut mms: Vec<MainMemKind> = Vec::new();
+        for j in &alone {
+            let JobPayload::Alone { main_mem, .. } = &j.payload else {
+                unreachable!()
+            };
+            if !mms.contains(main_mem) {
+                mms.push(*main_mem);
+            }
+        }
+        assert_eq!(mms.len(), MAINMEM_SWEEP.len());
+        assert_eq!(alone.len() % MAINMEM_SWEEP.len(), 0);
     }
 
     #[test]
@@ -1352,6 +1505,7 @@ mod tests {
             insts: 3_000,
             warmup: 6_000,
             seed: DEFAULT_SEED,
+            main_mem: MainMemKind::Flat,
             benches: vec![Benchmark::Gcc, Benchmark::GemsFDTD],
         });
         let rows = vec![(Benchmark::Gcc, 0.7312345), (Benchmark::GemsFDTD, 1.25)];

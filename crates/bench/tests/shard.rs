@@ -261,6 +261,66 @@ fn malformed_warm_knobs_warn_on_stderr() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite (worker batching): one worker process drains several jobs
+/// (`--job a --job b ...`), writing one valid partial per job; an
+/// explicit `--batch` coordinator run stays byte-identical to serial;
+/// and a mid-batch injected crash retries only the crashed job while
+/// the rest of its batch survives.
+#[test]
+fn batched_workers_drain_multiple_jobs_and_stay_bit_identical() {
+    // Serial reference.
+    let serial_dir = scratch("batch-serial");
+    run_ok(figures_cmd(&serial_dir).arg("--fig14"));
+    let serial = read_outputs(&serial_dir);
+
+    // One worker invocation draining two jobs by hand.
+    let plan = figure_plan("fig14", &tiny_scale()).expect("plan");
+    let jobs = plan_jobs(std::slice::from_ref(&plan), DEFAULT_CHUNK);
+    assert!(jobs.len() >= 2, "need at least two jobs to batch");
+    let hand_dir = scratch("batch-hand");
+    run_ok(figures_cmd(&hand_dir).args(["--worker", "--job", &jobs[0].id, "--job", &jobs[1].id]));
+    for job in &jobs[..2] {
+        let text = std::fs::read_to_string(hand_dir.join(dca_bench::shard::partial_path(&job.id)))
+            .unwrap_or_else(|e| panic!("batched worker must write {}: {e}", job.id));
+        dca_bench::shard::decode_partial(&text, job).expect("partial validates");
+    }
+
+    // Explicit --batch coordinator run: byte-identical output.
+    let batch_dir = scratch("batch-coord");
+    run_ok(figures_cmd(&batch_dir).args(["--fig14", "--jobs", "2", "--batch", "3"]));
+    assert_eq!(
+        serial,
+        read_outputs(&batch_dir),
+        "batched sharded figure files must be byte-identical to serial"
+    );
+
+    // Mid-batch crash: every job lands in some batch; the injected
+    // failure must retry exactly one job while its batch-mates' partials
+    // survive and are reused, and the output stays byte-identical.
+    let crash_id = jobs
+        .iter()
+        .find(|j| matches!(j.payload, JobPayload::Eval { .. }))
+        .expect("an eval job")
+        .id
+        .clone();
+    let crash_dir = scratch("batch-crash");
+    let out = run_ok(
+        figures_cmd(&crash_dir)
+            .args(["--fig14", "--jobs", "1", "--batch", &jobs.len().to_string()])
+            .env("DCA_SHARD_FAIL_ONCE", &crash_id),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 retried") && stderr.contains(&crash_id),
+        "exactly the crashed job must retry:\n{stderr}"
+    );
+    assert_eq!(serial, read_outputs(&crash_dir));
+
+    for dir in [serial_dir, hand_dir, batch_dir, crash_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// The worker CLI is self-contained: a job id re-run by hand produces
 /// a partial the coordinator would accept.
 #[test]

@@ -2,6 +2,7 @@
 
 use dca_dram::{MappingScheme, Organization, TimingParams};
 use dca_dram_cache::OrgKind;
+use dca_mem_hier::MainMemConfig;
 
 /// The three controller designs compared in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -74,6 +75,11 @@ pub struct SystemConfig {
     pub timing: TimingParams,
     /// Stacked-DRAM organisation.
     pub dram_org: Organization,
+    /// Off-chip main-memory backend behind the DRAM cache: the flat
+    /// seed model (Table II's 50 ns + bus, the default — bit-identical
+    /// to the pre-refactor simulator) or the cycle-level DDR4-style
+    /// device.
+    pub main_mem: MainMemConfig,
     /// Read-queue entries per channel (Table II: 64; 32 for ROD).
     pub read_q_cap: usize,
     /// Write-queue entries per channel (Table II: 64; 96 for ROD).
@@ -130,6 +136,7 @@ impl SystemConfig {
             arbiter: Arbiter::Bliss,
             timing: TimingParams::paper_stacked(),
             dram_org: Organization::paper(),
+            main_mem: MainMemConfig::paper_flat(),
             read_q_cap,
             write_q_cap,
             write_lo: 0.50,
@@ -153,6 +160,14 @@ impl SystemConfig {
     pub fn paper_remap(design: Design, org_kind: OrgKind) -> Self {
         let mut cfg = Self::paper(design, org_kind);
         cfg.mapping = MappingScheme::XorRemap;
+        cfg
+    }
+
+    /// Convenience: the paper config with the cycle-level DDR4
+    /// main-memory backend instead of the flat model.
+    pub fn paper_cycle_mem(design: Design, org_kind: OrgKind) -> Self {
+        let mut cfg = Self::paper(design, org_kind);
+        cfg.main_mem = MainMemConfig::ddr4();
         cfg
     }
 

@@ -35,6 +35,36 @@
 //! Table II; [`SystemReport`] carries every statistic the paper's figures
 //! need.
 //!
+//! ## Tier-generic memory devices
+//!
+//! The `dca_dram` channel/bank/bus machinery is parameterised purely by
+//! `TimingParams` + `Organization`, so the *same* cycle-level model
+//! serves two tiers: the stacked-DRAM array behind the cache controller
+//! (Table II geometry) and — since the main-memory refactor — the
+//! off-chip DRAM behind the cache. [`SystemConfig::main_mem`] selects
+//! the backing-store model:
+//!
+//! * **`MainMemConfig::Flat`** (default): the seed model — a fixed
+//!   50 ns access latency plus 16 GB/s bus serialisation. Bit-identical
+//!   to the pre-refactor simulator (`tests/main_mem_equivalence.rs`
+//!   locks it against captured seed fingerprints).
+//! * **`MainMemConfig::Cycle`**: a DDR4-style device (one 16-bank
+//!   channel, 8 KB rows, DDR4-2400 timings by default) driven through
+//!   a bounded FR-FCFS access queue. Miss refills, dirty-victim
+//!   writebacks and Lee-writeback bursts now contend for real banks
+//!   and a real bus. The device is event-driven: `Ev::MemPump` runs
+//!   its scheduler whenever work arrives or a bank frees, and
+//!   `Ev::MemArrive` routes each read completion back to its request —
+//!   including the MAP-I speculative-prefetch race, where data can
+//!   arrive before the tag check resolves (the request's `Fetch` state
+//!   arbitrates). `MainMemConfig::ddr4_bandwidth_div` scales the burst
+//!   time for main-memory-bandwidth sensitivity sweeps (the `figures
+//!   --mainmem` table).
+//!
+//! [`SystemReport::main_mem`] reports the device either way: traffic,
+//! bus busy time, and (cycle backend) row hit/conflict counts, queue
+//! occupancy peaks and queueing delay.
+//!
 //! ## Warm-state checkpointing
 //!
 //! Construction has three phases: **build** (cold hierarchy), **warm-up**

@@ -1,5 +1,6 @@
 //! Per-run reports: everything the paper's figures consume.
 
+use dca_mem_hier::MainMemStats;
 use dca_metrics::LatencyStat;
 use dca_sim_core::SimTime;
 
@@ -57,6 +58,10 @@ pub struct SystemReport {
     pub mem_reads: u64,
     /// Main-memory writes.
     pub mem_writes: u64,
+    /// Main-memory device statistics (backend, queue occupancy, row hit
+    /// rate, bus busy time). For the flat backend only the traffic and
+    /// bus-busy counters are populated.
+    pub main_mem: MainMemStats,
     /// Writeback requests presented to the DRAM cache.
     pub writeback_requests: u64,
     /// Refill requests presented to the DRAM cache.

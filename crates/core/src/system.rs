@@ -4,7 +4,9 @@
 //! L1s (32 KB/2-way, 2 cycles) → shared L2 (8 MB, 20 cycles, MSHRs) →
 //! the DRAM-cache controller (one [`ChannelController`] per channel) →
 //! the stacked-DRAM device (4 channels × 16 banks, open page) → main
-//! memory (50 ns + off-chip bus).
+//! memory ([`SystemConfig::main_mem`]: the flat 50 ns + off-chip-bus
+//! model, or a cycle-level DDR4-style device pumped by its own
+//! `MemPump`/`MemArrive` events — see the `dca_mem_hier::memory` docs).
 //!
 //! ## Flow of a demand read
 //! L2 miss → MSHR → `CacheRequest{Read}` to the block's channel → FSM
@@ -34,7 +36,7 @@ use dca_dram::DramChannel;
 use dca_dram_cache::{
     CacheGeometry, CacheReqKind, CacheRequest, MapI, OrgKind, RequestFsm, RequestId, TagArray,
 };
-use dca_mem_hier::{collect_same_row_dirty, MainMemory, Mshr, MshrOutcome, SramCache};
+use dca_mem_hier::{collect_same_row_dirty, MainMemory, MemArrival, Mshr, MshrOutcome, SramCache};
 use dca_metrics::LatencyStat;
 use dca_sim_core::{
     BaselineEventQueue, Duration, EventQueue, SeedSplitter, SimTime, Slab, SlabKey,
@@ -58,8 +60,21 @@ enum Ev {
     Pump(u8),
     /// A DRAM access's burst completed.
     AccessDone { ch: u8, access_id: u64 },
-    /// Main-memory data for a demand-read miss arrived.
+    /// Main-memory data for a demand-read miss arrived (flat backend:
+    /// the completion time was known analytically at submission).
     MemData { req: RequestId },
+    /// Run the cycle-level main-memory device's FR-FCFS scheduler.
+    MemPump,
+    /// Launch a cycle-backend speculative fetch at the L2-miss time the
+    /// request was submitted with. The enqueue must happen *at* that
+    /// instant — enqueuing early would let an unrelated pump issue the
+    /// access before its own submission time.
+    MemFetch { req: RequestId },
+    /// A cycle-level main-memory read burst landed on chip. Unlike
+    /// [`Ev::MemData`] this can precede the tag check's verdict (the
+    /// speculative MAP-I prefetch), so the handler routes by the
+    /// request's fetch state.
+    MemArrive { req: RequestId },
 }
 
 /// An L2-miss waiter (who to answer when the block arrives).
@@ -70,6 +85,25 @@ struct Waiter {
     is_store: bool,
 }
 
+/// Progress of a demand read's main-memory fetch. The flat backend
+/// knows the completion time the instant a fetch launches; the
+/// cycle-level backend learns it only when the device actually issues
+/// the access, so the two carry different state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fetch {
+    /// No memory fetch launched yet.
+    None,
+    /// Flat backend: the fetch completes at this instant.
+    FlatAt(SimTime),
+    /// Cycle backend: fetch queued/in flight; tag check not resolved.
+    CyclePending,
+    /// Cycle backend: fetch in flight and the tag check already said
+    /// miss — answer the cores the moment the data arrives.
+    CyclePendingMissed,
+    /// Cycle backend: data arrived before the tag check resolved.
+    CycleDone,
+}
+
 /// Bookkeeping for an outstanding demand read.
 #[derive(Clone, Copy, Debug)]
 struct ReadState {
@@ -77,8 +111,8 @@ struct ReadState {
     app: u8,
     arrival: SimTime,
     predicted_hit: bool,
-    /// Completion time of the speculative memory fetch, if one launched.
-    prefetch_done: Option<SimTime>,
+    /// Main-memory fetch progress (speculative or post-miss).
+    fetch: Fetch,
 }
 
 /// Slab slot for one in-flight cache request. A slot lives from
@@ -161,6 +195,13 @@ struct Uncore {
     pending_reqs: Vec<VecDeque<CacheRequest>>,
     inflight: Vec<u32>,
     poll_armed: Vec<bool>,
+    /// Earliest future [`Ev::MemPump`] currently queued (cycle backend
+    /// only). Later, stale pump events may also exist — they fire as
+    /// cheap no-ops — but an armed instant is never pushed twice, so
+    /// repeated device enqueues before a wakeup cannot stack events.
+    mem_pump_armed_at: Option<SimTime>,
+    /// Reusable completion buffer for the cycle backend's scheduler.
+    mem_arrivals: Vec<MemArrival>,
     /// Events produced while the event queue is not borrowable
     /// (inside the cores' port callbacks).
     outbox: Vec<(SimTime, Ev)>,
@@ -216,6 +257,17 @@ impl Uncore {
         }
     }
 
+    /// Overwrite a live demand-read's main-memory fetch state.
+    fn set_fetch(&mut self, req: RequestId, fetch: Fetch) {
+        self.requests
+            .get_mut(SlabKey::from(req))
+            .expect("request slot live")
+            .read
+            .as_mut()
+            .expect("read state live")
+            .fetch = fetch;
+    }
+
     /// Create and queue a demand-read request for `block`.
     fn submit_read(&mut self, block: u64, app: u8, pc: u32, at: SimTime) {
         let predicted_hit = if self.cfg.predictor {
@@ -223,20 +275,26 @@ impl Uncore {
         } else {
             true
         };
-        let prefetch_done = if !predicted_hit {
-            // MAP-I predicted a miss: overlap the memory fetch with the
-            // tag check (the Alloy-style hit-speculation path).
-            Some(self.memory.read(at))
+        // MAP-I predicted a miss: overlap the memory fetch with the tag
+        // check (the Alloy-style hit-speculation path). The flat fetch
+        // launches here; the cycle fetch needs the request id, so it is
+        // deferred to a MemFetch event below.
+        let fetch = if !predicted_hit && !self.memory.is_cycle() {
+            Fetch::FlatAt(self.memory.read(at))
         } else {
-            None
+            Fetch::None
         };
         let id = self.alloc_request(Some(ReadState {
             block,
             app,
             arrival: at,
             predicted_hit,
-            prefetch_done,
+            fetch,
         }));
+        if !predicted_hit && self.memory.is_cycle() {
+            self.outbox.push((at, Ev::MemFetch { req: id }));
+            self.set_fetch(id, Fetch::CyclePending);
+        }
         let req = CacheRequest {
             id,
             kind: CacheReqKind::Read,
@@ -442,7 +500,7 @@ impl System {
             rrpc: Rrpc::new(cfg.dram_org.total_banks()),
             tags: hier.tags,
             predictor: hier.predictor,
-            memory: MainMemory::paper(),
+            memory: MainMemory::build(&cfg.main_mem),
             requests: Slab::with_capacity(256),
             accesses: Slab::with_capacity(512),
             pending_reqs: (0..cfg.dram_org.channels)
@@ -450,6 +508,8 @@ impl System {
                 .collect(),
             inflight: vec![0; cfg.dram_org.channels as usize],
             poll_armed: vec![false; cfg.dram_org.channels as usize],
+            mem_pump_armed_at: None,
+            mem_arrivals: Vec::new(),
             outbox: Vec::new(),
             latency: LatencyStat::new(),
             cache_read_hits: 0,
@@ -689,6 +749,68 @@ impl System {
         self.drain_outbox();
     }
 
+    /// Cycle-backend scheduler pump: issue everything whose bank is
+    /// free, turn read completions into [`Ev::MemArrive`] events, and
+    /// arm the next pump at the device's earliest bank-free instant —
+    /// unless an equal-or-earlier pump is already queued.
+    fn mem_pump(&mut self, now: SimTime) {
+        let mut arrivals = std::mem::take(&mut self.uncore.mem_arrivals);
+        arrivals.clear();
+        self.uncore.memory.schedule(now, &mut arrivals);
+        for a in arrivals.drain(..) {
+            self.queue.push(a.at, Ev::MemArrive { req: a.token });
+        }
+        self.uncore.mem_arrivals = arrivals;
+        if let Some(at) = self.uncore.memory.next_wakeup() {
+            let earlier = self.uncore.mem_pump_armed_at.is_none_or(|t| at < t);
+            if earlier {
+                self.uncore.mem_pump_armed_at = Some(at);
+                self.queue.push(at, Ev::MemPump);
+            }
+        }
+    }
+
+    /// Launch a deferred speculative fetch (cycle backend). The request
+    /// can already have retired as a hit — then the fetch is simply
+    /// never sent, sparing the device the wasted bandwidth a flat model
+    /// cannot avoid spending.
+    fn mem_fetch(&mut self, req: RequestId, now: SimTime) {
+        let key = SlabKey::from(req);
+        let Some(slot) = self.uncore.requests.get(key) else {
+            return;
+        };
+        let Some(rs) = slot.read else { return };
+        if matches!(rs.fetch, Fetch::CyclePending | Fetch::CyclePendingMissed) {
+            self.uncore.memory.enqueue_read(req, rs.block, now);
+            self.mem_pump(now);
+        }
+    }
+
+    /// A cycle-level main-memory read landed on chip. If the tag check
+    /// already concluded miss, answer the cores and install the block;
+    /// if it is still in flight, just record the data as ready; if the
+    /// request retired as a hit meanwhile, the speculative fetch was
+    /// wasted bandwidth and the arrival is dropped.
+    fn mem_arrive(&mut self, req: RequestId, now: SimTime) {
+        let key = SlabKey::from(req);
+        let Some(slot) = self.uncore.requests.get_mut(key) else {
+            return; // request fully retired (hit): wasted prefetch
+        };
+        let Some(rs) = slot.read.as_mut() else {
+            return; // read answered from the cache; fetch was wasted
+        };
+        match rs.fetch {
+            Fetch::CyclePending => rs.fetch = Fetch::CycleDone,
+            Fetch::CyclePendingMissed => {
+                let (block, app) = (rs.block, rs.app);
+                self.finish_demand_read(req, now);
+                self.uncore.submit_refill(block, app, now);
+                self.drain_outbox();
+            }
+            _ => unreachable!("cycle arrival without a pending cycle fetch"),
+        }
+    }
+
     /// A demand read has its data: record latency and answer the cores.
     fn finish_demand_read(&mut self, req: RequestId, now: SimTime) {
         let rs = self
@@ -761,9 +883,17 @@ impl System {
             }
         }
 
-        // Dirty victim evicted from the DRAM cache → main memory.
-        if out.evict_dirty.is_some() {
-            self.uncore.memory.write(now);
+        // Dirty victim evicted from the DRAM cache → main memory. The
+        // cycle-backend pump runs once at the end of this handler, after
+        // every enqueue this access produced.
+        let mut pump_mem = false;
+        if let Some(victim) = out.evict_dirty {
+            if self.uncore.memory.is_cycle() {
+                self.uncore.memory.enqueue_write(victim, now);
+                pump_mem = true;
+            } else {
+                self.uncore.memory.write(now);
+            }
         }
 
         if out.respond_hit {
@@ -773,19 +903,41 @@ impl System {
             let rs = self.uncore.requests[req_key]
                 .read
                 .expect("read state live until answered");
-            match rs.prefetch_done {
-                Some(t) if t <= now => {
+            match rs.fetch {
+                Fetch::FlatAt(t) if t <= now => {
                     // Speculative fetch already landed: answer now, and
                     // install via a refill request.
                     self.finish_demand_read(meta.request, now);
                     self.uncore.submit_refill(rs.block, rs.app, now);
                 }
-                Some(t) => {
+                Fetch::FlatAt(t) => {
                     self.queue.push(t, Ev::MemData { req: meta.request });
                 }
-                None => {
+                Fetch::None if !self.uncore.memory.is_cycle() => {
                     let t = self.uncore.memory.read(now);
                     self.queue.push(t, Ev::MemData { req: meta.request });
+                }
+                Fetch::None => {
+                    // Cycle backend, no speculative fetch: queue it now
+                    // and answer when the device delivers.
+                    self.uncore.memory.enqueue_read(meta.request, rs.block, now);
+                    self.uncore
+                        .set_fetch(meta.request, Fetch::CyclePendingMissed);
+                    pump_mem = true;
+                }
+                Fetch::CyclePending => {
+                    // Speculative fetch still in flight: flag the miss so
+                    // the arrival answers the cores directly.
+                    self.uncore
+                        .set_fetch(meta.request, Fetch::CyclePendingMissed);
+                }
+                Fetch::CycleDone => {
+                    // Speculative fetch already landed.
+                    self.finish_demand_read(meta.request, now);
+                    self.uncore.submit_refill(rs.block, rs.app, now);
+                }
+                Fetch::CyclePendingMissed => {
+                    unreachable!("miss resolved twice for one request")
                 }
             }
         }
@@ -800,6 +952,9 @@ impl System {
             self.uncore.maybe_free_request(meta.request);
         }
 
+        if pump_mem {
+            self.mem_pump(now);
+        }
         self.drain_outbox();
         self.pump(ch, now);
     }
@@ -826,6 +981,16 @@ impl System {
                     self.uncore.submit_refill(rs.block, rs.app, now);
                     self.drain_outbox();
                 }
+                Ev::MemPump => {
+                    // The tracked wakeup has fired; a stale later pump
+                    // leaves the tracking untouched.
+                    if self.uncore.mem_pump_armed_at == Some(now) {
+                        self.uncore.mem_pump_armed_at = None;
+                    }
+                    self.mem_pump(now);
+                }
+                Ev::MemFetch { req } => self.mem_fetch(req, now),
+                Ev::MemArrive { req } => self.mem_arrive(req, now),
             }
             if self.cores.iter().all(|c| c.finished()) {
                 break;
@@ -874,6 +1039,7 @@ impl System {
             predictor_accuracy: self.uncore.predictor.accuracy(),
             mem_reads: self.uncore.memory.reads(),
             mem_writes: self.uncore.memory.writes(),
+            main_mem: self.uncore.memory.stats(),
             writeback_requests: self.uncore.wb_requests,
             refill_requests: self.uncore.refill_requests,
             end_time: self.queue.now(),
@@ -1044,6 +1210,48 @@ mod tests {
         assert_eq!(cold.end_time, restored.end_time);
         assert_eq!(cold.events_processed, restored.events_processed);
         assert_eq!(cold.cache_read_hits, restored.cache_read_hits);
+    }
+
+    #[test]
+    fn cycle_main_memory_runs_all_designs() {
+        for design in Design::ALL {
+            let cfg = SystemConfig::paper_cycle_mem(design, OrgKind::DirectMapped)
+                .scaled(30_000, 120_000);
+            let r = System::new(cfg, &[Benchmark::Libquantum, Benchmark::Mcf]).run();
+            assert!(
+                r.cores.iter().all(|c| c.insts >= 30_000),
+                "{} cycle-mem run incomplete",
+                design.label()
+            );
+            assert_eq!(r.main_mem.backend, "cycle");
+            assert_eq!(r.main_mem.reads, r.mem_reads);
+            assert!(r.mem_reads > 0, "misses must reach the device");
+            assert!(r.main_mem.row_hits + r.main_mem.row_conflicts <= r.mem_reads + r.mem_writes);
+            assert!(r.main_mem.busy_ps > 0);
+        }
+    }
+
+    #[test]
+    fn cycle_main_memory_is_deterministic_and_differs_from_flat() {
+        let mk = |cycle: bool| {
+            let mut cfg =
+                SystemConfig::paper(Design::Dca, OrgKind::DirectMapped).scaled(30_000, 120_000);
+            if cycle {
+                cfg.main_mem = dca_mem_hier::MainMemConfig::ddr4();
+            }
+            System::new(cfg, &[Benchmark::Libquantum, Benchmark::Mcf]).run()
+        };
+        let a = mk(true);
+        let b = mk(true);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.mem_reads, b.mem_reads);
+        let flat = mk(false);
+        assert_eq!(flat.main_mem.backend, "flat");
+        assert_ne!(
+            a.end_time, flat.end_time,
+            "a real device must reshape timing at least slightly"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@
 //! Fields deliberately **excluded** — and why reuse is sound:
 //! `design`, `arbiter`, queue capacities and timing (never consulted
 //! before the timing phase), `mapping` (bank permutation only, see
-//! above), `target_insts` (timing-phase length). If warm-up ever grows a
+//! above), `main_mem` (the main-memory backend is a pure timing-phase
+//! device — one warm-up serves a whole bandwidth-sensitivity sweep),
+//! `target_insts` (timing-phase length). If warm-up ever grows a
 //! dependency on a new field, add it to [`WarmState::fingerprint_for`]
 //! — a stale fingerprint silently reusing wrong state is the one bug
 //! this scheme must never allow, so when in doubt, include the field.
@@ -75,8 +77,18 @@ use crate::config::SystemConfig;
 /// Version of the checkpoint schema (fingerprint inputs + byte layout).
 /// Bump on any change to either; old state then misses cleanly.
 /// (v2: per-core workload cursors are kind-tagged [`OpStream`]s so
-/// trace replays checkpoint alongside synthetic generators.)
-pub const WARM_FORMAT_VERSION: u32 = 2;
+/// trace replays checkpoint alongside synthetic generators.
+/// v3: the main-memory tier became a configurable device
+/// ([`SystemConfig::main_mem`]); the cursor payload is unchanged, but
+/// the bump retires every pre-refactor pool so cross-refactor state is
+/// never trusted. A v2 blob is **cleanly rejected** by
+/// [`WarmState::decode`] with a version error — consumers such as
+/// `dca_bench::WarmCache` log a warning and fall back to a cold
+/// warm-up; nothing panics. The backend choice itself is deliberately
+/// *excluded* from the fingerprint: warm-up is timing-free, so one
+/// warm-up legally serves every main-memory backend of a sensitivity
+/// sweep.)
+pub const WARM_FORMAT_VERSION: u32 = 3;
 
 /// Magic prefix of an encoded [`WarmState`].
 const MAGIC: &[u8; 8] = b"DCAWARM\0";
@@ -255,7 +267,10 @@ impl WarmState {
         if r.bytes(MAGIC.len())? != MAGIC {
             return Err(CodecError::new("bad magic"));
         }
-        if r.u32()? != WARM_FORMAT_VERSION {
+        let version = r.u32()?;
+        if version != WARM_FORMAT_VERSION {
+            // Old pools (v2 and earlier) predate the tier-generic
+            // main-memory refactor: reject cleanly so callers re-warm.
             return Err(CodecError::new("unsupported warm-state version"));
         }
         let fingerprint = r.u64()?;
@@ -367,6 +382,38 @@ mod tests {
         assert_ne!(
             WarmState::fingerprint_for(&c, &[Benchmark::Gcc, Benchmark::Mcf]),
             fp_a
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_main_memory_backend() {
+        // Warm-up is timing-free: one checkpoint must serve every
+        // main-memory backend of a bandwidth-sensitivity sweep.
+        let base = cfg(OrgKind::DirectMapped);
+        let fp = WarmState::fingerprint_for(&base, &BENCHES);
+        let mut c = base;
+        c.main_mem = dca_mem_hier::MainMemConfig::ddr4();
+        assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+        c.main_mem = dca_mem_hier::MainMemConfig::ddr4_bandwidth_div(4);
+        assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+    }
+
+    #[test]
+    fn decode_rejects_v2_blobs_cleanly() {
+        // A pre-refactor (v2) pool must be refused with an error —
+        // never a panic, never a silently trusted decode. Forge a
+        // v2-stamped blob with a valid digest so only the version check
+        // can reject it.
+        let c = cfg(OrgKind::DirectMapped);
+        let blob = crate::System::capture_warm(c, &BENCHES).encode();
+        let mut old = blob[..blob.len() - 8].to_vec();
+        old[8..12].copy_from_slice(&2u32.to_le_bytes()); // version field
+        let d = dca_sim_core::digest64(&old);
+        old.extend_from_slice(&d.to_le_bytes());
+        let err = WarmState::decode(&old).expect_err("v2 must be rejected");
+        assert!(
+            format!("{err}").contains("version"),
+            "error should name the version mismatch, got: {err}"
         );
     }
 

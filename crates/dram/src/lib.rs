@@ -1,8 +1,17 @@
-//! # dca-dram — stacked-DRAM device timing model
+//! # dca-dram — tier-generic DRAM device timing model
 //!
-//! The die-stacked DRAM array that backs the DRAM cache in the paper
-//! (Table II): 4 channels × 1 rank × 16 banks, 4 KB row buffers, open-page
-//! policy, RoBaRaChCo address order.
+//! Cycle-level channel/bank/bus machinery parameterised by
+//! [`TimingParams`] + [`Organization`], so the same model serves *any
+//! memory tier*. Two tiers instantiate it today:
+//!
+//! * the die-stacked DRAM array that backs the DRAM cache in the paper
+//!   (Table II): 4 channels × 1 rank × 16 banks, 4 KB row buffers,
+//!   open-page policy, RoBaRaChCo address order
+//!   ([`TimingParams::paper_stacked`] / [`Organization::paper`]);
+//! * the off-chip DDR4 main memory behind it
+//!   ([`TimingParams::ddr4_2400`] / [`Organization::ddr4_main`]),
+//!   which `dca-mem-hier`'s cycle-level backend drives through the
+//!   identical [`DramChannel`] type.
 //!
 //! The model operates at *access* granularity: the controller hands the
 //! channel a [`DramAccess`] (bank, row, read/write, burst length) and the

@@ -65,6 +65,34 @@ impl TimingParams {
         }
     }
 
+    /// Commodity DDR4-2400 timings (CL17-ish speed grade), the off-chip
+    /// *main-memory* tier behind the DRAM cache. A 64-byte block on a
+    /// 64-bit × 2400 MT/s channel bursts in 8 beats = 3.33 ns, matching
+    /// the 16 GB/s pin bandwidth Table II's flat model assumes.
+    pub fn ddr4_2400() -> Self {
+        TimingParams {
+            t_rcd: Duration::from_ns_f64(14.16),
+            t_cas: Duration::from_ns_f64(14.16),
+            t_rp: Duration::from_ns_f64(14.16),
+            t_ras: Duration::from_ns(32),
+            t_wtr: Duration::from_ns_f64(7.5),
+            t_rtp: Duration::from_ns_f64(7.5),
+            t_rtw: Duration::from_ns_f64(2.5),
+            t_wr: Duration::from_ns(15),
+            t_burst: Duration::from_ns_f64(3.33),
+        }
+    }
+
+    /// Scale the data-burst time by `div`, dividing the channel's data
+    /// bandwidth by the same factor while leaving the core timings
+    /// untouched — the knob behind the main-memory-bandwidth
+    /// sensitivity sweep.
+    pub fn with_bandwidth_divisor(mut self, div: u32) -> Self {
+        assert!(div >= 1, "bandwidth divisor must be >= 1");
+        self.t_burst = Duration::from_ps(self.t_burst.ps() * div as u64);
+        self
+    }
+
     /// Latency of a best-case read row hit (CAS + burst), used for sanity
     /// checks and documentation examples.
     pub fn row_hit_read_latency(&self) -> Duration {
@@ -104,6 +132,20 @@ impl Organization {
             banks_per_rank: 16,
             rows_per_bank: 1024,
             row_bytes: 4096,
+        }
+    }
+
+    /// One off-chip DDR4-style main-memory channel: 16 banks, 8 KB rows,
+    /// 32 K rows/bank = 4 GB. The channel/bank/bus machinery is
+    /// tier-generic — this preset simply instantiates it with
+    /// main-memory geometry instead of the stacked-DRAM one.
+    pub fn ddr4_main() -> Self {
+        Organization {
+            channels: 1,
+            ranks: 1,
+            banks_per_rank: 16,
+            rows_per_bank: 32_768,
+            row_bytes: 8192,
         }
     }
 
@@ -166,6 +208,28 @@ mod tests {
         assert_eq!(org.total_banks(), 64);
         assert_eq!(org.banks_per_channel(), 16);
         assert_eq!(org.total_rows(), 65_536);
+    }
+
+    #[test]
+    fn ddr4_main_memory_presets() {
+        let t = TimingParams::ddr4_2400();
+        // 64 B on a 64-bit × 2400 MT/s channel: 3.33 ns, i.e. the same
+        // 16 GB/s the flat model's "2 GHz × 64-bit bus" serialises at.
+        assert_eq!(t.t_burst.ps(), 3_330);
+        assert!(t.t_wtr > t.t_rtw, "WTR asymmetry holds off-chip too");
+        let org = Organization::ddr4_main();
+        assert_eq!(org.capacity_bytes(), 4 << 30);
+        assert_eq!(org.banks_per_channel(), 16);
+    }
+
+    #[test]
+    fn bandwidth_divisor_scales_burst_only() {
+        let base = TimingParams::ddr4_2400();
+        let half = base.with_bandwidth_divisor(2);
+        assert_eq!(half.t_burst.ps(), 2 * base.t_burst.ps());
+        assert_eq!(half.t_rcd, base.t_rcd);
+        assert_eq!(half.t_wtr, base.t_wtr);
+        assert_eq!(base.with_bandwidth_divisor(1), base);
     }
 
     #[test]

@@ -9,9 +9,14 @@
 //!   hit latency applied by the system model.
 //! * [`mshr`] — miss-status holding registers for the L2: merge duplicate
 //!   block misses, bound outstanding misses, and provide backpressure.
-//! * [`memory`] — off-chip main memory: 50 ns access latency behind a
-//!   2 GHz × 64-bit bus (Table II), modelled as fixed latency plus
-//!   bandwidth serialisation.
+//! * [`memory`] — off-chip main memory behind a per-run backend choice
+//!   ([`MainMemConfig`]): the seed **flat** model (Table II's 50 ns
+//!   access latency behind a 2 GHz × 64-bit bus, fixed latency plus
+//!   bandwidth serialisation — preserved bit-for-bit) or the
+//!   **cycle-level** DDR4-style device, which reuses the tier-generic
+//!   `dca_dram` channel/bank/bus machinery behind an FR-FCFS-scheduled
+//!   `dca_sched::AccessQueue`, so miss refills, dirty victims and Lee
+//!   writebacks contend at a real device.
 //! * [`lee`] — Lee et al.'s DRAM-aware last-level-cache writeback \[20\]
 //!   (§VII, Fig 19): when a dirty block is written back, other dirty
 //!   blocks of the same DRAM-cache row are eagerly written back too,
@@ -23,6 +28,6 @@ pub mod mshr;
 pub mod sram;
 
 pub use lee::collect_same_row_dirty;
-pub use memory::MainMemory;
+pub use memory::{CycleMemory, FlatMemory, MainMemConfig, MainMemStats, MainMemory, MemArrival};
 pub use mshr::{Mshr, MshrOutcome};
 pub use sram::{SramCache, SramStats};

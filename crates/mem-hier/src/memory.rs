@@ -1,18 +1,160 @@
-//! Off-chip main memory: Table II's "Memory latency 50 ns" behind a
-//! 2 GHz × 64-bit off-chip bus.
+//! Off-chip main memory behind the DRAM cache, selectable per run via
+//! [`MainMemConfig`]:
 //!
-//! The paper's focus is the DRAM-*cache* controller; main memory is the
-//! backing store whose latency sets the miss penalty. We model it as a
-//! fixed 50 ns access latency plus bus-bandwidth serialisation: a 64-byte
-//! block on a 2 GHz × 64-bit bus takes 64 B / 16 GB/s = 4 ns of bus time,
-//! so heavily missing phases queue behind the pin bandwidth exactly as
-//! they would on the real part.
+//! * [`MainMemConfig::Flat`] — Table II's "Memory latency 50 ns" behind
+//!   a 2 GHz × 64-bit off-chip bus: a fixed access latency plus
+//!   bus-bandwidth serialisation (a 64-byte block on a 16 GB/s bus takes
+//!   4 ns of bus time). This is the original seed model, preserved
+//!   bit-for-bit — the analytic `read(now) -> done` contract and its
+//!   arithmetic are untouched.
+//! * [`MainMemConfig::Cycle`] — a real DDR-style device: the same
+//!   tier-generic [`DramChannel`] bank/row/bus machinery the stacked
+//!   DRAM cache uses, instantiated with main-memory timing/geometry
+//!   (DDR4-2400 presets by default) behind a bounded FR-FCFS-scheduled
+//!   access queue ([`dca_sched::AccessQueue`] + [`dca_sched::FrFcfs`]).
+//!   Miss refills, dirty-victim writebacks and Lee-writeback traffic now
+//!   contend for real banks and a real bus, so row conflicts, turnaround
+//!   penalties and queueing delay shape the miss penalty exactly as the
+//!   traffic mix demands — the behaviour a flat latency cannot express.
+//!
+//! The cycle-level backend is *event-driven*: the system enqueues
+//! accesses ([`MainMemory::enqueue_read`] / [`MainMemory::enqueue_write`]),
+//! pumps the scheduler ([`MainMemory::schedule`]) and asks when to pump
+//! next ([`MainMemory::next_wakeup`] — the earliest instant a queued
+//! access's bank frees). Read completions carry the caller's token back
+//! so the system can route the arrival to its request. The flat backend
+//! never generates events of its own, which is what keeps `FlatLatency`
+//! runs bit-identical to the pre-refactor model (locked by
+//! `tests/main_mem_equivalence.rs`).
 
-use dca_sim_core::{Counter, Duration, SimTime};
+use std::collections::VecDeque;
 
-/// Main-memory model: fixed latency + bus serialisation.
+use dca_dram::{AccessKind, BurstLen, DramAccess, DramChannel, Organization, TimingParams};
+use dca_sched::{AccessQueue, FrFcfs, QueueEntry, ReadClass};
+use dca_sim_core::{Counter, Duration, FastHashMap, SimTime};
+
+/// Which main-memory model backs the DRAM cache, plus its parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MainMemConfig {
+    /// Fixed latency + bus serialisation (the seed model).
+    Flat {
+        /// Fixed access latency (Table II: 50 ns).
+        latency: Duration,
+        /// Bus occupancy per 64-byte block (Table II: 4 ns).
+        bus_time: Duration,
+    },
+    /// Cycle-level DDR-style device: banks, rows, bus, FR-FCFS queue.
+    Cycle {
+        /// Device timing (e.g. [`TimingParams::ddr4_2400`]).
+        timing: TimingParams,
+        /// Device organisation (e.g. [`Organization::ddr4_main`]).
+        org: Organization,
+        /// Controller + on-chip interconnect latency added to every read
+        /// completion (the part of the flat model's 50 ns that is not
+        /// the DRAM array itself).
+        extra_latency: Duration,
+        /// Bounded per-channel access-queue capacity; overflow spills
+        /// into an unbounded buffer so traffic is never dropped.
+        queue_cap: u32,
+    },
+}
+
+impl MainMemConfig {
+    /// The seed model's Table II parameters: 50 ns + 4 ns/block.
+    pub fn paper_flat() -> Self {
+        MainMemConfig::Flat {
+            latency: Duration::from_ns(50),
+            bus_time: Duration::from_ns(4),
+        }
+    }
+
+    /// Cycle-level DDR4-2400 main memory: one 16-bank channel with 8 KB
+    /// rows and a 20 ns controller/interconnect overhead, so an unloaded
+    /// row-conflict read lands near the flat model's 50 ns while loaded
+    /// behaviour diverges with the traffic mix.
+    pub fn ddr4() -> Self {
+        MainMemConfig::Cycle {
+            timing: TimingParams::ddr4_2400(),
+            org: Organization::ddr4_main(),
+            extra_latency: Duration::from_ns(20),
+            queue_cap: 64,
+        }
+    }
+
+    /// [`MainMemConfig::ddr4`] with the data bandwidth divided by `div`
+    /// (burst time multiplied), the main-memory-bandwidth sensitivity
+    /// knob.
+    pub fn ddr4_bandwidth_div(div: u32) -> Self {
+        match Self::ddr4() {
+            MainMemConfig::Cycle {
+                timing,
+                org,
+                extra_latency,
+                queue_cap,
+            } => MainMemConfig::Cycle {
+                timing: timing.with_bandwidth_divisor(div),
+                org,
+                extra_latency,
+                queue_cap,
+            },
+            MainMemConfig::Flat { .. } => unreachable!("ddr4() is cycle-level"),
+        }
+    }
+
+    /// True for the cycle-level backend.
+    pub fn is_cycle(&self) -> bool {
+        matches!(self, MainMemConfig::Cycle { .. })
+    }
+}
+
+/// Snapshot of a backend's statistics for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct MainMemStats {
+    /// Backend label: `"flat"` or `"cycle"`.
+    pub backend: &'static str,
+    /// Reads served (flat) or read accesses issued to the device (cycle).
+    pub reads: u64,
+    /// Writes absorbed / write accesses issued.
+    pub writes: u64,
+    /// Data-bus busy time, in picoseconds.
+    pub busy_ps: u64,
+    /// Row-buffer hits (cycle backend only).
+    pub row_hits: u64,
+    /// Row-buffer conflicts (cycle backend only).
+    pub row_conflicts: u64,
+    /// Bus direction switches (cycle backend only).
+    pub turnarounds: u64,
+    /// Highest access-queue occupancy observed, spill included (cycle).
+    pub peak_queue: u64,
+    /// Total picoseconds accesses spent queued before issue (cycle).
+    pub queue_wait_ps: u64,
+}
+
+impl MainMemStats {
+    /// Row-buffer hit rate over all issued accesses (0 for flat).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 || self.backend != "cycle" {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean queue wait per issued access, in nanoseconds (0 for flat).
+    pub fn mean_queue_wait_ns(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.queue_wait_ps as f64 / total as f64 / 1000.0
+        }
+    }
+}
+
+/// The seed main-memory model: fixed latency + bus serialisation.
 #[derive(Clone, Debug)]
-pub struct MainMemory {
+pub struct FlatMemory {
     access_latency: Duration,
     bus_time_per_block: Duration,
     bus_free_at: SimTime,
@@ -21,10 +163,10 @@ pub struct MainMemory {
     busy_ps: u64,
 }
 
-impl MainMemory {
+impl FlatMemory {
     /// Construct with explicit latency and per-block bus time.
     pub fn new(access_latency: Duration, bus_time_per_block: Duration) -> Self {
-        MainMemory {
+        FlatMemory {
             access_latency,
             bus_time_per_block,
             bus_free_at: SimTime::ZERO,
@@ -32,12 +174,6 @@ impl MainMemory {
             writes: Counter::default(),
             busy_ps: 0,
         }
-    }
-
-    /// Table II parameters: 50 ns latency, 2 GHz × 64-bit bus ⇒ 4 ns per
-    /// 64-byte block.
-    pub fn paper() -> Self {
-        Self::new(Duration::from_ns(50), Duration::from_ns(4))
     }
 
     /// Accept a read at `now`; returns when the data is available.
@@ -59,20 +195,341 @@ impl MainMemory {
         self.busy_ps += self.bus_time_per_block.ps();
         start + self.access_latency + self.bus_time_per_block
     }
+}
+
+/// A read completion the cycle-level backend hands back to the system:
+/// the caller's token and the instant the block is on chip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemArrival {
+    /// Caller-supplied token (the owning request id).
+    pub token: u64,
+    /// When the data arrives (burst end + controller latency).
+    pub at: SimTime,
+}
+
+/// Cycle-level main memory: one FR-FCFS-scheduled [`DramChannel`] per
+/// configured channel, fed by a bounded [`AccessQueue`] with an
+/// unbounded spill buffer.
+#[derive(Debug)]
+pub struct CycleMemory {
+    timing: TimingParams,
+    org: Organization,
+    extra_latency: Duration,
+    channels: Vec<DramChannel>,
+    queues: Vec<AccessQueue>,
+    spill: Vec<VecDeque<QueueEntry>>,
+    /// Queue-entry id → caller token, for read completions.
+    read_tokens: FastHashMap<u64, u64>,
+    next_id: u64,
+    reads: Counter,
+    writes: Counter,
+    peak_queue: u64,
+    queue_wait_ps: u64,
+    frfcfs: FrFcfs,
+}
+
+impl CycleMemory {
+    fn new(timing: TimingParams, org: Organization, extra_latency: Duration, cap: u32) -> Self {
+        CycleMemory {
+            timing,
+            org,
+            extra_latency,
+            channels: (0..org.channels)
+                .map(|_| DramChannel::new(timing, &org))
+                .collect(),
+            queues: (0..org.channels)
+                .map(|_| AccessQueue::new(cap.max(1) as usize))
+                .collect(),
+            spill: (0..org.channels).map(|_| VecDeque::new()).collect(),
+            read_tokens: FastHashMap::default(),
+            next_id: 0,
+            reads: Counter::default(),
+            writes: Counter::default(),
+            peak_queue: 0,
+            queue_wait_ps: 0,
+            frfcfs: FrFcfs::new(),
+        }
+    }
+
+    /// Map a 64-byte block address onto (channel, bank, row) in
+    /// row:bank:channel:column order (RoBaChCo, the paper's order minus
+    /// the rank level the preset does not use).
+    fn locate(&self, block: u64) -> (usize, u32, u32) {
+        let blocks_per_row = (self.org.row_bytes / 64).max(1) as u64;
+        let frame = block / blocks_per_row;
+        let ch = (frame % self.org.channels as u64) as usize;
+        let above = frame / self.org.channels as u64;
+        let bank = (above % self.org.banks_per_channel() as u64) as u32;
+        let row =
+            ((above / self.org.banks_per_channel() as u64) % self.org.rows_per_bank as u64) as u32;
+        (ch, bank, row)
+    }
+
+    fn enqueue(&mut self, kind: AccessKind, block: u64, token: Option<u64>, now: SimTime) {
+        let (ch, bank, row) = self.locate(block);
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Some(token) = token {
+            self.read_tokens.insert(id, token);
+        }
+        let entry = QueueEntry {
+            id,
+            access: DramAccess {
+                bank,
+                row,
+                kind,
+                burst: BurstLen::Block64,
+            },
+            app: 0,
+            class: ReadClass::Priority,
+            enqueued_at: now,
+        };
+        if let Err(e) = self.queues[ch].push(entry) {
+            self.spill[ch].push_back(e);
+        }
+        self.peak_queue = self.peak_queue.max(self.backlog() as u64);
+    }
+
+    fn drain_spill(&mut self, ch: usize) {
+        while let Some(e) = self.spill[ch].front() {
+            if self.queues[ch].is_full() {
+                break;
+            }
+            let e = *e;
+            self.spill[ch].pop_front();
+            self.queues[ch].push(e).expect("queue had room");
+        }
+    }
+
+    /// Issue every access whose bank is free at `now`, FR-FCFS order
+    /// (row hits first, then oldest), appending read completions to
+    /// `out`.
+    fn schedule(&mut self, now: SimTime, out: &mut Vec<MemArrival>) {
+        for ch in 0..self.channels.len() {
+            self.drain_spill(ch);
+            loop {
+                let channel = &self.channels[ch];
+                let picked = self.frfcfs.pick(
+                    self.queues[ch]
+                        .iter()
+                        .filter(|(_, e)| channel.bank_free(e.access.bank, now)),
+                    |e| channel.peek_outcome(e.access.bank, e.access.row),
+                );
+                let Some(pos) = picked else { break };
+                let entry = self.queues[ch].remove(pos);
+                let info = self.channels[ch].issue(entry.access, now);
+                self.queue_wait_ps += now.since(entry.enqueued_at).ps();
+                match entry.access.kind {
+                    AccessKind::Read => {
+                        self.reads.inc();
+                        let token = self
+                            .read_tokens
+                            .remove(&entry.id)
+                            .expect("read access carries a token");
+                        out.push(MemArrival {
+                            token,
+                            at: info.burst_end + self.extra_latency,
+                        });
+                    }
+                    AccessKind::Write => self.writes.inc(),
+                }
+                self.drain_spill(ch);
+            }
+        }
+    }
+
+    /// Earliest instant a queued access's bank frees — the next time a
+    /// pump could make progress. `None` when nothing is queued.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for (ch, queue) in self.queues.iter().enumerate() {
+            for (_, e) in queue.iter() {
+                let t = self.channels[ch].bank_busy_until(e.access.bank);
+                earliest = Some(earliest.map_or(t, |b| b.min(t)));
+            }
+            // Spilled entries wait on queue room, which opens when any
+            // queued entry issues — covered by the loop above (a spill
+            // with an empty bounded queue cannot happen: push fills the
+            // bounded queue first).
+        }
+        earliest
+    }
+
+    /// Queued accesses, spill included.
+    fn backlog(&self) -> usize {
+        self.queues.iter().map(AccessQueue::len).sum::<usize>()
+            + self.spill.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn busy_ps(&self) -> u64 {
+        // Burst time actually spent on each channel's data bus.
+        self.channels
+            .iter()
+            .map(|c| {
+                let s = c.stats();
+                let bursts = s.reads.get() + s.writes.get();
+                bursts * BurstLen::Block64.duration(&self.timing).ps()
+            })
+            .sum()
+    }
+}
+
+/// Main memory: the backend selected by [`MainMemConfig`].
+#[derive(Debug)]
+pub enum MainMemory {
+    /// Fixed latency + bus serialisation (seed model).
+    Flat(FlatMemory),
+    /// Cycle-level DDR-style device.
+    Cycle(CycleMemory),
+}
+
+impl MainMemory {
+    /// Build the backend `cfg` describes.
+    pub fn build(cfg: &MainMemConfig) -> Self {
+        match *cfg {
+            MainMemConfig::Flat { latency, bus_time } => {
+                MainMemory::Flat(FlatMemory::new(latency, bus_time))
+            }
+            MainMemConfig::Cycle {
+                timing,
+                org,
+                extra_latency,
+                queue_cap,
+            } => MainMemory::Cycle(CycleMemory::new(timing, org, extra_latency, queue_cap)),
+        }
+    }
+
+    /// Table II parameters: 50 ns latency, 2 GHz × 64-bit bus ⇒ 4 ns per
+    /// 64-byte block (the flat seed model).
+    pub fn paper() -> Self {
+        Self::build(&MainMemConfig::paper_flat())
+    }
+
+    /// True for the cycle-level backend.
+    pub fn is_cycle(&self) -> bool {
+        matches!(self, MainMemory::Cycle(_))
+    }
+
+    /// Flat backend: accept a read at `now`, returning the completion.
+    ///
+    /// # Panics
+    /// Panics on the cycle backend — cycle reads go through
+    /// [`MainMemory::enqueue_read`].
+    pub fn read(&mut self, now: SimTime) -> SimTime {
+        match self {
+            MainMemory::Flat(m) => m.read(now),
+            MainMemory::Cycle(_) => panic!("analytic read() on the cycle-level backend"),
+        }
+    }
+
+    /// Flat backend: accept a write at `now` (see [`FlatMemory::write`]).
+    ///
+    /// # Panics
+    /// Panics on the cycle backend.
+    pub fn write(&mut self, now: SimTime) -> SimTime {
+        match self {
+            MainMemory::Flat(m) => m.write(now),
+            MainMemory::Cycle(_) => panic!("analytic write() on the cycle-level backend"),
+        }
+    }
+
+    /// Cycle backend: queue a read for `block`; `token` rides back on
+    /// the completion.
+    ///
+    /// # Panics
+    /// Panics on the flat backend.
+    pub fn enqueue_read(&mut self, token: u64, block: u64, now: SimTime) {
+        match self {
+            MainMemory::Cycle(m) => m.enqueue(AccessKind::Read, block, Some(token), now),
+            MainMemory::Flat(_) => panic!("enqueue_read() on the flat backend"),
+        }
+    }
+
+    /// Cycle backend: queue a write for `block` (fire-and-forget).
+    ///
+    /// # Panics
+    /// Panics on the flat backend.
+    pub fn enqueue_write(&mut self, block: u64, now: SimTime) {
+        match self {
+            MainMemory::Cycle(m) => m.enqueue(AccessKind::Write, block, None, now),
+            MainMemory::Flat(_) => panic!("enqueue_write() on the flat backend"),
+        }
+    }
+
+    /// Cycle backend: issue everything issuable at `now` (no-op on
+    /// flat), appending read completions to `out`.
+    pub fn schedule(&mut self, now: SimTime, out: &mut Vec<MemArrival>) {
+        if let MainMemory::Cycle(m) = self {
+            m.schedule(now, out);
+        }
+    }
+
+    /// Cycle backend: when the scheduler could next make progress
+    /// (`None` on flat or when idle).
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        match self {
+            MainMemory::Cycle(m) => m.next_wakeup(),
+            MainMemory::Flat(_) => None,
+        }
+    }
 
     /// Reads served.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        match self {
+            MainMemory::Flat(m) => m.reads.get(),
+            MainMemory::Cycle(m) => m.reads.get(),
+        }
     }
 
     /// Writes absorbed.
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        match self {
+            MainMemory::Flat(m) => m.writes.get(),
+            MainMemory::Cycle(m) => m.writes.get(),
+        }
     }
 
-    /// Total bus-busy time, for bandwidth-utilisation reporting.
+    /// Total data-bus busy time, for bandwidth-utilisation reporting.
     pub fn busy_time_ps(&self) -> u64 {
-        self.busy_ps
+        match self {
+            MainMemory::Flat(m) => m.busy_ps,
+            MainMemory::Cycle(m) => m.busy_ps(),
+        }
+    }
+
+    /// Statistics snapshot for the run report.
+    pub fn stats(&self) -> MainMemStats {
+        match self {
+            MainMemory::Flat(m) => MainMemStats {
+                backend: "flat",
+                reads: m.reads.get(),
+                writes: m.writes.get(),
+                busy_ps: m.busy_ps,
+                ..MainMemStats::default()
+            },
+            MainMemory::Cycle(m) => {
+                let mut row_hits = 0;
+                let mut row_conflicts = 0;
+                let mut turnarounds = 0;
+                for c in &m.channels {
+                    let s = c.stats();
+                    row_hits += s.read_row_hits.get() + s.write_row_hits.get();
+                    row_conflicts += s.read_row_conflicts.get() + s.write_row_conflicts.get();
+                    turnarounds += c.bus().turnarounds();
+                }
+                MainMemStats {
+                    backend: "cycle",
+                    reads: m.reads.get(),
+                    writes: m.writes.get(),
+                    busy_ps: m.busy_ps(),
+                    row_hits,
+                    row_conflicts,
+                    turnarounds,
+                    peak_queue: m.peak_queue,
+                    queue_wait_ps: m.queue_wait_ps,
+                }
+            }
+        }
     }
 }
 
@@ -119,5 +576,139 @@ mod tests {
         assert_eq!(m.reads(), 1);
         assert_eq!(m.writes(), 1);
         assert_eq!(m.busy_time_ps(), 8_000);
+    }
+
+    fn cycle() -> MainMemory {
+        MainMemory::build(&MainMemConfig::ddr4())
+    }
+
+    fn pump(m: &mut MainMemory, now: SimTime) -> Vec<MemArrival> {
+        let mut out = Vec::new();
+        m.schedule(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn cycle_unloaded_read_pays_act_cas_burst_plus_link() {
+        let mut m = cycle();
+        m.enqueue_read(7, 0, t(0));
+        let got = pump(&mut m, t(0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, 7);
+        // Closed bank: tRCD(14.16) + tCAS(14.16) + tBURST(3.33) + 20ns.
+        assert_eq!(got[0].at.ps(), 14_160 + 14_160 + 3_330 + 20_000);
+        assert_eq!(m.reads(), 1);
+        assert!(m.next_wakeup().is_none(), "queue drained");
+    }
+
+    #[test]
+    fn cycle_row_hits_beat_conflicts() {
+        let mut m = cycle();
+        // Same row twice, then a conflicting row on the same bank.
+        m.enqueue_read(1, 0, t(0));
+        let a = pump(&mut m, t(0))[0].at;
+        let MainMemory::Cycle(ref c) = m else {
+            unreachable!()
+        };
+        let free = c.channels[0].bank_busy_until(0);
+        m.enqueue_read(2, 1, free); // same 8KB row (blocks 0/1)
+        let b = pump(&mut m, free)[0].at;
+        let MainMemory::Cycle(ref c) = m else {
+            unreachable!()
+        };
+        let free2 = c.channels[0].bank_busy_until(0);
+        // Same bank (frame multiple of 16 banks), next row: a conflict.
+        m.enqueue_read(3, 16 * (8192 / 64), free2);
+        let conflict = pump(&mut m, free2)[0].at;
+        let hit_cost = b.since(free).ps();
+        let conflict_cost = conflict.since(free2).ps();
+        assert!(
+            hit_cost < a.ps() && a.ps() < conflict_cost,
+            "hit {hit_cost} < closed {} < conflict {conflict_cost}",
+            a.ps()
+        );
+        let s = m.stats();
+        assert_eq!(s.backend, "cycle");
+        assert_eq!(s.row_hits, 1);
+    }
+
+    #[test]
+    fn cycle_busy_bank_defers_until_wakeup() {
+        let mut m = cycle();
+        m.enqueue_read(1, 0, t(0));
+        assert_eq!(pump(&mut m, t(0)).len(), 1);
+        // Same bank while busy: nothing issuable, wakeup at bank free.
+        m.enqueue_read(2, 2, t(1));
+        assert!(pump(&mut m, t(1)).is_empty());
+        let wake = m.next_wakeup().expect("queued work");
+        assert!(wake > t(1));
+        let got = pump(&mut m, wake);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, 2);
+    }
+
+    #[test]
+    fn cycle_writes_are_fire_and_forget_but_occupy_the_device() {
+        let mut m = cycle();
+        m.enqueue_write(0, t(0));
+        assert!(pump(&mut m, t(0)).is_empty(), "writes complete silently");
+        assert_eq!(m.writes(), 1);
+        assert!(m.busy_time_ps() > 0);
+        // A read behind the write on the same bank waits for it.
+        m.enqueue_read(9, 2, t(1));
+        assert!(pump(&mut m, t(1)).is_empty());
+        assert!(m.next_wakeup().is_some());
+    }
+
+    #[test]
+    fn cycle_spill_absorbs_overflow_without_loss() {
+        let mut m = MainMemory::build(&MainMemConfig::Cycle {
+            timing: TimingParams::ddr4_2400(),
+            org: Organization::ddr4_main(),
+            extra_latency: Duration::from_ns(20),
+            queue_cap: 4,
+        });
+        // 12 reads to one bank: 4 queued, 8 spilled; all must complete.
+        for i in 0..12u64 {
+            m.enqueue_read(i, i * 2, t(0));
+        }
+        let mut done = Vec::new();
+        let mut now = t(0);
+        for _ in 0..200 {
+            let mut out = Vec::new();
+            m.schedule(now, &mut out);
+            done.extend(out);
+            match m.next_wakeup() {
+                Some(w) => now = w,
+                None => break,
+            }
+        }
+        assert_eq!(done.len(), 12, "no access may be dropped");
+        let mut tokens: Vec<u64> = done.iter().map(|a| a.token).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..12).collect::<Vec<u64>>());
+        assert_eq!(m.stats().peak_queue, 12);
+    }
+
+    #[test]
+    fn cycle_mapping_spreads_banks() {
+        let MainMemory::Cycle(c) = cycle() else {
+            unreachable!()
+        };
+        let blocks_per_row = 8192 / 64;
+        let (_, b0, r0) = c.locate(0);
+        let (_, b1, r1) = c.locate(blocks_per_row); // next row frame
+        assert_eq!((b0, r0), (0, 0));
+        assert_eq!((b1, r1), (1, 0), "adjacent frames hit adjacent banks");
+        let (_, b16, r16) = c.locate(blocks_per_row * 16);
+        assert_eq!((b16, r16), (0, 1), "wraps to the next row");
+    }
+
+    #[test]
+    fn bandwidth_divisor_config_slows_bursts() {
+        let MainMemConfig::Cycle { timing, .. } = MainMemConfig::ddr4_bandwidth_div(4) else {
+            unreachable!()
+        };
+        assert_eq!(timing.t_burst.ps(), 4 * 3_330);
     }
 }

@@ -36,6 +36,7 @@ fn harness_spec() -> RunSpec {
         remap: false,
         lee: false,
         flushing_factor: 4,
+        main_mem: dca_bench::MainMemKind::Flat,
         insts: 20_000,
         warmup: 60_000,
         seed: 0xDCA_2016,
