@@ -11,26 +11,39 @@
 //!
 //! ## Sharded mode
 //!
-//! `--jobs N` splits the run across `N` worker subprocesses: the
-//! requested figures are decomposed into deterministically named jobs
-//! (see `dca_bench::shard`), each worker (`figures --worker --job
-//! <id>`) writes a JSON partial under `results/partials/`, and the
-//! coordinator merges the partials into the same figure files a serial
-//! run writes — bit-identical, which `crates/bench/tests/shard.rs`
-//! locks. Partials that already validate on disk are reused, so a
-//! crashed or interrupted run resumes where it stopped; a failing
-//! worker is retried once before the run aborts. Workers share
-//! warm-ups through `DCA_WARM_DIR` (default `results/warm`), guarded
-//! by the warm cache's advisory lock so no fingerprint is warmed
-//! twice. `--chunk M` sets the mixes (and alone benchmarks) per job.
+//! `--jobs N` runs the requested figures through a **persistent pool**
+//! of `N` supervised `figures --worker --serve` subprocesses: figures
+//! are decomposed into deterministically named jobs (see
+//! `dca_bench::shard`), each worker keeps its in-process warm cache
+//! hot across jobs and writes one JSON partial per job under
+//! `results/partials/`, and the supervisor merges the partials into
+//! the same figure files a serial run writes — bit-identical, which
+//! `crates/bench/tests/shard.rs` and `tests/pool.rs` lock. Partials
+//! that already validate on disk are reused (resume after a crash or
+//! Ctrl-C), stale partials from an older plan are pruned, and a job
+//! that keeps failing is quarantined (`results/partials/
+//! quarantine.json`) instead of sinking the sweep — its cells render
+//! as `—` and the run exits degraded. See `shard::pool` for the wire
+//! protocol and `shard::supervisor` for deadlines, retry/backoff and
+//! the drain semantics. `--chunk M` sets the mixes (and alone
+//! benchmarks) per job.
+//!
+//! ## Exit codes
+//!
+//! `0` success · `1` hard error (bad environment, unwritable results)
+//! · `2` usage · `3` degraded (quarantined jobs; figures carry holes)
+//! · `130` interrupted (in-flight jobs drained and flushed; re-run the
+//! same command to resume).
 
 use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use std::collections::HashSet;
+
 use dca::{Design, System, SystemConfig};
-use dca_bench::shard::{self, Coordinator, FigurePlan, PartialStore, DEFAULT_CHUNK};
+use dca_bench::shard::{self, FigurePlan, PartialStore, DEFAULT_CHUNK};
 use dca_bench::{Scale, WarmCache};
 use dca_cpu::{mix, Benchmark, TraceGen};
 use dca_dram_cache::{OrgKind, TagCache};
@@ -62,17 +75,24 @@ const FIGURE_FLAGS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: figures [--all] [{}] [--jobs N] [--chunk M] [--batch B]\n\
+        "usage: figures [--all] [{}] [--jobs N] [--chunk M]\n\
          \x20      figures --worker --job <id> [--job <id> ...]\n\
+         \x20      figures --worker --serve\n\
          \n\
          \x20 --all        regenerate everything (default with no figure flags)\n\
-         \x20 --jobs N     shard the run across N worker subprocesses\n\
+         \x20 --jobs N     run through a persistent pool of N supervised workers\n\
          \x20 --chunk M    mixes per sharded job (default {DEFAULT_CHUNK})\n\
-         \x20 --batch B    jobs per worker process (default: automatic)\n\
-         \x20 --worker     drain the given jobs, one JSON partial each (internal)\n\
-         \x20 --job <id>   a job the worker executes (repeatable)\n\
+         \x20 --worker     worker mode (internal)\n\
+         \x20 --job <id>   a job the worker executes, one partial each (repeatable)\n\
+         \x20 --serve      pool worker: RUN/EXIT over stdin, frames over stdout\n\
          \n\
-         environment: DCA_FULL, DCA_INSTS, DCA_MIXES, DCA_WARMUP, DCA_WARM*",
+         exit codes: 0 ok; 1 error; 2 usage; 3 degraded (quarantined jobs, see\n\
+         \x20 results/partials/quarantine.json); 130 interrupted (drained, resumable)\n\
+         \n\
+         environment: DCA_FULL, DCA_INSTS, DCA_MIXES, DCA_WARMUP, DCA_WARM*,\n\
+         \x20 DCA_JOB_TIMEOUT_MS, DCA_JOB_ATTEMPTS, DCA_RETRY_BACKOFF_MS,\n\
+         \x20 DCA_HEARTBEAT_MS, DCA_HEARTBEAT_TIMEOUT_MS, DCA_POOL_INFLIGHT,\n\
+         \x20 DCA_FAULT_PLAN",
         FIGURE_FLAGS.join("] [")
     )
 }
@@ -80,14 +100,14 @@ fn usage() -> String {
 struct Cli {
     /// Selected figure flags (without `--`); empty means all.
     figures: Vec<String>,
-    /// Worker-subprocess count; `None` is the serial in-process path.
+    /// Pool worker count; `None` is the serial in-process path.
     jobs: Option<usize>,
     /// Mixes per sharded job.
     chunk: usize,
-    /// Jobs per worker process; `None` lets the coordinator pick.
-    batch: Option<usize>,
     /// Worker mode: the jobs to drain.
     worker_jobs: Vec<String>,
+    /// Pool-worker serve loop (`--worker --serve`).
+    serve: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -95,8 +115,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         figures: Vec::new(),
         jobs: None,
         chunk: DEFAULT_CHUNK,
-        batch: None,
         worker_jobs: Vec::new(),
+        serve: false,
     };
     let mut all = false;
     let mut worker = false;
@@ -117,9 +137,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             Some((f, v)) => (f, Some(v)),
             None => (arg.as_str(), None),
         };
-        // Only --job/--jobs/--chunk/--batch take a value; an inline
-        // `=value` on any other flag is a typo'd invocation, not a
-        // selection.
+        // Only --job/--jobs/--chunk take a value; an inline `=value`
+        // on any other flag is a typo'd invocation, not a selection.
         let no_value = |flag: &str| -> Result<(), String> {
             match inline {
                 Some(v) => Err(format!("{flag} takes no value, got {flag}={v:?}")),
@@ -135,6 +154,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 no_value("--worker")?;
                 worker = true;
             }
+            "--serve" => {
+                no_value("--serve")?;
+                cli.serve = true;
+            }
             "--job" => cli.worker_jobs.push(value_of(&mut it, "--job", inline)?),
             "--jobs" => {
                 let v = value_of(&mut it, "--jobs", inline)?;
@@ -144,15 +167,6 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs wants a worker count >= 1, got {v:?}"))?;
                 cli.jobs = Some(n);
-            }
-            "--batch" => {
-                let v = value_of(&mut it, "--batch", inline)?;
-                let n: usize = v
-                    .parse()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--batch wants a job count >= 1, got {v:?}"))?;
-                cli.batch = Some(n);
             }
             "--chunk" => {
                 let v = value_of(&mut it, "--chunk", inline)?;
@@ -169,11 +183,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             f => return Err(format!("unrecognized flag {f:?}")),
         }
     }
-    if worker == cli.worker_jobs.is_empty() {
-        return Err("--worker and --job must be used together".to_string());
+    if cli.serve && !worker {
+        return Err("--serve requires --worker".to_string());
     }
-    if worker && (all || !cli.figures.is_empty() || cli.jobs.is_some() || cli.batch.is_some()) {
-        return Err("--worker takes no figure selection, --jobs or --batch".to_string());
+    if cli.serve && !cli.worker_jobs.is_empty() {
+        return Err("--serve and --job are mutually exclusive".to_string());
+    }
+    if worker && !cli.serve && cli.worker_jobs.is_empty() {
+        return Err("--worker needs --serve or at least one --job".to_string());
+    }
+    if !worker && !cli.worker_jobs.is_empty() {
+        return Err("--job requires --worker".to_string());
+    }
+    if worker && (all || !cli.figures.is_empty() || cli.jobs.is_some()) {
+        return Err("--worker takes no figure selection or --jobs".to_string());
     }
     if all {
         cli.figures.clear();
@@ -351,19 +374,58 @@ fn fig18(scale: &Scale) {
     );
 }
 
-/// Render one planned (shardable) figure from the merged store. The
-/// unit layouts here mirror `shard::figure_plan` exactly.
-fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), String> {
-    let s = |i: usize| store.summary(&plan.units[i], &plan.mixes, chunk);
+/// Cell builder that renders a missing value as an explicit hole
+/// (`—`) and counts it, so a degraded run shows exactly which numbers
+/// a quarantined job took with it.
+struct Holes(usize);
+
+impl Holes {
+    fn cell(&mut self, v: Option<String>) -> String {
+        v.unwrap_or_else(|| {
+            self.0 += 1;
+            "—".to_string()
+        })
+    }
+}
+
+/// Render one planned (shardable) figure from the merged store,
+/// returning how many cells had to be rendered as holes. The unit
+/// layouts here mirror `shard::figure_plan` exactly.
+///
+/// With `degraded` unset (the serial path, or a pool run with nothing
+/// quarantined) a missing summary is a hard error — it can only mean a
+/// planner/renderer mismatch, and silence would hide the bug. With
+/// `degraded` set, missing summaries become holes.
+fn render(
+    plan: &FigurePlan,
+    store: &PartialStore,
+    chunk: usize,
+    degraded: bool,
+) -> Result<usize, String> {
+    let sm = |i: usize| -> Result<Option<dca_bench::DesignSummary>, String> {
+        match store.summary(&plan.units[i], &plan.mixes, chunk) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) if degraded => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+    let mut h = Holes(0);
     match plan.name {
         "fig8" | "fig9" => {
             // Per org: [CD-base, CD, ROD, DCA].
             let mut t = Table::new(vec!["organisation", "CD", "ROD", "DCA"]);
             for oi in 0..2 {
-                let base = s(oi * 4)?;
+                let base = sm(oi * 4)?;
                 let mut cells = vec![plan.units[oi * 4].spec.org.label().to_string()];
                 for d in 0..3 {
-                    cells.push(fmt(s(oi * 4 + 1 + d)?.ws_geomean() / base.ws_geomean()));
+                    let x = sm(oi * 4 + 1 + d)?;
+                    cells.push(
+                        h.cell(
+                            base.as_ref()
+                                .zip(x.as_ref())
+                                .map(|(b, x)| fmt(x.ws_geomean() / b.ws_geomean())),
+                        ),
+                    );
                 }
                 t.row(cells);
             }
@@ -376,15 +438,21 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
         }
         "fig10" | "fig11" => {
             // [CD, ROD, DCA, XOR+CD, XOR+ROD, XOR+DCA].
-            let summaries: Vec<_> = (0..plan.units.len()).map(s).collect::<Result<_, _>>()?;
-            let base_ws = summaries[0].ws.clone();
+            let summaries: Vec<_> = (0..plan.units.len()).map(sm).collect::<Result<_, _>>()?;
             let mut header = vec!["mix".to_string()];
-            header.extend(summaries.iter().map(|x| x.label.clone()));
+            header.extend(plan.units.iter().map(|u| u.label.clone()));
             let mut t = Table::new(header);
             for (i, &mid) in plan.mixes.iter().enumerate() {
                 let mut row = vec![mix(mid).name()];
                 for x in &summaries {
-                    row.push(fmt(x.ws[i] / base_ws[i]));
+                    row.push(
+                        h.cell(
+                            summaries[0]
+                                .as_ref()
+                                .zip(x.as_ref())
+                                .map(|(b, x)| fmt(x.ws[i] / b.ws[i])),
+                        ),
+                    );
                 }
                 t.row(row);
             }
@@ -397,18 +465,22 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
         }
         "fig12" | "fig13" => {
             // [CD-base, CD, ROD, DCA, XOR+CD, XOR+ROD, XOR+DCA].
-            let base = s(0)?;
+            let base = sm(0)?;
             let mut t = Table::new(vec![
                 "design",
                 "mean miss latency (ns)",
                 "improvement vs CD",
             ]);
             for i in 1..plan.units.len() {
-                let x = s(i)?;
+                let x = sm(i)?;
                 t.row(vec![
-                    x.label.clone(),
-                    format!("{:.1}", x.mean_latency()),
-                    fmt(base.mean_latency() / x.mean_latency()),
+                    plan.units[i].label.clone(),
+                    h.cell(x.as_ref().map(|x| format!("{:.1}", x.mean_latency()))),
+                    h.cell(
+                        base.as_ref()
+                            .zip(x.as_ref())
+                            .map(|(b, x)| fmt(b.mean_latency() / x.mean_latency())),
+                    ),
                 ]);
             }
             let title = if plan.name == "fig12" {
@@ -421,8 +493,11 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
         "fig14" | "fig15" => {
             let mut t = Table::new(vec!["design", "accesses/turnaround"]);
             for i in 0..plan.units.len() {
-                let x = s(i)?;
-                t.row(vec![x.label.clone(), format!("{:.2}", x.mean_apt())]);
+                let x = sm(i)?;
+                t.row(vec![
+                    plan.units[i].label.clone(),
+                    h.cell(x.as_ref().map(|x| format!("{:.2}", x.mean_apt()))),
+                ]);
             }
             let title = if plan.name == "fig14" {
                 "Fig 14 — accesses per turnaround (set-associative)"
@@ -435,12 +510,12 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
             // Pairs: [CD, XOR+CD, ROD, XOR+ROD, DCA, XOR+DCA].
             let mut t = Table::new(vec!["design", "no remap", "with remap"]);
             for pair in 0..3 {
-                let plain = s(pair * 2)?;
-                let remap = s(pair * 2 + 1)?;
+                let plain = sm(pair * 2)?;
+                let remap = sm(pair * 2 + 1)?;
                 t.row(vec![
-                    plain.label.clone(),
-                    fmt(plain.mean_row_hit()),
-                    fmt(remap.mean_row_hit()),
+                    plan.units[pair * 2].label.clone(),
+                    h.cell(plain.as_ref().map(|p| fmt(p.mean_row_hit()))),
+                    h.cell(remap.as_ref().map(|r| fmt(r.mean_row_hit()))),
                 ]);
             }
             let title = if plan.name == "fig16" {
@@ -452,14 +527,18 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
         }
         "fig19" => {
             // [LEE+CD, LEE+ROD, LEE+DCA].
-            let base = s(0)?;
+            let base = sm(0)?;
             let mut t = Table::new(vec!["design (with Lee writeback)", "speedup vs LEE+CD"]);
             t.row(vec!["LEE+CD".to_string(), fmt(1.0)]);
             for i in 1..plan.units.len() {
-                let x = s(i)?;
+                let x = sm(i)?;
                 t.row(vec![
-                    x.label.clone(),
-                    fmt(x.ws_geomean() / base.ws_geomean()),
+                    plan.units[i].label.clone(),
+                    h.cell(
+                        base.as_ref()
+                            .zip(x.as_ref())
+                            .map(|(b, x)| fmt(x.ws_geomean() / b.ws_geomean())),
+                    ),
                 ]);
             }
             out(
@@ -470,13 +549,17 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
         }
         "ablation_ff" => {
             // [FF-1 .. FF-5]; normalize to FF-4.
-            let base = s(3)?;
+            let base = sm(3)?;
             let mut t = Table::new(vec!["flushing factor", "WS geomean (normalized to FF-4)"]);
             for i in 0..plan.units.len() {
-                let x = s(i)?;
+                let x = sm(i)?;
                 t.row(vec![
-                    x.label.clone(),
-                    fmt(x.ws_geomean() / base.ws_geomean()),
+                    plan.units[i].label.clone(),
+                    h.cell(
+                        base.as_ref()
+                            .zip(x.as_ref())
+                            .map(|(b, x)| fmt(x.ws_geomean() / b.ws_geomean())),
+                    ),
                 ]);
             }
             out(
@@ -500,8 +583,8 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
                 "DCA miss ns",
             ]);
             for pair in 0..plan.units.len() / 2 {
-                let cd = s(pair * 2)?;
-                let dca = s(pair * 2 + 1)?;
+                let cd = sm(pair * 2)?;
+                let dca = sm(pair * 2 + 1)?;
                 let backend = plan.units[pair * 2]
                     .label
                     .split('+')
@@ -510,11 +593,15 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
                     .to_string();
                 t.row(vec![
                     backend,
-                    fmt(cd.ws_geomean()),
-                    fmt(dca.ws_geomean()),
-                    fmt(dca.ws_geomean() / cd.ws_geomean()),
-                    format!("{:.1}", cd.mean_latency()),
-                    format!("{:.1}", dca.mean_latency()),
+                    h.cell(cd.as_ref().map(|c| fmt(c.ws_geomean()))),
+                    h.cell(dca.as_ref().map(|d| fmt(d.ws_geomean()))),
+                    h.cell(
+                        cd.as_ref()
+                            .zip(dca.as_ref())
+                            .map(|(c, d)| fmt(d.ws_geomean() / c.ws_geomean())),
+                    ),
+                    h.cell(cd.as_ref().map(|c| format!("{:.1}", c.mean_latency()))),
+                    h.cell(dca.as_ref().map(|d| format!("{:.1}", d.mean_latency()))),
                 ]);
             }
             out(
@@ -525,7 +612,7 @@ fn render(plan: &FigurePlan, store: &PartialStore, chunk: usize) -> Result<(), S
         }
         other => return Err(format!("no renderer for figure {other:?}")),
     }
-    Ok(())
+    Ok(h.0)
 }
 
 /// Which shardable figures a selection pulls in, in `--all` order.
@@ -551,8 +638,14 @@ fn main() {
         }
     };
 
-    // Worker mode: drain the given jobs (one partial each), no banner,
-    // no figure output.
+    // Pool-worker mode: serve RUN/EXIT commands forever (never
+    // returns).
+    if cli.serve {
+        shard::pool::serve();
+    }
+
+    // One-shot worker mode: drain the given jobs (one partial each),
+    // no banner, no figure output.
     if !cli.worker_jobs.is_empty() {
         if let Err(e) = shard::run_worker_many(&cli.worker_jobs) {
             eprintln!("figures worker: error: {e}");
@@ -607,33 +700,66 @@ fn main() {
             ),
         }
     }
+    let mut degraded = false;
     if !plans.is_empty() {
         let jobs = shard::plan_jobs(&plans, cli.chunk);
         let store = match cli.jobs {
-            Some(workers) => match Coordinator::new(workers)
-                .with_batch(cli.batch.unwrap_or(0))
-                .run(&jobs)
-            {
-                Ok((store, stats)) => {
-                    eprintln!(
-                        "figures: shard coordinator: {} jobs run, {} reused from prior \
-                         partials, {} retried, {} workers",
-                        stats.run, stats.reused, stats.retried, workers
-                    );
-                    store
+            Some(workers) => {
+                shard::supervisor::install_signal_handlers();
+                // Partials left by an *older plan* (different scale,
+                // chunking, or figure set) would linger forever; prune
+                // anything the current plan cannot consume.
+                let valid: HashSet<String> = jobs.iter().map(|j| j.id.clone()).collect();
+                let pruned = shard::prune_orphans(&valid);
+                if pruned > 0 {
+                    eprintln!("figures: pruned {pruned} orphan partial(s) left by a previous plan");
                 }
+                match shard::supervisor::Supervisor::new(workers).run(&jobs) {
+                    Ok(outcome) => {
+                        let s = outcome.stats;
+                        eprintln!(
+                            "figures: pool: {} jobs run, {} reused from prior partials, \
+                             {} retried, {} quarantined, {} worker respawns, {} workers",
+                            s.run, s.reused, s.retried, s.quarantined, s.respawns, workers
+                        );
+                        if outcome.drained {
+                            eprintln!(
+                                "figures: interrupted; in-flight jobs were finished and \
+                                 flushed — re-run the same command to resume"
+                            );
+                            std::process::exit(130);
+                        }
+                        if !outcome.quarantined.is_empty() {
+                            degraded = true;
+                            eprintln!(
+                                "figures: error: {} job(s) quarantined after repeated \
+                                 failures (details in {}); affected cells render as \"—\"",
+                                outcome.quarantined.len(),
+                                shard::quarantine_path().display()
+                            );
+                        }
+                        outcome.store
+                    }
+                    Err(e) => {
+                        eprintln!("figures: error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => shard::execute_inline(&jobs),
+        };
+        let mut holes = 0;
+        for plan in &plans {
+            match render(plan, &store, cli.chunk, degraded) {
+                Ok(n) => holes += n,
                 Err(e) => {
                     eprintln!("figures: error: {e}");
                     std::process::exit(1);
                 }
-            },
-            None => shard::execute_inline(&jobs),
-        };
-        for plan in &plans {
-            if let Err(e) = render(plan, &store, cli.chunk) {
-                eprintln!("figures: error: {e}");
-                std::process::exit(1);
             }
+        }
+        if holes > 0 {
+            eprintln!("figures: {holes} cell(s) rendered as holes due to quarantined jobs");
         }
     }
 
@@ -655,5 +781,8 @@ fn main() {
     );
     if WRITE_FAILED.load(Ordering::Relaxed) {
         std::process::exit(1);
+    }
+    if degraded {
+        std::process::exit(3);
     }
 }

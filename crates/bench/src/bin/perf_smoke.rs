@@ -22,18 +22,24 @@
 //! clock noise on shared CI runners cannot flake the gate. The JSON
 //! carries the real ratio for trajectory tracking.)
 //!
-//! It also runs the **shard smoke**: a tiny two-mix figure
-//! (`figures --fig14`) once serially and once through the process-
-//! sharded coordinator (`--jobs 2`), in separate scratch directories,
-//! asserting the rendered `results/fig14.{md,json,csv}` files are
-//! **byte-identical** between the two modes and recording both wall
-//! clocks in the JSON's `shard` section. CI runs this binary, so any
-//! coordinator/serial divergence fails the build.
+//! It also runs the **shard smoke**: a tiny two-mix figure session
+//! once serially and once through the persistent worker pool
+//! (`--jobs 2`, supervisor + `--worker --serve` subprocesses), in
+//! separate scratch directories, asserting every rendered
+//! `results/fig*.{md,json,csv}` file is **byte-identical** between the
+//! two modes and recording the wall clocks in the JSON's `shard`
+//! section. CI runs this binary, so any pool/serial divergence fails
+//! the build.
 //!
-//! The shard smoke runs three flavours — serial, `--jobs 2 --batch 1`
-//! (one job per worker process) and `--jobs 2` with automatic batching
-//! (one worker drains several jobs) — so the `shard` JSON section
-//! records how much batching amortises spawn + warm-blob decode.
+//! Two shard numbers are recorded. `fresh_speedup` is a single cold
+//! `--fig14` head-to-head — on a single-core host the pool *cannot*
+//! win this (same work plus process overhead), so it is reported, not
+//! asserted. The asserted `speedup` is the **incremental session**:
+//! `--fig14` followed by `--fig12` in the same directory. The serial
+//! path recomputes the fig14 work inside fig12; the pool reuses the
+//! flushed fig14 partials and runs only the fig12-only jobs, so the
+//! session ratio must clear 1.0 on any host or resume-from-partials
+//! has regressed.
 //!
 //! It also runs the **main-memory smoke**: the same workload on the
 //! flat (seed) backend and on the cycle-level DDR4 backend, recording
@@ -320,26 +326,39 @@ fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
     }
 }
 
-/// Outcome of the serial-vs-sharded figure smoke.
+/// Outcome of the serial-vs-pool figure smoke.
 struct ShardSmokeResult {
-    /// Worker subprocesses used in the sharded flavours.
+    /// Worker subprocesses in the pool flavours.
     jobs: u32,
-    /// Serial (in-process) wall clock.
+    /// CPU cores on the measuring host (a 1-core host cannot show a
+    /// fresh pool win; the session number is the portable one).
+    host_cores: usize,
+    /// Fresh serial `--fig14` wall clock.
     serial_s: f64,
-    /// Sharded coordinator wall clock at `--batch 1` (one job per
-    /// worker process — the pre-batching behaviour).
-    sharded_s: f64,
-    /// Sharded coordinator wall clock with automatic batching (one
-    /// worker process drains several jobs, amortising spawn + warm
-    /// decode).
-    sharded_batched_s: f64,
+    /// Fresh pool `--fig14 --jobs 2` wall clock.
+    pool_s: f64,
+    /// Serial incremental session: fresh `--fig14` + `--fig12`.
+    session_serial_s: f64,
+    /// Pool incremental session: fresh `--fig14` + `--fig12`, the
+    /// second run reusing the first run's flushed partials.
+    session_pool_s: f64,
 }
 
-/// Run `figures --fig14` serially, with `--jobs 2 --batch 1`, and with
-/// `--jobs 2` (automatic batching) on a tiny two-mix scale, in
-/// separate scratch directories, and assert all rendered outputs are
-/// byte-identical. Returns the wall clocks.
-fn run_shard_smoke() -> ShardSmokeResult {
+impl ShardSmokeResult {
+    fn fresh_speedup(&self) -> f64 {
+        self.serial_s / self.pool_s
+    }
+    fn session_speedup(&self) -> f64 {
+        self.session_serial_s / self.session_pool_s
+    }
+}
+
+/// Run the `--fig14` + `--fig12` session serially and through the
+/// persistent pool (`--jobs 2`), in separate scratch directories, and
+/// assert every rendered figure file is byte-identical between the two
+/// modes. The first run of each session doubles as the fresh `--fig14`
+/// head-to-head. Best of `reps` sessions per flavour.
+fn run_shard_smoke(reps: u32) -> ShardSmokeResult {
     use std::path::PathBuf;
     use std::process::Command;
 
@@ -357,56 +376,85 @@ fn run_shard_smoke() -> ShardSmokeResult {
         std::fs::create_dir_all(&dir).expect("scratch dir");
         dir
     };
-    let run = |dir: &PathBuf, extra: &[&str]| -> f64 {
+    let run = |dir: &PathBuf, fig: &str, pool: bool| -> f64 {
         let t0 = Instant::now();
         // The child's tables are byte-compared below, not read by a
         // human here — keep them off perf_smoke's own report.
-        let status = Command::new(&figures)
-            .arg("--fig14")
-            .args(extra)
+        let mut cmd = Command::new(&figures);
+        cmd.arg(fig);
+        if pool {
+            cmd.args(["--jobs", "2"]);
+        }
+        let status = cmd
             .current_dir(dir)
             .env("DCA_MIXES", "1,2")
             .env("DCA_INSTS", "20000")
             .env("DCA_WARMUP", "60000")
             .env_remove("DCA_FULL")
+            .env_remove("DCA_FAULT_PLAN")
+            .env_remove("DCA_POOL_INFLIGHT")
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null())
             .status()
             .expect("spawn figures");
-        assert!(status.success(), "figures {extra:?} failed with {status}");
+        assert!(
+            status.success(),
+            "figures {fig} (pool={pool}) failed with {status}"
+        );
         t0.elapsed().as_secs_f64()
     };
 
     let serial_dir = scratch("serial");
-    let shard_dir = scratch("jobs2");
-    let batch_dir = scratch("jobs2batched");
-    let serial_s = run(&serial_dir, &[]);
-    let jobs = 2u32;
-    let sharded_s = run(&shard_dir, &["--jobs", "2", "--batch", "1"]);
-    let sharded_batched_s = run(&batch_dir, &["--jobs", "2"]);
+    let pool_dir = scratch("pool");
+    let mut best = ShardSmokeResult {
+        jobs: 2,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        serial_s: f64::INFINITY,
+        pool_s: f64::INFINITY,
+        session_serial_s: f64::INFINITY,
+        session_pool_s: f64::INFINITY,
+    };
+    for _ in 0..reps.max(1) {
+        // Fresh sessions: wipe the partials the previous rep flushed so
+        // every rep pays the full fig14 cost again.
+        for dir in [&serial_dir, &pool_dir] {
+            let _ = std::fs::remove_dir_all(dir.join("results"));
+        }
+        let serial_fig14 = run(&serial_dir, "--fig14", false);
+        let serial_fig12 = run(&serial_dir, "--fig12", false);
+        let pool_fig14 = run(&pool_dir, "--fig14", true);
+        let pool_fig12 = run(&pool_dir, "--fig12", true);
+        best.serial_s = best.serial_s.min(serial_fig14);
+        best.pool_s = best.pool_s.min(pool_fig14);
+        best.session_serial_s = best.session_serial_s.min(serial_fig14 + serial_fig12);
+        best.session_pool_s = best.session_pool_s.min(pool_fig14 + pool_fig12);
+    }
 
-    for file in ["fig14.md", "fig14.json", "fig14.csv"] {
-        let a = std::fs::read(serial_dir.join("results").join(file)).expect(file);
-        let b = std::fs::read(shard_dir.join("results").join(file)).expect(file);
-        let c = std::fs::read(batch_dir.join("results").join(file)).expect(file);
-        assert_eq!(
-            a, b,
-            "sharded {file} diverged from the serial run — coordinator merge broke bit-identity"
-        );
-        assert_eq!(
-            a, c,
-            "batched sharded {file} diverged from the serial run — batching broke bit-identity"
-        );
+    for fig in ["fig14", "fig12"] {
+        for ext in ["md", "json", "csv"] {
+            let file = format!("{fig}.{ext}");
+            let a = std::fs::read(serial_dir.join("results").join(&file)).expect(&file);
+            let b = std::fs::read(pool_dir.join("results").join(&file)).expect(&file);
+            assert_eq!(
+                a, b,
+                "pool {file} diverged from the serial run — partial merge broke bit-identity"
+            );
+        }
     }
     let _ = std::fs::remove_dir_all(&serial_dir);
-    let _ = std::fs::remove_dir_all(&shard_dir);
-    let _ = std::fs::remove_dir_all(&batch_dir);
-    ShardSmokeResult {
-        jobs,
-        serial_s,
-        sharded_s,
-        sharded_batched_s,
-    }
+    let _ = std::fs::remove_dir_all(&pool_dir);
+    // The pool's whole point is never repeating flushed work; if the
+    // incremental session is not even break-even against serial
+    // recompute, partial reuse has regressed into overhead.
+    assert!(
+        best.session_speedup() > 1.0,
+        "pool incremental session slower than serial ({:.2}s vs {:.2}s)",
+        best.session_pool_s,
+        best.session_serial_s
+    );
+    best
 }
 
 /// Outcome of the flat-vs-cycle main-memory smoke.
@@ -520,16 +568,19 @@ fn main() {
         sweep.speedup()
     );
 
-    let shard = run_shard_smoke();
+    let shard = run_shard_smoke(sweep_reps);
     println!(
-        "\nshard smoke (fig14, 2 mixes): serial {:.2}s   --jobs {} --batch 1 {:.2}s   \
-         --jobs {} batched {:.2}s   batch effect {:.3}x (figure files byte-identical)",
+        "\nshard smoke (fig14+fig12 session, 2 mixes, {} host cores): fresh fig14 serial {:.2}s \
+         vs pool --jobs {} {:.2}s ({:.3}x)   session serial {:.2}s vs pool {:.2}s ({:.3}x, \
+         partial reuse; figure files byte-identical)",
+        shard.host_cores,
         shard.serial_s,
         shard.jobs,
-        shard.sharded_s,
-        shard.jobs,
-        shard.sharded_batched_s,
-        shard.sharded_s / shard.sharded_batched_s
+        shard.pool_s,
+        shard.fresh_speedup(),
+        shard.session_serial_s,
+        shard.session_pool_s,
+        shard.session_speedup()
     );
 
     let main_mem = run_main_mem_smoke(insts);
@@ -571,9 +622,10 @@ fn main() {
          \"speedup_calendar_over_heap\": {vs_heap:.4}{reference},\n  \
          \"sweep\": {{\"variants\": {}, \"reps\": {sweep_reps}, \"cold_s\": {:.4}, \
          \"warm_s\": {:.4}, \"speedup\": {:.4}}},\n  \
-         \"shard\": {{\"figure\": \"fig14\", \"jobs\": {}, \"serial_s\": {:.4}, \
-         \"sharded_s\": {:.4}, \"speedup\": {:.4}, \"sharded_batched_s\": {:.4}, \
-         \"batch_speedup_vs_batch1\": {:.4}}},\n  \
+         \"shard\": {{\"figure\": \"fig14\", \"jobs\": {}, \"host_cores\": {}, \
+         \"serial_s\": {:.4}, \"pool_s\": {:.4}, \"fresh_speedup\": {:.4}, \
+         \"session_figures\": \"fig14+fig12\", \"session_serial_s\": {:.4}, \
+         \"session_pool_s\": {:.4}, \"speedup\": {:.4}}},\n  \
          \"main_mem\": {{\"flat_s\": {:.4}, \"cycle_s\": {:.4}, \"cycle_overhead\": {:.4}, \
          \"cycle_mem_reads\": {}, \"cycle_row_hit_rate\": {:.4}}},\n  \
          \"trace_smoke\": {{\"mix_id\": {}, \"build_s\": {:.4}, \"warm_s\": {:.4}, \
@@ -590,11 +642,13 @@ fn main() {
         sweep.warm_s,
         sweep.speedup(),
         shard.jobs,
+        shard.host_cores,
         shard.serial_s,
-        shard.sharded_s,
-        shard.serial_s / shard.sharded_s,
-        shard.sharded_batched_s,
-        shard.sharded_s / shard.sharded_batched_s,
+        shard.pool_s,
+        shard.fresh_speedup(),
+        shard.session_serial_s,
+        shard.session_pool_s,
+        shard.session_speedup(),
         main_mem.flat_s,
         main_mem.cycle_s,
         main_mem.cycle_s / main_mem.flat_s,

@@ -22,11 +22,17 @@
 //!
 //! The `figures` binary can split a figure run across worker
 //! *subprocesses* (`figures --jobs N`): the run is decomposed into
-//! deterministically named jobs, workers emit machine-readable JSON
-//! partials under `results/partials/`, and the coordinator merges them
-//! into the same per-figure outputs a single-process run writes —
-//! bit-identical, by construction and by test. See [`shard`] for the
-//! job model, the partial schema, and the crash-safety rules, and
+//! deterministically named jobs, a supervised pool of persistent
+//! workers (`figures --worker --serve`, one spawn per worker, not per
+//! job) executes them and flushes machine-readable JSON partials under
+//! `results/partials/`, and the supervisor merges them into the same
+//! per-figure outputs a single-process run writes — bit-identical, by
+//! construction and by test, including under injected crashes, hangs,
+//! and protocol garbage (`DCA_FAULT_PLAN`). Jobs that keep failing are
+//! quarantined rather than aborting the sweep. See [`shard`] for the
+//! job model, the partial schema, and the crash-safety rules,
+//! [`shard::pool`] for the worker wire protocol and fault injection,
+//! [`shard::supervisor`] for deadlines/retry/quarantine policy, and
 //! [`warm`] for how concurrent workers coordinate warm-ups through the
 //! shared `DCA_WARM_DIR`.
 

@@ -45,29 +45,33 @@
 //! figure output is *bit-identical* to serial output), the plain field
 //! is a lossy human-readable mirror for debugging.
 //!
-//! ## Coordinator
+//! ## Supervisor and worker pool
 //!
-//! [`Coordinator::run`] is a work queue: it skips jobs whose partial
-//! already exists and validates (crash-safe resume — a killed run
-//! loses at most the in-flight jobs), spawns up to `N` workers, each
-//! handed a *batch* of jobs (`figures --worker --job a --job b ...`,
-//! sized by `--batch` or automatically) so spawn and warm-blob decode
-//! amortise across jobs, refills as workers exit, retries a failed job
-//! once with a warning (judging each job of a batch by its own
-//! partial, so a mid-batch failure retries only the jobs that left
-//! none), and aborts with the job id if the retry fails too. Workers inherit the coordinator's cwd and
-//! environment plus an explicit `DCA_WARM_DIR`, so all workers share
-//! one on-disk warm-state pool; the advisory lock in
-//! [`crate::warm`] keeps two workers from double-warming the same
-//! fingerprint. The serial path (`figures` without `--jobs`) executes
-//! the *same* job list in-process ([`execute_inline`]) and merges
-//! through the same [`PartialStore`], so both modes share one code
-//! path from raw reports to rendered tables.
+//! `figures --jobs N` runs the job list on a **persistent worker
+//! pool**: `N` long-lived `figures --worker --serve` subprocesses that
+//! pull job ids over stdin and stream status frames back over stdout,
+//! keeping their in-process warm cache hot across jobs (spawn-per-batch
+//! paid process start + warm rebuild per batch and was a net slowdown).
+//! The coordinator side lives in [`supervisor`] — dispatch with
+//! warm-group affinity, per-job progress-aware deadlines, heartbeat
+//! liveness, kill-and-respawn, bounded retry with deterministic
+//! backoff, poison-job quarantine and graceful signal drain. The worker
+//! side (wire protocol grammar, heartbeat cadence, deterministic fault
+//! injection via `DCA_FAULT_PLAN`) lives in [`pool`]. Jobs whose
+//! partial already exists and validates are skipped (crash-safe
+//! resume — a killed run loses at most the in-flight jobs).
+//!
+//! The serial path (`figures` without `--jobs`) executes the *same*
+//! job list in-process ([`execute_inline`]) and merges through the
+//! same [`PartialStore`], so both modes share one code path from raw
+//! reports to rendered tables — the bit-identity guarantee the tests
+//! lock holds under every injected fault.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+pub mod pool;
+pub mod supervisor;
+
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::process::{Child, Command};
-use std::time::Duration;
 
 use dca::Design;
 use dca_cpu::{mix, Benchmark};
@@ -84,22 +88,16 @@ pub const PARTIAL_SCHEMA: u64 = 1;
 /// noise.
 pub const DEFAULT_CHUNK: usize = 4;
 
-/// Directory the partials (and worker crash markers) live under,
+/// Directory the partials (and the quarantine record) live under,
 /// relative to the harness working directory.
 pub fn partials_dir() -> PathBuf {
     PathBuf::from("results").join("partials")
 }
 
-/// Test hook: when `DCA_SHARD_FAIL_ONCE` names this job id and no crash
-/// marker exists yet, the worker drops a marker and exits non-zero —
-/// once. Lets the retry path be exercised end-to-end without faking
-/// subprocess plumbing.
-pub const FAIL_ONCE_ENV: &str = "DCA_SHARD_FAIL_ONCE";
-
-/// Test hook: when `DCA_SHARD_FAIL_ALWAYS` names this job id the worker
-/// exits non-zero on every attempt — exercising the
-/// retries-exhausted abort path.
-pub const FAIL_ALWAYS_ENV: &str = "DCA_SHARD_FAIL_ALWAYS";
+/// File the supervisor records poison jobs in (under [`partials_dir`]).
+pub fn quarantine_path() -> PathBuf {
+    partials_dir().join("quarantine.json")
+}
 
 // ---------------------------------------------------------------------
 // Job model
@@ -770,22 +768,9 @@ fn write_partial_atomic(job_id: &str, text: &str) -> std::io::Result<()> {
 }
 
 /// Worker entry point behind `figures --worker --job <id>`: decode the
-/// id, honour the [`FAIL_ONCE_ENV`] crash hook, execute, and write the
-/// partial atomically.
+/// id, execute, and write the partial atomically.
 pub fn run_worker(job_id: &str) -> Result<(), String> {
     let payload = parse_job_id(job_id)?;
-    if std::env::var(FAIL_ALWAYS_ENV).as_deref() == Ok(job_id) {
-        return Err(format!("injected permanent crash for job {job_id}"));
-    }
-    if std::env::var(FAIL_ONCE_ENV).as_deref() == Ok(job_id) {
-        let marker = partials_dir().join(format!("{job_id}.crashed-once"));
-        if !marker.exists() {
-            let _ = std::fs::create_dir_all(partials_dir());
-            std::fs::write(&marker, b"injected crash\n")
-                .map_err(|e| format!("cannot write crash marker: {e}"))?;
-            return Err(format!("injected one-shot crash for job {job_id}"));
-        }
-    }
     let result = execute_job(&payload);
     let text = encode_partial(job_id, &result);
     write_partial_atomic(job_id, &text)
@@ -843,23 +828,32 @@ impl PartialStore {
         }
     }
 
+    /// Alone IPC of `bench` under `org` × `main_mem`, if that run has
+    /// been merged (it can legitimately be missing when the supervisor
+    /// quarantined the alone job).
+    pub fn try_alone_ipc(
+        &self,
+        bench: Benchmark,
+        org: OrgKind,
+        main_mem: MainMemKind,
+    ) -> Option<f64> {
+        self.alone.get(&(bench, org.label(), main_mem)).copied()
+    }
+
     /// Alone IPC of `bench` under `org` × `main_mem`.
     ///
     /// # Panics
     /// Panics if the planner never scheduled that alone run — a plan
     /// bug, not a runtime condition.
     pub fn alone_ipc(&self, bench: Benchmark, org: OrgKind, main_mem: MainMemKind) -> f64 {
-        *self
-            .alone
-            .get(&(bench, org.label(), main_mem))
-            .unwrap_or_else(|| {
-                panic!(
-                    "no alone IPC for {}/{}/{}",
-                    bench.name(),
-                    org.label(),
-                    main_mem.label()
-                )
-            })
+        self.try_alone_ipc(bench, org, main_mem).unwrap_or_else(|| {
+            panic!(
+                "no alone IPC for {}/{}/{}",
+                bench.name(),
+                org.label(),
+                main_mem.label()
+            )
+        })
     }
 
     /// Resolve one evaluation unit into a [`DesignSummary`] by
@@ -881,6 +875,23 @@ impl PartialStore {
                     .get(&id)
                     .ok_or_else(|| format!("missing partial for job {id}"))?,
             );
+        }
+        // A quarantined alone job leaves holes in the alone table;
+        // surface that as a missing summary (the renderer draws a
+        // hole), not a panic.
+        for &m in mixes {
+            for &b in &mix(m).benches {
+                if self
+                    .try_alone_ipc(b, unit.spec.org, unit.spec.main_mem)
+                    .is_none()
+                {
+                    return Err(format!(
+                        "missing alone IPC for {}/{} (quarantined or unplanned alone job)",
+                        b.name(),
+                        unit.spec.org.label()
+                    ));
+                }
+            }
         }
         Ok(summarize(&unit.label, unit.spec.org, &points, |b, org| {
             self.alone_ipc(b, org, unit.spec.main_mem)
@@ -904,218 +915,94 @@ pub fn execute_inline(jobs: &[Job]) -> PartialStore {
 }
 
 // ---------------------------------------------------------------------
-// Coordinator
+// Warm groups, resume, and partial hygiene
 // ---------------------------------------------------------------------
 
-/// What the coordinator did, for the run banner and the tests.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CoordStats {
-    /// Jobs executed by workers this run.
-    pub run: usize,
-    /// Jobs satisfied by a valid pre-existing partial (crash resume).
-    pub reused: usize,
-    /// Worker attempts that failed and were retried.
-    pub retried: usize,
-}
-
-/// Spawns and refills `workers` subprocesses over a job queue, handing
-/// each worker a *batch* of jobs so process spawn and warm-blob decode
-/// amortise across several jobs (the ROADMAP's "drain several jobs"
-/// lever).
-pub struct Coordinator {
-    /// Concurrent worker processes.
-    pub workers: usize,
-    /// Attempts per job (first run + retries).
-    pub max_attempts: u32,
-    /// Jobs handed to one worker process per spawn. `0` (the default)
-    /// picks automatically: enough to split the initial queue roughly
-    /// twice over the workers, capped at 8 so one straggler batch
-    /// cannot serialise the tail.
-    pub batch: usize,
-}
-
-struct Running {
-    child: Child,
-    /// The batch this worker is draining, with per-job attempt counts.
-    jobs: Vec<(Job, u32)>,
-}
-
-impl Coordinator {
-    /// A coordinator with the default retry policy (one retry) and
-    /// automatic batch sizing.
-    pub fn new(workers: usize) -> Coordinator {
-        Coordinator {
-            workers: workers.max(1),
-            max_attempts: 2,
-            batch: 0,
+/// The **warm group** of a job: jobs in one group share warm-state
+/// fingerprints (warm-up is design-, remap-, lee-, ff- and
+/// main-memory-independent), so the supervisor routes a group to one
+/// worker and that worker builds each warm state exactly once for the
+/// whole group. Eval groups key on `(org, scale, seed, mixes)`; alone
+/// groups on `(org, scale, seed, benches)` — i.e. the job id minus the
+/// fields warm-up ignores.
+pub fn warm_group(payload: &JobPayload) -> String {
+    match payload {
+        JobPayload::Eval { spec, mixes } => {
+            let m: Vec<String> = mixes.iter().map(u32::to_string).collect();
+            format!(
+                "ev_{}_i{}_w{}_s{:x}_m{}",
+                org_token(spec.org),
+                spec.insts,
+                spec.warmup,
+                spec.seed,
+                m.join(".")
+            )
+        }
+        JobPayload::Alone {
+            org,
+            insts,
+            warmup,
+            seed,
+            benches,
+            ..
+        } => {
+            let b: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+            format!(
+                "al_{}_i{insts}_w{warmup}_s{seed:x}_b{}",
+                org_token(*org),
+                b.join(".")
+            )
         }
     }
+}
 
-    /// Fix the jobs-per-worker-process batch size (`0` = automatic).
-    pub fn with_batch(mut self, batch: usize) -> Coordinator {
-        self.batch = batch;
-        self
-    }
-
-    /// The batch size actually used for a queue of `jobs` jobs.
-    pub fn effective_batch(&self, jobs: usize) -> usize {
-        if self.batch >= 1 {
-            self.batch
-        } else {
-            (jobs.div_ceil(self.workers * 2)).clamp(1, 8)
+/// A valid on-disk partial for `job`, if one exists (crash resume).
+pub fn load_existing_partial(job: &Job) -> Option<JobResult> {
+    let path = partial_path(&job.id);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match decode_partial(&text, job) {
+        Ok(result) => Some(result),
+        Err(why) => {
+            eprintln!(
+                "figures: warning: ignoring invalid partial {} ({why}); re-running the job",
+                path.display()
+            );
+            None
         }
     }
+}
 
-    /// Run `jobs` to completion, returning the merged store and stats.
-    /// Fails only after a job has exhausted its attempts (or a worker
-    /// cannot be spawned at all); any still-running workers are killed
-    /// before returning an error.
-    pub fn run(&self, jobs: &[Job]) -> Result<(PartialStore, CoordStats), String> {
-        let dir = partials_dir();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-        let exe = std::env::current_exe().map_err(|e| format!("cannot locate figures: {e}"))?;
-        // Workers must agree with the coordinator on the warm pool, so
-        // resolve it here and pass it down explicitly. An absolute path
-        // keeps the pool stable even if a worker changes directory.
-        let warm_dir = std::env::var("DCA_WARM_DIR").unwrap_or_else(|_| {
-            PathBuf::from("results")
-                .join("warm")
-                .to_string_lossy()
-                .into_owned()
-        });
-        let _ = std::fs::create_dir_all(&warm_dir);
-        let warm_dir = std::fs::canonicalize(&warm_dir)
-            .unwrap_or_else(|_| PathBuf::from(&warm_dir))
-            .to_string_lossy()
-            .into_owned();
-
-        let mut store = PartialStore::default();
-        let mut stats = CoordStats::default();
-        let mut queue: VecDeque<(Job, u32)> = VecDeque::new();
-        for job in jobs {
-            match Self::load_existing_partial(job) {
-                Some(result) => {
-                    store.insert(job, result);
-                    stats.reused += 1;
-                }
-                None => queue.push_back((job.clone(), 1)),
-            }
-        }
-
-        let batch = self.effective_batch(queue.len());
-        let mut running: Vec<Running> = Vec::new();
-        let fail = |running: &mut Vec<Running>, msg: String| {
-            for r in running.iter_mut() {
-                let _ = r.child.kill();
-                let _ = r.child.wait();
-            }
-            Err(msg)
+/// Remove partials under [`partials_dir`] whose job id is not in
+/// `valid` — leftovers from an older plan or scale that would linger
+/// (and mislead a future resume) forever. The quarantine record and
+/// non-partial files (temporaries, locks) are never touched. Returns
+/// how many files were pruned.
+pub fn prune_orphans(valid: &HashSet<String>) -> usize {
+    let Ok(entries) = std::fs::read_dir(partials_dir()) else {
+        return 0;
+    };
+    let mut pruned = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
         };
-        while !queue.is_empty() || !running.is_empty() {
-            while running.len() < self.workers && !queue.is_empty() {
-                let mut jobs: Vec<(Job, u32)> = Vec::with_capacity(batch);
-                while jobs.len() < batch {
-                    let Some(next) = queue.pop_front() else { break };
-                    jobs.push(next);
-                }
-                let mut cmd = Command::new(&exe);
-                cmd.arg("--worker").env("DCA_WARM_DIR", &warm_dir);
-                for (job, _) in &jobs {
-                    cmd.args(["--job", &job.id]);
-                }
-                match cmd.spawn() {
-                    Ok(child) => running.push(Running { child, jobs }),
-                    Err(e) => {
-                        let ids: Vec<&str> = jobs.iter().map(|(j, _)| j.id.as_str()).collect();
-                        return fail(
-                            &mut running,
-                            format!("cannot spawn worker for {}: {e}", ids.join(", ")),
-                        );
-                    }
-                }
-            }
-            let mut progressed = false;
-            let mut i = 0;
-            while i < running.len() {
-                match running[i].child.try_wait() {
-                    Ok(None) => i += 1,
-                    Ok(Some(status)) => {
-                        progressed = true;
-                        let Running { jobs, .. } = running.swap_remove(i);
-                        // Judge each job of the batch by its own partial:
-                        // jobs finished before a mid-batch crash stay
-                        // done, only the rest retry. A zero exit whose
-                        // partial does not validate is treated exactly
-                        // like a crash: retry, then report.
-                        for (job, attempt) in jobs {
-                            let outcome = match Self::load_existing_partial(&job) {
-                                Some(result) => Ok(result),
-                                None if status.success() => {
-                                    Err("worker exited 0 but left no valid partial".to_string())
-                                }
-                                None => Err(format!("worker exited with {status}")),
-                            };
-                            match outcome {
-                                Ok(result) => {
-                                    store.insert(&job, result);
-                                    stats.run += 1;
-                                }
-                                Err(why) if attempt < self.max_attempts => {
-                                    stats.retried += 1;
-                                    eprintln!(
-                                        "figures: warning: job {} failed ({why}); retrying \
-                                         (attempt {}/{})",
-                                        job.id,
-                                        attempt + 1,
-                                        self.max_attempts
-                                    );
-                                    queue.push_back((job, attempt + 1));
-                                }
-                                Err(why) => {
-                                    return fail(
-                                        &mut running,
-                                        format!(
-                                            "job {} failed after {} attempts: {why}",
-                                            job.id, self.max_attempts
-                                        ),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        let ids: Vec<String> =
-                            running[i].jobs.iter().map(|(j, _)| j.id.clone()).collect();
-                        return fail(
-                            &mut running,
-                            format!("cannot wait on {}: {e}", ids.join(", ")),
-                        );
-                    }
-                }
-            }
-            if !progressed && !running.is_empty() {
-                std::thread::sleep(Duration::from_millis(15));
-            }
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue; // temporaries (.tmp.<pid>) and anything foreign
+        };
+        if stem == "quarantine" {
+            continue;
         }
-        Ok((store, stats))
-    }
-
-    /// A valid on-disk partial for `job`, if one exists (crash resume).
-    fn load_existing_partial(job: &Job) -> Option<JobResult> {
-        let path = partial_path(&job.id);
-        let text = std::fs::read_to_string(&path).ok()?;
-        match decode_partial(&text, job) {
-            Ok(result) => Some(result),
-            Err(why) => {
-                eprintln!(
-                    "figures: warning: ignoring invalid partial {} ({why}); re-running the job",
-                    path.display()
-                );
-                None
-            }
+        // Only files that *are* partials of this harness are fair game:
+        // a stem that doesn't parse as a job id is not ours to delete.
+        if parse_job_id(stem).is_err() || valid.contains(stem) {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            pruned += 1;
         }
     }
+    pruned
 }
 
 // ---------------------------------------------------------------------
@@ -1190,6 +1077,24 @@ pub mod json {
         pub fn get_f64_bits(&self, key: &str) -> Option<f64> {
             self.get_u64(key).map(f64::from_bits)
         }
+    }
+
+    /// Escape `s` for embedding in a JSON string literal (quotes not
+    /// included). Control bytes become `\u00XX`.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
 
     /// Parse one JSON document (trailing garbage is an error).
@@ -1413,13 +1318,51 @@ mod tests {
     }
 
     #[test]
-    fn effective_batch_scales_with_queue_and_workers() {
-        let c = Coordinator::new(2);
-        assert_eq!(c.effective_batch(0), 1);
-        assert_eq!(c.effective_batch(1), 1);
-        assert_eq!(c.effective_batch(8), 2);
-        assert_eq!(c.effective_batch(100), 8, "capped against stragglers");
-        assert_eq!(Coordinator::new(2).with_batch(5).effective_batch(100), 5);
+    fn warm_group_ignores_design_remap_ff_and_backend() {
+        let scale = tiny_scale();
+        let plans: Vec<FigurePlan> = ["fig12", "fig14", "mainmem"]
+            .iter()
+            .filter_map(|n| figure_plan(n, &scale))
+            .collect();
+        let jobs = plan_jobs(&plans, 4);
+        // All SA eval units (CD/ROD/DCA/XOR+…) share one warm group…
+        let sa_eval: HashSet<String> = jobs
+            .iter()
+            .filter(|j| {
+                matches!(&j.payload, JobPayload::Eval { spec, .. }
+                    if spec.org == OrgKind::paper_set_assoc())
+            })
+            .map(|j| warm_group(&j.payload))
+            .collect();
+        assert_eq!(sa_eval.len(), 1, "{sa_eval:?}");
+        // …including across main-memory backends (warm-up never touches
+        // main memory timing): the DM mainmem sweep collapses too.
+        let dm_eval: HashSet<String> = jobs
+            .iter()
+            .filter(|j| {
+                matches!(&j.payload, JobPayload::Eval { spec, .. }
+                    if spec.org == OrgKind::DirectMapped)
+            })
+            .map(|j| warm_group(&j.payload))
+            .collect();
+        assert_eq!(dm_eval.len(), 1, "{dm_eval:?}");
+        // Eval and alone groups stay distinct (different warm shapes).
+        let alone: HashSet<String> = jobs
+            .iter()
+            .filter(|j| matches!(j.payload, JobPayload::Alone { .. }))
+            .map(|j| warm_group(&j.payload))
+            .collect();
+        assert!(alone
+            .iter()
+            .all(|g| !sa_eval.contains(g) && !dm_eval.contains(g)));
+    }
+
+    #[test]
+    fn json_escape_round_trips_through_parser() {
+        let nasty = "a\"b\\c\nd\te\r\u{1}ü";
+        let doc = format!("{{\"k\": \"{}\"}}", json::escape(nasty));
+        let v = json::parse(&doc).expect("escaped string parses");
+        assert_eq!(v.get_str("k"), Some(nasty));
     }
 
     #[test]

@@ -50,6 +50,18 @@
 //! shrugs and builds locally, because the lock is advisory and a
 //! crashed holder must never wedge the sweep. Lock waits are counted
 //! in [`WarmCacheStats::lock_waits`].
+//!
+//! The lock file carries its **owner's pid**: a waiter that finds the
+//! owner dead (`/proc/<pid>` gone) reclaims the lock immediately
+//! instead of sleeping out the full deadline — a worker killed
+//! mid-warm-up costs the survivors one poll interval, not
+//! `DCA_WARM_LOCK_MS` per waiter. Reclaims are counted in
+//! [`WarmCacheStats::lock_reclaims`]; a lock whose content does not
+//! parse as a pid (or a live-but-hung owner) still falls back to the
+//! deadline. Waiters also bump a process-wide [`wait_ticks`] counter
+//! each poll, which pool workers fold into their heartbeat `progress`
+//! field — so a worker legitimately parked on another process's
+//! warm-up keeps its job deadline alive (see `shard::pool`).
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -60,6 +72,17 @@ use std::time::{Duration, Instant};
 use dca::{System, SystemConfig, WarmState};
 use dca_cpu::Benchmark;
 use dca_sim_core::FastHashMap;
+
+/// Process-wide count of advisory-lock poll iterations, across every
+/// cache instance. Strictly monotonic while a thread is *waiting* —
+/// which is exactly when a pool worker looks stalled from the outside —
+/// so `shard::pool` heartbeats report it as forward progress.
+static WAIT_TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total warm-lock poll iterations this process has performed so far.
+pub fn wait_ticks() -> u64 {
+    WAIT_TICKS.load(Ordering::Relaxed)
+}
 
 /// Monotonic counters describing what the cache did so far.
 #[derive(Clone, Copy, Debug, Default)]
@@ -72,6 +95,8 @@ pub struct WarmCacheStats {
     pub disk_loads: u64,
     /// Times this cache waited on another process's advisory lock.
     pub lock_waits: u64,
+    /// Stale locks reclaimed because their owner pid was dead.
+    pub lock_reclaims: u64,
 }
 
 /// One per-key rendezvous point: same-key builders serialise on the
@@ -94,6 +119,7 @@ pub struct WarmCache {
     hits: AtomicU64,
     disk_loads: AtomicU64,
     lock_waits: AtomicU64,
+    lock_reclaims: AtomicU64,
 }
 
 impl Default for WarmCache {
@@ -201,6 +227,7 @@ impl WarmCache {
             hits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             lock_waits: AtomicU64::new(0),
+            lock_reclaims: AtomicU64::new(0),
         }
     }
 
@@ -238,6 +265,7 @@ impl WarmCache {
             hits: self.hits.load(Ordering::Relaxed),
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
             lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_reclaims: self.lock_reclaims.load(Ordering::Relaxed),
         }
     }
 
@@ -316,7 +344,23 @@ impl WarmCache {
                     }
                     return DiskOutcome::Build(Some(guard));
                 }
-                Acquire::Busy => {}
+                Acquire::Busy => {
+                    // A lock whose recorded owner is dead will never be
+                    // released; reclaim it now instead of sleeping out
+                    // the deadline. (A waiter could in principle read a
+                    // stale pid just as a new live owner re-creates the
+                    // file — the lock is advisory, so the worst case is
+                    // one duplicated warm-up, never corruption: blobs
+                    // land via exclusive-temp + atomic rename.)
+                    if lock_owner_is_dead(&lock_path) && std::fs::remove_file(&lock_path).is_ok() {
+                        self.lock_reclaims.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "warning: warm lock {} was held by a dead process; reclaimed it",
+                            lock_path.display()
+                        );
+                        continue;
+                    }
+                }
                 // An unusable warm dir must degrade to an immediate
                 // cold build, not a full lock-deadline sleep per key.
                 Acquire::Unavailable => return DiskOutcome::Build(None),
@@ -328,12 +372,13 @@ impl WarmCache {
             if Instant::now() >= deadline {
                 eprintln!(
                     "warning: warm lock {} still held after {:?}; building locally \
-                     (the lock is advisory — a crashed holder cannot block this run)",
+                     (the lock is advisory — a live-but-stuck holder cannot block this run)",
                     lock_path.display(),
                     self.lock_timeout
                 );
                 return DiskOutcome::Build(None);
             }
+            WAIT_TICKS.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(Duration::from_millis(20));
         }
     }
@@ -447,8 +492,8 @@ impl LockGuard {
             .open(path)
         {
             Ok(mut f) => {
-                // The pid is for humans poking at a stuck pool, nothing
-                // parses it.
+                // Waiters parse this pid to reclaim the lock the moment
+                // its owner dies (see `lock_owner_is_dead`).
                 let _ = writeln!(f, "{}", std::process::id());
                 Acquire::Held(LockGuard {
                     path: path.to_path_buf(),
@@ -463,6 +508,25 @@ impl LockGuard {
 impl Drop for LockGuard {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the pid recorded in a lock file belongs to a process that no
+/// longer exists. Errs on the side of *alive*: an unreadable lock, a
+/// pid that does not parse (older lock formats, torn writes), or a
+/// platform without `/proc` all return `false`, leaving the
+/// `DCA_WARM_LOCK_MS` deadline as the backstop.
+fn lock_owner_is_dead(lock_path: &std::path::Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(lock_path) else {
+        return false;
+    };
+    let Ok(pid) = text.trim().parse::<u32>() else {
+        return false;
+    };
+    if cfg!(target_os = "linux") {
+        !std::path::Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
     }
 }
 
@@ -624,25 +688,76 @@ mod tests {
     }
 
     #[test]
-    fn stale_advisory_lock_times_out_and_builds() {
-        // A lock left behind by a crashed process must only delay, not
-        // block: after the (shortened) deadline the waiter builds
-        // locally and still produces a valid state.
+    fn unparseable_stale_lock_times_out_and_builds() {
+        // A lock whose content is not a pid (older format, torn write)
+        // cannot be liveness-checked, so it must fall back to the
+        // deadline: delay, never block.
         let dir = scratch_dir("stale-lock");
         let cfg = tiny_cfg(31);
         let benches = [Benchmark::Gcc];
         let fp = dca::WarmState::fingerprint_for(&cfg, &benches);
-        std::fs::write(dir.join(format!("{fp:016x}.lock")), b"99999\n").expect("plant stale lock");
+        std::fs::write(dir.join(format!("{fp:016x}.lock")), b"not-a-pid\n")
+            .expect("plant stale lock");
         let cache = WarmCache::with_policy(4, Some(dir.clone()), true)
             .with_lock_timeout(Duration::from_millis(200));
         let t0 = Instant::now();
         let state = cache.get_or_build(&cfg, &benches);
         assert_eq!(state.fingerprint(), fp);
         let s = cache.stats();
-        assert_eq!((s.builds, s.lock_waits), (1, 1), "waited, then built");
+        assert_eq!(
+            (s.builds, s.lock_waits, s.lock_reclaims),
+            (1, 1, 0),
+            "waited, then built"
+        );
         assert!(
             t0.elapsed() >= Duration::from_millis(200),
             "must actually have waited out the deadline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_lock_from_dead_process_is_reclaimed_immediately() {
+        // A worker killed mid-warm-up leaves its lock behind; because
+        // the lock records the owner pid, waiters must reclaim it as
+        // soon as they see the owner gone — NOT sleep out the (here:
+        // prohibitive) DCA_WARM_LOCK_MS deadline.
+        let dir = scratch_dir("dead-owner");
+        let cfg = tiny_cfg(33);
+        let benches = [Benchmark::Gcc];
+        let fp = dca::WarmState::fingerprint_for(&cfg, &benches);
+
+        // A real, genuinely dead pid: spawn a subprocess (this very
+        // test binary, told to run a test that does not exist, so it
+        // exits immediately) and reap it.
+        let exe = std::env::current_exe().expect("test binary path");
+        let child = std::process::Command::new(exe)
+            .args(["--exact", "no_such_test_anywhere", "--test-threads", "1"])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn short-lived subprocess");
+        let dead_pid = child.id();
+        child.wait_with_output().expect("reap subprocess");
+        assert!(
+            !std::path::Path::new(&format!("/proc/{dead_pid}")).exists(),
+            "subprocess must be fully reaped"
+        );
+
+        std::fs::write(dir.join(format!("{fp:016x}.lock")), format!("{dead_pid}\n"))
+            .expect("plant dead-owner lock");
+        let cache = WarmCache::with_policy(4, Some(dir.clone()), true)
+            .with_lock_timeout(Duration::from_secs(120));
+        let t0 = Instant::now();
+        let state = cache.get_or_build(&cfg, &benches);
+        assert_eq!(state.fingerprint(), fp);
+        let s = cache.stats();
+        assert_eq!(s.builds, 1, "reclaimed, then built");
+        assert_eq!(s.lock_reclaims, 1, "the dead owner's lock was reclaimed");
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "reclaim must not wait toward the 120 s deadline"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

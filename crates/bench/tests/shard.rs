@@ -1,10 +1,13 @@
 //! End-to-end tests of the process-sharded figure harness: the
-//! `figures` binary is driven as a real subprocess (coordinator,
-//! workers, crash injection) against scratch working directories, and
+//! `figures` binary is driven as a real subprocess (supervisor plus
+//! persistent pool workers) against scratch working directories, and
 //! its sharded output is compared byte-for-byte to the serial path.
-//! Also covers the bench front-end bugfixes: unknown flags exit 2 with
-//! a usage listing, an unwritable `results/` is a reported error, and
-//! malformed `DCA_WARM*` knobs warn instead of silently falling back.
+//! Fault injection is deterministic via `DCA_FAULT_PLAN` (see
+//! `dca_bench::shard::pool`); the full failure matrix lives in
+//! `tests/pool.rs`. Also covers the bench front-end behaviours:
+//! unknown flags exit 2 with a usage listing, an unwritable `results/`
+//! is a reported error, and malformed `DCA_WARM*` knobs warn instead
+//! of silently falling back.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -50,8 +53,13 @@ fn figures_cmd(dir: &Path) -> Command {
         .env_remove("DCA_WARM_CAP")
         .env_remove("DCA_WARM_PERSIST")
         .env_remove("DCA_WARM_DIR")
-        .env_remove("DCA_SHARD_FAIL_ONCE")
-        .env_remove("DCA_SHARD_FAIL_ALWAYS");
+        .env_remove("DCA_FAULT_PLAN")
+        .env_remove("DCA_JOB_TIMEOUT_MS")
+        .env_remove("DCA_JOB_ATTEMPTS")
+        .env_remove("DCA_RETRY_BACKOFF_MS")
+        .env_remove("DCA_HEARTBEAT_MS")
+        .env_remove("DCA_HEARTBEAT_TIMEOUT_MS")
+        .env_remove("DCA_POOL_INFLIGHT");
     cmd
 }
 
@@ -77,10 +85,10 @@ fn read_outputs(dir: &Path) -> Vec<(String, Vec<u8>)> {
         .collect()
 }
 
-/// The tentpole guarantee: a `--jobs 2` coordinator run produces
-/// byte-identical figure files to the serial in-process run, the
-/// injected worker crash is retried and reported, and a re-run against
-/// the surviving partials reuses them all (crash-safe resume).
+/// The tentpole guarantee: a `--jobs 2` pool run produces byte-identical
+/// figure files to the serial in-process run, an injected worker crash
+/// is retried and reported, and a re-run against the surviving partials
+/// reuses them all (crash-safe resume).
 #[test]
 fn sharded_run_is_bit_identical_retries_crashes_and_resumes() {
     // Serial reference.
@@ -99,17 +107,17 @@ fn sharded_run_is_bit_identical_retries_crashes_and_resumes() {
         .id
         .clone();
 
-    // Sharded run with one injected worker crash.
+    // Pool run with one injected worker crash (first attempt only).
     let shard_dir = scratch("jobs2");
     let out = run_ok(
         figures_cmd(&shard_dir)
             .args(["--fig14", "--jobs", "2"])
-            .env("DCA_SHARD_FAIL_ONCE", &crash_id),
+            .env("DCA_FAULT_PLAN", format!("crash:{crash_id}@0")),
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("retrying") && stderr.contains(&crash_id),
-        "coordinator must report the retried job:\n{stderr}"
+        "supervisor must report the retried job:\n{stderr}"
     );
     assert!(
         stderr.contains("1 retried"),
@@ -148,34 +156,9 @@ fn sharded_run_is_bit_identical_retries_crashes_and_resumes() {
     let _ = std::fs::remove_dir_all(&shard_dir);
 }
 
-/// A worker that crashes on both attempts must fail the whole run with
-/// the job id in the error, not hang or succeed vacuously.
-#[test]
-fn persistent_worker_failure_aborts_with_the_job_id() {
-    let dir = scratch("hardfail");
-    let plan = figure_plan("fig14", &tiny_scale()).expect("plan");
-    let job_id = plan_jobs(std::slice::from_ref(&plan), DEFAULT_CHUNK)[0]
-        .id
-        .clone();
-    let out = figures_cmd(&dir)
-        .args(["--fig14", "--jobs", "2"])
-        .env("DCA_SHARD_FAIL_ALWAYS", &job_id)
-        .output()
-        .expect("spawn");
-    assert!(
-        !out.status.success(),
-        "run must fail once a job exhausts its attempts"
-    );
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(
-        stderr.contains("failed after 2 attempts") && stderr.contains(&job_id),
-        "final failure must name the job and the attempt count:\n{stderr}"
-    );
-    let _ = std::fs::remove_dir_all(&dir);
-}
-
 /// Satellite bugfix: unknown flags exit 2 with a usage listing instead
-/// of silently producing nothing.
+/// of silently producing nothing. `--batch` died with the spawn-per-
+/// batch coordinator; `--serve` outside `--worker` is a usage error.
 #[test]
 fn unknown_flags_exit_2_with_usage() {
     for bad in [
@@ -184,6 +167,11 @@ fn unknown_flags_exit_2_with_usage() {
         &["--jobs", "zero"],
         &["--fig14=2"],
         &["--all=x"],
+        &["--batch", "3"],
+        &["--serve"],
+        &["--worker", "--serve", "--job", "x"],
+        &["--worker"],
+        &["--job", "x"],
     ] {
         let dir = scratch("badflag");
         let out = figures_cmd(&dir).args(bad).output().expect("spawn");
@@ -261,19 +249,11 @@ fn malformed_warm_knobs_warn_on_stderr() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Satellite (worker batching): one worker process drains several jobs
-/// (`--job a --job b ...`), writing one valid partial per job; an
-/// explicit `--batch` coordinator run stays byte-identical to serial;
-/// and a mid-batch injected crash retries only the crashed job while
-/// the rest of its batch survives.
+/// One worker invocation can drain several jobs (`--job a --job b ...`),
+/// writing one valid partial per job — the one-shot CLI the pool does
+/// not use but humans re-running a job by hand do.
 #[test]
-fn batched_workers_drain_multiple_jobs_and_stay_bit_identical() {
-    // Serial reference.
-    let serial_dir = scratch("batch-serial");
-    run_ok(figures_cmd(&serial_dir).arg("--fig14"));
-    let serial = read_outputs(&serial_dir);
-
-    // One worker invocation draining two jobs by hand.
+fn batched_workers_drain_multiple_jobs() {
     let plan = figure_plan("fig14", &tiny_scale()).expect("plan");
     let jobs = plan_jobs(std::slice::from_ref(&plan), DEFAULT_CHUNK);
     assert!(jobs.len() >= 2, "need at least two jobs to batch");
@@ -284,45 +264,11 @@ fn batched_workers_drain_multiple_jobs_and_stay_bit_identical() {
             .unwrap_or_else(|e| panic!("batched worker must write {}: {e}", job.id));
         dca_bench::shard::decode_partial(&text, job).expect("partial validates");
     }
-
-    // Explicit --batch coordinator run: byte-identical output.
-    let batch_dir = scratch("batch-coord");
-    run_ok(figures_cmd(&batch_dir).args(["--fig14", "--jobs", "2", "--batch", "3"]));
-    assert_eq!(
-        serial,
-        read_outputs(&batch_dir),
-        "batched sharded figure files must be byte-identical to serial"
-    );
-
-    // Mid-batch crash: every job lands in some batch; the injected
-    // failure must retry exactly one job while its batch-mates' partials
-    // survive and are reused, and the output stays byte-identical.
-    let crash_id = jobs
-        .iter()
-        .find(|j| matches!(j.payload, JobPayload::Eval { .. }))
-        .expect("an eval job")
-        .id
-        .clone();
-    let crash_dir = scratch("batch-crash");
-    let out = run_ok(
-        figures_cmd(&crash_dir)
-            .args(["--fig14", "--jobs", "1", "--batch", &jobs.len().to_string()])
-            .env("DCA_SHARD_FAIL_ONCE", &crash_id),
-    );
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(
-        stderr.contains("1 retried") && stderr.contains(&crash_id),
-        "exactly the crashed job must retry:\n{stderr}"
-    );
-    assert_eq!(serial, read_outputs(&crash_dir));
-
-    for dir in [serial_dir, hand_dir, batch_dir, crash_dir] {
-        let _ = std::fs::remove_dir_all(&dir);
-    }
+    let _ = std::fs::remove_dir_all(&hand_dir);
 }
 
 /// The worker CLI is self-contained: a job id re-run by hand produces
-/// a partial the coordinator would accept.
+/// a partial the supervisor would accept.
 #[test]
 fn worker_mode_writes_a_valid_partial() {
     let dir = scratch("worker");
