@@ -457,6 +457,99 @@ fn run_shard_smoke(reps: u32) -> ShardSmokeResult {
     best
 }
 
+/// Outcome of the fabric loopback smoke.
+struct FabricSmokeResult {
+    /// Serial `--fig14` wall clock in this smoke's environment.
+    serial_s: f64,
+    /// The same sweep through `--serve` + one loopback `--agent`.
+    fabric_s: f64,
+}
+
+/// Run the `--fig14` sweep once serially and once through the TCP
+/// fabric (`--serve 127.0.0.1:<port>` + one local `--agent`), assert
+/// the rendered figure files are byte-identical, and record both wall
+/// clocks. The overhead (TCP framing, journaling, lease bookkeeping,
+/// two extra process startups) is reported, not asserted — at smoke
+/// scale it legitimately exceeds the serial cost; the point of the
+/// number is the trajectory.
+fn run_fabric_smoke() -> FabricSmokeResult {
+    use std::path::PathBuf;
+    use std::process::{Command, Stdio};
+
+    let exe = std::env::current_exe().expect("current exe");
+    let figures = exe.with_file_name("figures");
+    let scratch = |tag: &str| -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dca-fabric-smoke-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    };
+    let cmd = |dir: &PathBuf| -> Command {
+        let mut c = Command::new(&figures);
+        c.current_dir(dir)
+            .env("DCA_MIXES", "1,2")
+            .env("DCA_INSTS", "20000")
+            .env("DCA_WARMUP", "60000")
+            .env_remove("DCA_FULL")
+            .env_remove("DCA_FAULT_PLAN")
+            .env_remove("DCA_POOL_INFLIGHT")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        c
+    };
+
+    let serial_dir = scratch("serial");
+    let t0 = Instant::now();
+    let status = cmd(&serial_dir)
+        .arg("--fig14")
+        .status()
+        .expect("spawn figures");
+    assert!(status.success(), "serial figures failed with {status}");
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let coord_dir = scratch("coord");
+    let agent_dir = scratch("agent");
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        let addr = l.local_addr().expect("local addr").to_string();
+        drop(l);
+        addr
+    };
+    let t0 = Instant::now();
+    let mut coord = cmd(&coord_dir)
+        .args(["--fig14", "--serve", &addr, "--jobs", "2"])
+        .env("DCA_FABRIC_GRACE_MS", "60000")
+        .spawn()
+        .expect("spawn coordinator");
+    let mut agent = cmd(&agent_dir)
+        .args(["--agent", &addr, "--jobs", "2"])
+        .spawn()
+        .expect("spawn agent");
+    let cstatus = coord.wait().expect("wait coordinator");
+    let fabric_s = t0.elapsed().as_secs_f64();
+    let astatus = agent.wait().expect("wait agent");
+    assert!(
+        cstatus.success(),
+        "fabric coordinator failed with {cstatus}"
+    );
+    assert!(astatus.success(), "fabric agent failed with {astatus}");
+
+    for ext in ["md", "json", "csv"] {
+        let file = format!("fig14.{ext}");
+        let a = std::fs::read(serial_dir.join("results").join(&file)).expect(&file);
+        let b = std::fs::read(coord_dir.join("results").join(&file)).expect(&file);
+        assert_eq!(
+            a, b,
+            "fabric {file} diverged from the serial run — the transport broke bit-identity"
+        );
+    }
+    for dir in [serial_dir, coord_dir, agent_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    FabricSmokeResult { serial_s, fabric_s }
+}
+
 /// Outcome of the flat-vs-cycle main-memory smoke.
 struct MainMemSmokeResult {
     /// Wall clock of the flat-backend run.
@@ -583,6 +676,17 @@ fn main() {
         shard.session_speedup()
     );
 
+    let fabric = run_fabric_smoke();
+    println!(
+        "\nfabric smoke (fig14, 2 mixes, loopback --serve + one --agent): serial {:.2}s   \
+         local pool {:.2}s   fabric {:.2}s   overhead vs serial {:.3}x (figure files \
+         byte-identical)",
+        fabric.serial_s,
+        shard.pool_s,
+        fabric.fabric_s,
+        fabric.fabric_s / fabric.serial_s
+    );
+
     let main_mem = run_main_mem_smoke(insts);
     println!(
         "\nmain-mem smoke (mix 1, DCA, direct-mapped): flat {:.2}s   cycle-level {:.2}s   \
@@ -626,6 +730,8 @@ fn main() {
          \"serial_s\": {:.4}, \"pool_s\": {:.4}, \"fresh_speedup\": {:.4}, \
          \"session_figures\": \"fig14+fig12\", \"session_serial_s\": {:.4}, \
          \"session_pool_s\": {:.4}, \"speedup\": {:.4}}},\n  \
+         \"fabric\": {{\"figure\": \"fig14\", \"agents\": 1, \"serial_s\": {:.4}, \
+         \"pool_s\": {:.4}, \"fabric_s\": {:.4}, \"overhead_vs_serial\": {:.4}}},\n  \
          \"main_mem\": {{\"flat_s\": {:.4}, \"cycle_s\": {:.4}, \"cycle_overhead\": {:.4}, \
          \"cycle_mem_reads\": {}, \"cycle_row_hit_rate\": {:.4}}},\n  \
          \"trace_smoke\": {{\"mix_id\": {}, \"build_s\": {:.4}, \"warm_s\": {:.4}, \
@@ -649,6 +755,10 @@ fn main() {
         shard.session_serial_s,
         shard.session_pool_s,
         shard.session_speedup(),
+        fabric.serial_s,
+        shard.pool_s,
+        fabric.fabric_s,
+        fabric.fabric_s / fabric.serial_s,
         main_mem.flat_s,
         main_mem.cycle_s,
         main_mem.cycle_s / main_mem.flat_s,

@@ -35,6 +35,34 @@
 //! [`shard::supervisor`] for deadlines/retry/quarantine policy, and
 //! [`warm`] for how concurrent workers coordinate warm-ups through the
 //! shared `DCA_WARM_DIR`.
+//!
+//! ## Sweep fabric
+//!
+//! The same job model also runs *distributed*: `figures --serve <addr>`
+//! is a TCP coordinator leasing jobs to any number of
+//! `figures --agent <addr>` processes, each draining its leases through
+//! a local worker pool. The fabric layers four robustness mechanisms on
+//! the pool: lease ownership with forwarded heartbeats (a silent or
+//! disconnected agent forfeits its leases into the ordinary
+//! retry/backoff/quarantine machinery), a write-ahead journal so a
+//! killed coordinator resumes exactly, digest-verified length-prefixed
+//! transport (torn or corrupt uploads are rejected and retried), and
+//! graceful degradation (SIGINT drains, zero live agents falls back to
+//! local workers). See [`shard::fabric`].
+//!
+//! ## `figures` exit-code contract
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success — every requested figure written |
+//! | 1    | hard error (bad environment, unwritable `results/`; for `--agent`: coordinator unreachable or handshake rejected) |
+//! | 2    | usage error |
+//! | 3    | degraded — quarantined jobs; affected cells render as `—` |
+//! | 130  | interrupted — in-flight jobs drained and flushed; re-running the same command resumes (`--serve` keeps its journal) |
+//!
+//! `--serve` follows the same table; `--agent` exits `0` when the
+//! coordinator releases it, `1` on unreachable/rejected, `130` when
+//! drained.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

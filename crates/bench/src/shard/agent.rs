@@ -1,0 +1,679 @@
+//! Agent side of the sweep fabric: `figures --agent <addr> --jobs N`.
+//!
+//! An agent is a thin remote front-end to the same persistent worker
+//! pool `--jobs` runs locally: it connects to a coordinator,
+//! authenticates with a `HELLO` (protocol + build + config token),
+//! and drains leased jobs through `N` local `figures --worker --serve`
+//! subprocesses, forwarding their heartbeats so the coordinator's
+//! leases stay alive. Results are read back as the partial's exact
+//! bytes and uploaded in a digest-trailed frame.
+//!
+//! Robustness properties:
+//!
+//! * **The pool outlives the connection.** A lost session (coordinator
+//!   killed, network fault) never kills running workers: the agent
+//!   reconnects (retrying for `DCA_AGENT_RETRY_MS`, default 10 000)
+//!   and, when the coordinator re-dispatches a job that meanwhile
+//!   finished locally, answers instantly from the on-disk partial.
+//! * **At-least-once, locally deduplicated.** A re-dispatch of a job
+//!   the pool is already running just refreshes the attempt index —
+//!   no duplicate computation on this host.
+//! * **Deterministic network faults.** `DCA_FAULT_PLAN` rules with
+//!   modes `drop`/`torn`/`garbage-frame` fire at the moment a finished
+//!   partial would be uploaded (keyed on `(job id, attempt)` like all
+//!   fault rules), exercising the coordinator's verified transport.
+//! * **Graceful drain.** SIGINT/SIGTERM stops accepting work, lets
+//!   in-flight jobs finish and upload, then says `BYE` and exits 130.
+//!
+//! ## Exit codes
+//!
+//! `0` sweep complete (coordinator sent `EXIT`); `1` coordinator
+//! unreachable, `REJECT`ed HELLO, or an unusable environment; `130`
+//! drained after a stop request.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use super::net::{self, Msg};
+use super::pool::{parse_frame, FaultMode, FaultPlan, Frame};
+use super::supervisor::{install_signal_handlers, stop_requested};
+use super::{load_existing_partial, parse_job_id, partial_path, Job};
+
+/// How long the agent keeps retrying a dead coordinator address before
+/// giving up (`DCA_AGENT_RETRY_MS`, default 10 000).
+fn retry_window() -> Duration {
+    let ms = std::env::var("DCA_AGENT_RETRY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(10_000);
+    Duration::from_millis(ms)
+}
+
+/// Events from the connection reader and the worker readers.
+enum AEv {
+    /// A coordinator message (on connection generation `gen`).
+    Net { gen: u64, msg: Msg },
+    /// The connection died (EOF, torn/garbage frame, I/O error).
+    NetGone { gen: u64, why: String },
+    /// One stdout line from worker `slot` (at generation `gen`).
+    WLine { slot: usize, gen: u64, line: String },
+    /// Worker `slot`'s stdout closed.
+    WEof { slot: usize, gen: u64 },
+}
+
+/// What an event handler decided about the session.
+enum Flow {
+    /// Keep going.
+    Continue,
+    /// The connection is unusable; reconnect.
+    Reconnect,
+    /// Terminal: exit the agent with this code.
+    Exit(i32),
+}
+
+/// One local worker slot (a pared-down supervisor slot: the
+/// coordinator owns deadlines, retries and quarantine — the agent only
+/// tracks busy/idle and babble).
+struct Slot {
+    /// Bumped on every (re)spawn and kill; stale reader events are
+    /// dropped.
+    gen: u64,
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    /// The leased job this slot is running.
+    busy: Option<String>,
+    /// Last heartbeat `progress` seen (forwarded upstream).
+    progress: u64,
+}
+
+/// The agent's persistent local pool.
+struct Pool {
+    exe: PathBuf,
+    tx: Sender<AEv>,
+    slots: Vec<Slot>,
+    max: usize,
+}
+
+impl Pool {
+    fn busy_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.busy.is_some()).count()
+    }
+
+    fn is_running(&self, job_id: &str) -> bool {
+        self.slots.iter().any(|s| s.busy.as_deref() == Some(job_id))
+    }
+
+    /// An idle live slot, respawning or growing the pool as needed.
+    fn acquire_idle(&mut self) -> Option<usize> {
+        if let Some(si) = self
+            .slots
+            .iter()
+            .position(|s| s.child.is_some() && s.busy.is_none())
+        {
+            return Some(si);
+        }
+        if let Some(si) = self.slots.iter().position(|s| s.child.is_none()) {
+            return self.spawn_into(si).then_some(si);
+        }
+        if self.slots.len() < self.max {
+            let si = self.slots.len();
+            self.slots.push(Slot {
+                gen: 0,
+                child: None,
+                stdin: None,
+                busy: None,
+                progress: 0,
+            });
+            return self.spawn_into(si).then_some(si);
+        }
+        None
+    }
+
+    fn spawn_into(&mut self, si: usize) -> bool {
+        let gen = self.slots[si].gen + 1;
+        // Worker chatter goes straight to the agent's stderr; the
+        // coordinator keeps no per-agent stderr tail (FAIL messages
+        // carry the one-line cause instead).
+        let child = Command::new(&self.exe)
+            .args(["--worker", "--serve"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn();
+        let mut child = match child {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("figures agent: cannot spawn pool worker: {e}");
+                return false;
+            }
+        };
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if tx
+                    .send(AEv::WLine {
+                        slot: si,
+                        gen,
+                        line,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            let _ = tx.send(AEv::WEof { slot: si, gen });
+        });
+        self.slots[si] = Slot {
+            gen,
+            child: Some(child),
+            stdin: Some(stdin),
+            busy: None,
+            progress: 0,
+        };
+        true
+    }
+
+    /// Write a `RUN` frame to slot `si`.
+    fn run(&mut self, si: usize, attempt: u32, job_id: &str) -> bool {
+        let wrote = self.slots[si]
+            .stdin
+            .as_mut()
+            .is_some_and(|w| writeln!(w, "RUN {attempt} {job_id}").is_ok() && w.flush().is_ok());
+        if wrote {
+            self.slots[si].busy = Some(job_id.to_string());
+        }
+        wrote
+    }
+
+    fn kill(&mut self, si: usize) {
+        let slot = &mut self.slots[si];
+        slot.gen += 1;
+        slot.stdin = None;
+        slot.busy = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// EXIT every worker, give the pool a moment, then force it.
+    fn shutdown(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(w) = slot.stdin.as_mut() {
+                let _ = writeln!(w, "EXIT");
+            }
+            slot.stdin = None;
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let mut all_gone = true;
+            for slot in &mut self.slots {
+                if let Some(child) = slot.child.as_mut() {
+                    match child.try_wait() {
+                        Ok(Some(_)) => slot.child = None,
+                        _ => all_gone = false,
+                    }
+                }
+            }
+            if all_gone || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Everything that survives across reconnects.
+struct AgentState {
+    plan: FaultPlan,
+    pool: Pool,
+    /// Leased jobs waiting for a free slot.
+    backlog: VecDeque<String>,
+    /// Latest attempt index per leased job (fault rules key on it).
+    attempts: HashMap<String, u32>,
+}
+
+impl AgentState {
+    fn handle(&mut self, ev: AEv, gen: u64, w: &mut TcpStream, welcomed: &mut bool) -> Flow {
+        match ev {
+            AEv::Net { gen: g, .. } | AEv::NetGone { gen: g, .. } if g != gen => Flow::Continue,
+            AEv::Net { msg, .. } => match msg {
+                Msg::Welcome => {
+                    *welcomed = true;
+                    Flow::Continue
+                }
+                Msg::Reject { reason } => {
+                    eprintln!("figures agent: coordinator rejected this agent: {reason}");
+                    Flow::Exit(1)
+                }
+                Msg::Job { attempt, job_id } => self.handle_job(attempt, job_id, w),
+                Msg::Exit => {
+                    eprintln!("figures agent: sweep complete");
+                    Flow::Exit(0)
+                }
+                other => {
+                    eprintln!("figures agent: coordinator sent an agent-only message {other:?}");
+                    Flow::Reconnect
+                }
+            },
+            AEv::NetGone { why, .. } => {
+                eprintln!("figures agent: connection lost: {why}");
+                Flow::Reconnect
+            }
+            AEv::WLine { slot, gen, line } => self.handle_worker_line(slot, gen, &line, w),
+            AEv::WEof { slot, gen } => {
+                if self.pool.slots[slot].gen != gen {
+                    return Flow::Continue;
+                }
+                if let Some(child) = self.pool.slots[slot].child.as_mut() {
+                    let _ = child.wait();
+                }
+                self.pool.slots[slot].child = None;
+                self.pool.slots[slot].stdin = None;
+                self.pool.slots[slot].gen += 1;
+                match self.pool.slots[slot].busy.take() {
+                    Some(job_id) => self.send_fail(w, &job_id, "worker exited mid-run"),
+                    None => Flow::Continue,
+                }
+            }
+        }
+    }
+
+    fn handle_job(&mut self, attempt: u32, job_id: String, w: &mut TcpStream) -> Flow {
+        // Always refresh the attempt index: a re-dispatch of work
+        // already running here must key later fault rules (and FAIL
+        // reports) on the coordinator's current attempt.
+        self.attempts.insert(job_id.clone(), attempt);
+        if stop_requested() {
+            return self.send_fail(w, &job_id, "agent is draining");
+        }
+        let job = match parse_job_id(&job_id) {
+            Ok(payload) => Job {
+                id: job_id.clone(),
+                payload,
+            },
+            Err(e) => return self.send_fail(w, &job_id, &format!("unusable job id: {e}")),
+        };
+        if load_existing_partial(&job).is_some() {
+            // Finished during an earlier connection (or an earlier
+            // sweep in this directory): answer from disk.
+            return self.send_done(w, &job_id);
+        }
+        if self.pool.is_running(&job_id) || self.backlog.contains(&job_id) {
+            return Flow::Continue; // duplicate lease; work is already on its way
+        }
+        match self.pool.acquire_idle() {
+            Some(si) => {
+                if self.pool.run(si, attempt, &job_id) {
+                    Flow::Continue
+                } else {
+                    self.pool.kill(si);
+                    self.send_fail(w, &job_id, "worker pipe failed")
+                }
+            }
+            None => {
+                self.backlog.push_back(job_id);
+                Flow::Continue
+            }
+        }
+    }
+
+    fn handle_worker_line(&mut self, si: usize, gen: u64, line: &str, w: &mut TcpStream) -> Flow {
+        if self.pool.slots[si].gen != gen {
+            return Flow::Continue;
+        }
+        match parse_frame(line) {
+            Err(bad) => self.babble(si, w, &format!("unparseable frame {bad:?}")),
+            Ok(Frame::Hello { .. }) | Ok(Frame::Bye) => Flow::Continue,
+            Ok(Frame::Hb { progress, .. }) => {
+                let slot = &mut self.pool.slots[si];
+                if progress == slot.progress {
+                    return Flow::Continue;
+                }
+                slot.progress = progress;
+                match slot.busy.clone() {
+                    // Forward only *changing* progress: the coordinator
+                    // renews the lease on change, so a hung worker
+                    // still blows its lease deadline upstream.
+                    Some(job_id) => self.send(w, &Msg::Hb { job_id, progress }),
+                    None => Flow::Continue,
+                }
+            }
+            Ok(Frame::Ok { job_id }) => {
+                if self.pool.slots[si].busy.as_deref() != Some(job_id.as_str()) {
+                    return self.babble(
+                        si,
+                        w,
+                        &format!("OK for a job it was not given ({job_id})"),
+                    );
+                }
+                self.pool.slots[si].busy = None;
+                match self.pull_backlog(w) {
+                    Flow::Continue => self.send_done(w, &job_id),
+                    other => other,
+                }
+            }
+            Ok(Frame::Err { job_id, message }) => {
+                if self.pool.slots[si].busy.as_deref() != Some(job_id.as_str()) {
+                    return self.babble(
+                        si,
+                        w,
+                        &format!("ERR for a job it was not given ({job_id})"),
+                    );
+                }
+                self.pool.slots[si].busy = None;
+                match self.pull_backlog(w) {
+                    Flow::Continue => self.send_fail(w, &job_id, &message),
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn babble(&mut self, si: usize, w: &mut TcpStream, what: &str) -> Flow {
+        eprintln!("figures agent: worker {si} is babbling: {what}; killing it");
+        let job = self.pool.slots[si].busy.clone();
+        self.pool.kill(si);
+        match job {
+            Some(job_id) => self.send_fail(w, &job_id, &format!("worker babbled: {what}")),
+            None => Flow::Continue,
+        }
+    }
+
+    /// Move backlogged jobs onto idle slots.
+    fn pull_backlog(&mut self, w: &mut TcpStream) -> Flow {
+        while !self.backlog.is_empty() {
+            let Some(si) = self.pool.acquire_idle() else {
+                return Flow::Continue;
+            };
+            let job_id = self.backlog.pop_front().expect("non-empty backlog");
+            let attempt = self.attempts.get(&job_id).copied().unwrap_or(0);
+            if !self.pool.run(si, attempt, &job_id) {
+                self.pool.kill(si);
+                match self.send_fail(w, &job_id, "worker pipe failed") {
+                    Flow::Continue => {}
+                    other => return other,
+                }
+            }
+        }
+        Flow::Continue
+    }
+
+    /// Upload a finished job's partial — or inject the planned network
+    /// fault at exactly this moment.
+    fn send_done(&mut self, w: &mut TcpStream, job_id: &str) -> Flow {
+        let partial = match std::fs::read_to_string(partial_path(job_id)) {
+            Ok(text) => text,
+            Err(e) => {
+                return self.send_fail(w, job_id, &format!("cannot read finished partial: {e}"))
+            }
+        };
+        let attempt = self.attempts.get(job_id).copied().unwrap_or(0);
+        let msg = Msg::Done {
+            job_id: job_id.to_string(),
+            partial,
+        };
+        match self.plan.net_fault_for(job_id, attempt) {
+            Some(FaultMode::NetDrop) => {
+                eprintln!(
+                    "figures agent: fault plan: dropping the connection instead of \
+                     sending {job_id} (attempt {attempt})"
+                );
+                let _ = w.shutdown(Shutdown::Both);
+                Flow::Reconnect
+            }
+            Some(FaultMode::NetTorn) => {
+                eprintln!(
+                    "figures agent: fault plan: tearing the result frame of {job_id} \
+                     (attempt {attempt})"
+                );
+                let _ = net::write_torn_frame(w, &net::encode(&msg));
+                let _ = w.shutdown(Shutdown::Both);
+                Flow::Reconnect
+            }
+            Some(FaultMode::NetGarbage) => {
+                eprintln!(
+                    "figures agent: fault plan: corrupting the result frame of {job_id} \
+                     (attempt {attempt})"
+                );
+                let _ = net::write_garbage_frame(w, &net::encode(&msg));
+                let _ = w.shutdown(Shutdown::Both);
+                Flow::Reconnect
+            }
+            Some(_) | None => self.send(w, &msg),
+        }
+    }
+
+    fn send_fail(&mut self, w: &mut TcpStream, job_id: &str, message: &str) -> Flow {
+        self.send(
+            w,
+            &Msg::Fail {
+                job_id: job_id.to_string(),
+                message: message.to_string(),
+            },
+        )
+    }
+
+    fn send(&mut self, w: &mut TcpStream, msg: &Msg) -> Flow {
+        if net::send(w, msg).is_err() {
+            Flow::Reconnect
+        } else {
+            Flow::Continue
+        }
+    }
+
+    /// Wait (disconnected) for in-flight jobs to finish and flush
+    /// their partials locally, consuming only worker events.
+    fn drain_pool_locally(&mut self, rx: &Receiver<AEv>) {
+        while self.pool.busy_count() > 0 {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(AEv::WLine { slot, gen, line }) => {
+                    if self.pool.slots[slot].gen != gen {
+                        continue;
+                    }
+                    match parse_frame(&line) {
+                        Ok(Frame::Ok { job_id }) | Ok(Frame::Err { job_id, .. })
+                            if self.pool.slots[slot].busy.as_deref() == Some(job_id.as_str()) =>
+                        {
+                            self.pool.slots[slot].busy = None;
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(AEv::WEof { slot, gen }) => {
+                    if self.pool.slots[slot].gen == gen {
+                        self.pool.slots[slot].child = None;
+                        self.pool.slots[slot].stdin = None;
+                        self.pool.slots[slot].busy = None;
+                    }
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+/// The `figures --agent <addr> --jobs N` entry point. Returns the
+/// process exit code (see the module docs for the contract).
+pub fn run(addr: &str, workers: usize) -> i32 {
+    install_signal_handlers();
+    let plan = match FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("figures agent: error: bad DCA_FAULT_PLAN: {e}");
+            return 1;
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("figures agent: cannot locate the figures binary: {e}");
+            return 1;
+        }
+    };
+    let config = net::config_token(&crate::Scale::from_env());
+    let workers = workers.max(1);
+    let window = retry_window();
+
+    let (tx, rx) = mpsc::channel();
+    let mut state = AgentState {
+        plan,
+        pool: Pool {
+            exe,
+            tx: tx.clone(),
+            slots: Vec::new(),
+            max: workers,
+        },
+        backlog: VecDeque::new(),
+        attempts: HashMap::new(),
+    };
+    let mut conn_gen: u64 = 0;
+    let mut keep_seq: u64 = 0;
+    let mut announced_drain = false;
+
+    let code = 'outer: loop {
+        // -- connect (with a bounded retry window) --------------------
+        let mut first_failure: Option<Instant> = None;
+        let stream = loop {
+            if stop_requested() {
+                // `break 'outer` follows, so no need to flip the flag.
+                if !announced_drain {
+                    eprintln!(
+                        "figures agent: stop requested; draining {} in-flight job(s)",
+                        state.pool.busy_count()
+                    );
+                }
+                state.drain_pool_locally(&rx);
+                break 'outer 130;
+            }
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    let since = *first_failure.get_or_insert_with(Instant::now);
+                    if since.elapsed() > window {
+                        eprintln!("figures agent: cannot reach coordinator {addr}: {e}");
+                        break 'outer 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+            }
+        };
+        conn_gen += 1;
+        let gen = conn_gen;
+        let _ = stream.set_nodelay(true);
+        let mut w = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        {
+            let tx = tx.clone();
+            let mut r = stream;
+            std::thread::spawn(move || loop {
+                match net::recv(&mut r) {
+                    Ok(msg) => {
+                        if tx.send(AEv::Net { gen, msg }).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(AEv::NetGone {
+                            gen,
+                            why: e.to_string(),
+                        });
+                        return;
+                    }
+                }
+            });
+        }
+        let hello = Msg::Hello {
+            pid: std::process::id(),
+            protocol: net::FABRIC_PROTOCOL.to_string(),
+            build: env!("CARGO_PKG_VERSION").to_string(),
+            config: config.clone(),
+            slots: workers,
+        };
+        if net::send(&mut w, &hello).is_err() {
+            continue; // the coordinator vanished between connect and HELLO
+        }
+        let mut welcomed = false;
+        let mut last_keepalive = Instant::now();
+
+        // -- session --------------------------------------------------
+        'session: loop {
+            let stopping = stop_requested();
+            if stopping && !announced_drain {
+                announced_drain = true;
+                eprintln!(
+                    "figures agent: stop requested; draining {} in-flight job(s)",
+                    state.pool.busy_count()
+                );
+                // Backlogged leases never started: hand them straight
+                // back instead of sitting on them.
+                while let Some(job_id) = state.backlog.pop_front() {
+                    if let Flow::Reconnect = state.send_fail(&mut w, &job_id, "agent is draining") {
+                        break 'session;
+                    }
+                }
+            }
+            if stopping && state.pool.busy_count() == 0 {
+                let _ = net::send(&mut w, &Msg::Bye);
+                break 'outer 130;
+            }
+
+            let first = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(ev) => Some(ev),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("the agent keeps its own sender alive")
+                }
+            };
+            let mut pending = first.into_iter().collect::<Vec<_>>();
+            while let Ok(ev) = rx.try_recv() {
+                pending.push(ev);
+            }
+            for ev in pending {
+                match state.handle(ev, gen, &mut w, &mut welcomed) {
+                    Flow::Continue => {}
+                    Flow::Reconnect => break 'session,
+                    Flow::Exit(code) => break 'outer code,
+                }
+            }
+
+            // Idle keepalive: a leaseless agent must still prove
+            // liveness or the coordinator reaps it as silent.
+            if welcomed && last_keepalive.elapsed() >= Duration::from_millis(1_000) {
+                keep_seq += 1;
+                let hb = Msg::Hb {
+                    job_id: "-".to_string(),
+                    progress: keep_seq,
+                };
+                if net::send(&mut w, &hb).is_err() {
+                    break 'session;
+                }
+                last_keepalive = Instant::now();
+            }
+        }
+        // Session lost: workers keep running; reconnect and let the
+        // coordinator re-lease (finished work answers from disk).
+    };
+    state.pool.shutdown();
+    code
+}

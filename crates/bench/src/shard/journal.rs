@@ -1,0 +1,278 @@
+//! The coordinator's write-ahead journal: an append-only newline-JSON
+//! log of job state transitions at `results/partials/fabric.journal`,
+//! so a `figures --serve` killed mid-sweep resumes exactly where it
+//! died.
+//!
+//! ## Discipline
+//!
+//! * **Dispatch is journaled before the `JOB` frame is written** (WAL
+//!   order): after a crash, every job that *might* have run somewhere
+//!   is charged its attempt on replay, so a lost completion costs a
+//!   retry instead of a double-count.
+//! * `complete` and `quarantine` records are appended when the
+//!   coordinator commits the transition (partial persisted / job given
+//!   up). On replay they mark the job done or restore its hole.
+//! * Records are one JSON object per line; a torn final line (the
+//!   coordinator died mid-append) is skipped, never fatal.
+//! * The journal is removed when a sweep finishes cleanly and kept
+//!   when it drains (exit 130), mirroring the partials' resume story.
+//!
+//! Replay is deliberately conservative: an in-flight dispatch with no
+//! matching completion counts as one consumed attempt even though the
+//! agent may never have received it. Partials on disk — not the
+//! journal — remain the source of truth for *results*; the journal
+//! only restores attempt counts and quarantine decisions, which is
+//! exactly the state the partials cannot carry.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::PathBuf;
+
+use super::json;
+
+/// Path of the coordinator journal (under
+/// [`partials_dir`](super::partials_dir)).
+pub fn journal_path() -> PathBuf {
+    super::partials_dir().join("fabric.journal")
+}
+
+/// One journaled transition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Job leased out (journaled *before* the frame is sent).
+    Dispatch {
+        /// The job id.
+        job: String,
+        /// 0-based attempt index of this dispatch.
+        attempt: u32,
+    },
+    /// Job's partial persisted and merged.
+    Complete {
+        /// The job id.
+        job: String,
+    },
+    /// Job given up on after `attempts` tries.
+    Quarantine {
+        /// The job id.
+        job: String,
+        /// Attempts consumed.
+        attempts: u32,
+        /// The last failure reason.
+        error: String,
+    },
+}
+
+/// Render one event as its journal line (no trailing newline).
+pub fn encode_event(ev: &Event) -> String {
+    match ev {
+        Event::Dispatch { job, attempt } => format!(
+            "{{\"ev\": \"dispatch\", \"job\": \"{}\", \"attempt\": {attempt}}}",
+            json::escape(job)
+        ),
+        Event::Complete { job } => {
+            format!(
+                "{{\"ev\": \"complete\", \"job\": \"{}\"}}",
+                json::escape(job)
+            )
+        }
+        Event::Quarantine {
+            job,
+            attempts,
+            error,
+        } => format!(
+            "{{\"ev\": \"quarantine\", \"job\": \"{}\", \"attempts\": {attempts}, \
+             \"error\": \"{}\"}}",
+            json::escape(job),
+            json::escape(error)
+        ),
+    }
+}
+
+/// Parse one journal line; `None` for a torn or foreign line.
+pub fn parse_event(line: &str) -> Option<Event> {
+    let v = json::parse(line).ok()?;
+    let job = v.get_str("job")?.to_string();
+    match v.get_str("ev")? {
+        "dispatch" => Some(Event::Dispatch {
+            job,
+            attempt: u32::try_from(v.get_u64("attempt")?).ok()?,
+        }),
+        "complete" => Some(Event::Complete { job }),
+        "quarantine" => Some(Event::Quarantine {
+            job,
+            attempts: u32::try_from(v.get_u64("attempts")?).ok()?,
+            error: v.get_str("error")?.to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// An open journal, appending one line per event.
+pub struct Journal {
+    file: std::fs::File,
+    /// First append error, reported once (a sick disk must not spam
+    /// a line per job).
+    complained: bool,
+}
+
+impl Journal {
+    /// Open (creating as needed) the journal for appending.
+    pub fn open() -> Result<Journal, String> {
+        let path = journal_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        Ok(Journal {
+            file,
+            complained: false,
+        })
+    }
+
+    /// Append one event. Best-effort: an append failure weakens resume
+    /// (a re-started coordinator re-runs more) but must not kill a
+    /// live sweep, so it is logged rather than propagated.
+    pub fn append(&mut self, ev: &Event) {
+        let line = encode_event(ev);
+        if let Err(e) = writeln!(self.file, "{line}").and_then(|()| self.file.flush()) {
+            if !self.complained {
+                self.complained = true;
+                eprintln!("figures: fabric: warning: cannot append to the journal: {e}");
+            }
+        }
+    }
+}
+
+/// The state a journal replay reconstructs.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// job id → attempts already consumed (next dispatch uses this
+    /// as its 0-based attempt index).
+    pub attempts: HashMap<String, u32>,
+    /// Jobs whose completion was journaled.
+    pub completed: HashSet<String>,
+    /// Quarantine decisions, in journal order: `(job, attempts, error)`.
+    pub quarantined: Vec<(String, u32, String)>,
+}
+
+/// Fold journal lines into a [`Replay`] (pure; the file wrapper is
+/// [`replay`]).
+pub fn replay_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Replay {
+    let mut r = Replay::default();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_event(line) {
+            Some(Event::Dispatch { job, attempt }) => {
+                let used = attempt.saturating_add(1);
+                let e = r.attempts.entry(job).or_insert(0);
+                *e = (*e).max(used);
+            }
+            Some(Event::Complete { job }) => {
+                r.completed.insert(job);
+            }
+            Some(Event::Quarantine {
+                job,
+                attempts,
+                error,
+            }) => {
+                r.quarantined.retain(|(j, _, _)| *j != job);
+                r.quarantined.push((job, attempts, error));
+            }
+            // Torn tail or foreign garbage: resume with what parsed.
+            None => {}
+        }
+    }
+    r
+}
+
+/// Replay the on-disk journal (empty state when absent/unreadable).
+pub fn replay() -> Replay {
+    match std::fs::read_to_string(journal_path()) {
+        Ok(text) => replay_lines(text.lines()),
+        Err(_) => Replay::default(),
+    }
+}
+
+/// Remove the journal (sweep finished cleanly).
+pub fn remove() {
+    let _ = std::fs::remove_file(journal_path());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip() {
+        let evs = [
+            Event::Dispatch {
+                job: "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_m1".to_string(),
+                attempt: 2,
+            },
+            Event::Complete {
+                job: "al_x".to_string(),
+            },
+            Event::Quarantine {
+                job: "al_x".to_string(),
+                attempts: 3,
+                error: "worker babbled: \"quoted\"".to_string(),
+            },
+        ];
+        for ev in evs {
+            assert_eq!(parse_event(&encode_event(&ev)), Some(ev.clone()), "{ev:?}");
+        }
+        assert_eq!(
+            parse_event("{\"ev\": \"later-schema\", \"job\": \"x\"}"),
+            None
+        );
+        assert_eq!(parse_event("{\"ev\": \"dispatch\", \"job\": \"x\"}"), None);
+        assert_eq!(parse_event("not json"), None);
+    }
+
+    #[test]
+    fn replay_restores_attempts_completions_and_quarantine() {
+        let a = Event::Dispatch {
+            job: "a".to_string(),
+            attempt: 0,
+        };
+        let a1 = Event::Dispatch {
+            job: "a".to_string(),
+            attempt: 1,
+        };
+        let b = Event::Dispatch {
+            job: "b".to_string(),
+            attempt: 0,
+        };
+        let bq = Event::Quarantine {
+            job: "b".to_string(),
+            attempts: 3,
+            error: "gave up".to_string(),
+        };
+        let c = Event::Complete {
+            job: "c".to_string(),
+        };
+        let lines: Vec<String> = [&a, &a1, &b, &bq, &c]
+            .iter()
+            .map(|e| encode_event(e))
+            .collect();
+        // A torn final line (crash mid-append) is skipped, not fatal.
+        let mut text = lines.join("\n");
+        text.push_str("\n{\"ev\": \"disp");
+        let r = replay_lines(text.lines());
+        assert_eq!(r.attempts.get("a"), Some(&2), "max(attempt)+1");
+        assert_eq!(r.attempts.get("b"), Some(&1));
+        assert!(r.completed.contains("c"));
+        assert_eq!(
+            r.quarantined,
+            vec![("b".to_string(), 3, "gave up".to_string())]
+        );
+    }
+}

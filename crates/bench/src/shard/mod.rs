@@ -66,9 +66,37 @@
 //! same [`PartialStore`], so both modes share one code path from raw
 //! reports to rendered tables — the bit-identity guarantee the tests
 //! lock holds under every injected fault.
+//!
+//! ## Sweep fabric
+//!
+//! `figures --serve <addr>` lifts the same job service onto TCP (the
+//! [`fabric`] facade): remote `figures --agent <addr> --jobs N`
+//! processes authenticate with a build+config HELLO and drain jobs
+//! through their own local pools, while the coordinator holds
+//! lease-based ownership (a silent or disconnected agent forfeits its
+//! leases back into the retry machinery), journals every transition to
+//! a write-ahead log for kill/restart resume, and verifies every
+//! partial twice — a digest trailer on the wire and
+//! [`decode_partial`] on arrival. Because partials are byte-exact and
+//! content-addressed by job id, the fabric's at-least-once delivery
+//! collapses to exactly-once results: a duplicate completion is a
+//! verified-idempotent merge.
 
+pub mod agent;
+pub mod journal;
+pub mod net;
 pub mod pool;
+pub mod server;
 pub mod supervisor;
+
+/// The multi-host sweep fabric, one facade over its four layers:
+/// [`net`] (verified framing + message grammar), [`journal`] (the
+/// coordinator's write-ahead log), [`server`] (`figures --serve`,
+/// lease-based dispatch) and [`agent`] (`figures --agent`, a remote
+/// front-end to the local worker pool).
+pub mod fabric {
+    pub use super::{agent, journal, net, server};
+}
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -755,7 +783,7 @@ pub fn partial_path(job_id: &str) -> PathBuf {
     partials_dir().join(format!("{job_id}.json"))
 }
 
-fn write_partial_atomic(job_id: &str, text: &str) -> std::io::Result<()> {
+pub(crate) fn write_partial_atomic(job_id: &str, text: &str) -> std::io::Result<()> {
     let path = partial_path(job_id);
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -813,6 +841,16 @@ pub struct PartialStore {
 }
 
 impl PartialStore {
+    /// Fold every result of `other` into `self` (the fabric's local
+    /// fallback merges a nested supervisor run this way). Both sides
+    /// were built from validated partials keyed by job id, so a
+    /// duplicate key carries identical bytes and the overwrite is
+    /// idempotent.
+    pub fn merge(&mut self, other: PartialStore) {
+        self.eval.extend(other.eval);
+        self.alone.extend(other.alone);
+    }
+
     /// Record one finished job.
     pub fn insert(&mut self, job: &Job, result: JobResult) {
         match (&job.payload, result) {

@@ -1,0 +1,486 @@
+//! Verified framing for the sweep fabric: length-prefixed,
+//! digest-trailed byte frames over any `Read`/`Write` pair, plus the
+//! coordinator↔agent message grammar that rides inside them.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌───────────────┬──────────────────┬──────────────────────────┐
+//! │ len: u32 BE   │ payload (len B)  │ digest64(payload): u64 BE │
+//! └───────────────┴──────────────────┴──────────────────────────┘
+//! ```
+//!
+//! The digest trailer makes the transport *verified*: a frame whose
+//! trailer does not match its payload (bit rot, a lying middlebox, an
+//! injected `garbage-frame` fault) is rejected as [`RecvError::Garbage`]
+//! without ever being parsed, and a connection that dies mid-frame
+//! surfaces as [`RecvError::Torn`] rather than a silently short read.
+//! Clean EOF exactly on a frame boundary is [`RecvError::Closed`].
+//!
+//! ## Messages
+//!
+//! A frame's payload is a UTF-8 header line, optionally followed by
+//! `\n` and a body (only `DONE` has one — the partial's JSON text,
+//! byte-exact as staged on the agent's disk, so the coordinator can
+//! re-validate it with [`decode_partial`](super::decode_partial) and
+//! write it atomically unchanged):
+//!
+//! ```text
+//! agent → coordinator
+//!   HELLO <pid> <protocol> <build> <config> <slots>
+//!   HB <job_id|-> <progress>      lease renewal; "-" is an idle
+//!                                 keepalive (progress = a counter)
+//!   DONE <job_id>\n<partial…>     finished job + its partial bytes
+//!   FAIL <job_id> <message>       job failed on the agent
+//!   BYE                           draining; leases may be re-dispatched
+//!
+//! coordinator → agent
+//!   WELCOME                       HELLO accepted
+//!   REJECT <reason>               HELLO refused; agent exits 1
+//!   JOB <attempt> <job_id>        lease one job to the agent
+//!   EXIT                          sweep complete; agent exits 0
+//! ```
+//!
+//! `HELLO` authenticates the pairing: `<protocol>` must equal
+//! [`FABRIC_PROTOCOL`], `<build>` the coordinator's crate version, and
+//! `<config>` the [`config_token`] of the coordinator's scale — a
+//! fabric quietly mixing binaries or `DCA_INSTS` values would merge
+//! partials that are *valid* but from a different experiment, which
+//! byte-identity can never survive.
+
+use std::io::{Read, Write};
+
+use dca_sim_core::digest64;
+
+/// Fabric protocol tag carried by `HELLO` (distinct from the worker
+/// pipe protocol's `v1`).
+pub const FABRIC_PROTOCOL: &str = "fabric-v1";
+
+/// Upper bound on a frame payload; anything larger is [`RecvError::Garbage`]
+/// (a real partial is a few KiB — a huge length prefix means a corrupt
+/// or hostile peer, and must not trigger a giant allocation).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why a frame could not be received.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// Clean EOF exactly on a frame boundary.
+    Closed,
+    /// The stream died mid-frame (EOF or I/O error inside one).
+    Torn(String),
+    /// The frame is self-inconsistent: oversized/zero length prefix or
+    /// a digest trailer that does not match the payload.
+    Garbage(String),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed"),
+            RecvError::Torn(e) => write!(f, "torn frame: {e}"),
+            RecvError::Garbage(e) => write!(f, "garbage frame: {e}"),
+        }
+    }
+}
+
+/// Write one verified frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&digest64(payload).to_be_bytes())?;
+    w.flush()
+}
+
+/// Write a deliberately truncated frame (the `torn` network fault): a
+/// correct length prefix, then only half the payload, then nothing.
+pub fn write_torn_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&payload[..payload.len() / 2])?;
+    w.flush()
+}
+
+/// Write a frame whose digest trailer lies (the `garbage-frame` fault).
+pub fn write_garbage_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&(digest64(payload) ^ 0x5a5a_5a5a_5a5a_5a5a).to_be_bytes())?;
+    w.flush()
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], started: bool) -> Result<(), RecvError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && !started {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Torn("EOF mid-frame".to_string()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(RecvError::Torn(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Read and verify one frame, returning its payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, RecvError> {
+    let mut len = [0u8; 4];
+    read_exact_or(r, &mut len, false)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(RecvError::Garbage(format!(
+            "length prefix {len} outside (0, {MAX_FRAME}]"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, true)?;
+    let mut trailer = [0u8; 8];
+    read_exact_or(r, &mut trailer, true)?;
+    let want = u64::from_be_bytes(trailer);
+    let got = digest64(&payload);
+    if want != got {
+        return Err(RecvError::Garbage(format!(
+            "digest trailer {want:#018x} != digest64(payload) {got:#018x}"
+        )));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// One fabric message (see the module docs for the grammar and
+/// direction of each variant).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Agent introduction + authentication.
+    Hello {
+        /// Agent process id (log decoration only).
+        pid: u32,
+        /// Must equal [`FABRIC_PROTOCOL`].
+        protocol: String,
+        /// Must equal the coordinator's crate version.
+        build: String,
+        /// Must equal the coordinator's [`config_token`].
+        config: String,
+        /// Concurrent jobs the agent will accept.
+        slots: usize,
+    },
+    /// HELLO accepted.
+    Welcome,
+    /// HELLO refused; the reason is human-facing.
+    Reject {
+        /// Why the agent was turned away.
+        reason: String,
+    },
+    /// Lease one job to the agent.
+    Job {
+        /// 0-based attempt index (fault plans key on it).
+        attempt: u32,
+        /// The job to run.
+        job_id: String,
+    },
+    /// Lease renewal / idle keepalive (`job_id == "-"`).
+    Hb {
+        /// The leased job, or `-` when idle.
+        job_id: String,
+        /// Monotonic work counter (same basis as the pool protocol).
+        progress: u64,
+    },
+    /// Finished job; `partial` is the partial file's exact text.
+    Done {
+        /// The finished job.
+        job_id: String,
+        /// Byte-exact partial JSON.
+        partial: String,
+    },
+    /// The agent could not finish the job.
+    Fail {
+        /// The failed job.
+        job_id: String,
+        /// One-line failure description.
+        message: String,
+    },
+    /// Sweep complete; the agent should exit 0.
+    Exit,
+    /// The agent is draining; its leases may be re-dispatched.
+    Bye,
+}
+
+/// Serialise a message into a frame payload.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    // Headers are single lines: fold any stray newlines in free-text
+    // fields rather than corrupt the grammar.
+    let line = |s: &str| s.replace('\n', "; ");
+    match msg {
+        Msg::Hello {
+            pid,
+            protocol,
+            build,
+            config,
+            slots,
+        } => format!("HELLO {pid} {protocol} {build} {config} {slots}").into_bytes(),
+        Msg::Welcome => b"WELCOME".to_vec(),
+        Msg::Reject { reason } => format!("REJECT {}", line(reason)).into_bytes(),
+        Msg::Job { attempt, job_id } => format!("JOB {attempt} {job_id}").into_bytes(),
+        Msg::Hb { job_id, progress } => format!("HB {job_id} {progress}").into_bytes(),
+        Msg::Done { job_id, partial } => format!("DONE {job_id}\n{partial}").into_bytes(),
+        Msg::Fail { job_id, message } => format!("FAIL {job_id} {}", line(message)).into_bytes(),
+        Msg::Exit => b"EXIT".to_vec(),
+        Msg::Bye => b"BYE".to_vec(),
+    }
+}
+
+/// Parse a frame payload back into a [`Msg`].
+pub fn decode(payload: &[u8]) -> Result<Msg, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let (head, body) = match text.split_once('\n') {
+        Some((h, b)) => (h, Some(b)),
+        None => (text, None),
+    };
+    let mut it = head.splitn(2, ' ');
+    let verb = it.next().unwrap_or("");
+    let rest = it.next().unwrap_or("");
+    if body.is_some() && verb != "DONE" {
+        return Err(format!("{verb} carries an unexpected body"));
+    }
+    let bad = || format!("malformed {verb} header {head:?}");
+    match verb {
+        "HELLO" => {
+            let f: Vec<&str> = rest.split(' ').collect();
+            let [pid, protocol, build, config, slots] = f[..] else {
+                return Err(bad());
+            };
+            Ok(Msg::Hello {
+                pid: pid.parse().map_err(|_| bad())?,
+                protocol: protocol.to_string(),
+                build: build.to_string(),
+                config: config.to_string(),
+                slots: slots.parse().map_err(|_| bad())?,
+            })
+        }
+        "WELCOME" if rest.is_empty() => Ok(Msg::Welcome),
+        "REJECT" => Ok(Msg::Reject {
+            reason: if rest.is_empty() {
+                "(no reason)".to_string()
+            } else {
+                rest.to_string()
+            },
+        }),
+        "JOB" => {
+            let (attempt, job_id) = rest.split_once(' ').ok_or_else(bad)?;
+            if job_id.is_empty() || job_id.contains(' ') {
+                return Err(bad());
+            }
+            Ok(Msg::Job {
+                attempt: attempt.parse().map_err(|_| bad())?,
+                job_id: job_id.to_string(),
+            })
+        }
+        "HB" => {
+            let (job_id, progress) = rest.split_once(' ').ok_or_else(bad)?;
+            if job_id.is_empty() || job_id.contains(' ') {
+                return Err(bad());
+            }
+            Ok(Msg::Hb {
+                job_id: job_id.to_string(),
+                progress: progress.parse().map_err(|_| bad())?,
+            })
+        }
+        "DONE" => {
+            if rest.is_empty() || rest.contains(' ') {
+                return Err(bad());
+            }
+            Ok(Msg::Done {
+                job_id: rest.to_string(),
+                partial: body
+                    .ok_or_else(|| "DONE without a partial body".to_string())?
+                    .to_string(),
+            })
+        }
+        "FAIL" => {
+            let mut f = rest.splitn(2, ' ');
+            let job_id = f.next().filter(|j| !j.is_empty()).ok_or_else(bad)?;
+            Ok(Msg::Fail {
+                job_id: job_id.to_string(),
+                message: f.next().unwrap_or("(no message)").to_string(),
+            })
+        }
+        "EXIT" if rest.is_empty() => Ok(Msg::Exit),
+        "BYE" if rest.is_empty() => Ok(Msg::Bye),
+        _ => Err(format!("unknown message {head:?}")),
+    }
+}
+
+/// Send one message as a verified frame.
+pub fn send(w: &mut impl Write, msg: &Msg) -> std::io::Result<()> {
+    write_frame(w, &encode(msg))
+}
+
+/// Receive one message from a verified frame.
+pub fn recv(r: &mut impl Read) -> Result<Msg, RecvError> {
+    let payload = read_frame(r)?;
+    decode(&payload).map_err(RecvError::Garbage)
+}
+
+/// The configuration fingerprint an agent must present in `HELLO`:
+/// a digest over everything that changes what a job id *means* —
+/// the scale knobs and the partial schema. Two processes with equal
+/// tokens produce byte-identical partials for the same job id.
+pub fn config_token(scale: &crate::Scale) -> String {
+    let text = format!(
+        "insts={}|warmup={}|mixes={:?}|schema={}",
+        scale.insts,
+        scale.warmup,
+        scale.mixes,
+        super::PARTIAL_SCHEMA
+    );
+    format!("{:016x}", digest64(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_and_close_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"HELLO 1 fabric-v1").expect("write");
+        write_frame(&mut buf, b"WELCOME").expect("write");
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).expect("frame 1"), b"HELLO 1 fabric-v1");
+        assert_eq!(read_frame(&mut r).expect("frame 2"), b"WELCOME");
+        assert_eq!(read_frame(&mut r), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn torn_and_garbage_frames_are_told_apart() {
+        let mut torn = Vec::new();
+        write_torn_frame(&mut torn, b"DONE al_x\n{}").expect("write");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(torn)),
+            Err(RecvError::Torn(_))
+        ));
+
+        let mut lying = Vec::new();
+        write_garbage_frame(&mut lying, b"DONE al_x\n{}").expect("write");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(lying)),
+            Err(RecvError::Garbage(_))
+        ));
+
+        // EOF inside the digest trailer is torn, not closed.
+        let mut short = Vec::new();
+        write_frame(&mut short, b"BYE").expect("write");
+        short.truncate(short.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(short)),
+            Err(RecvError::Torn(_))
+        ));
+
+        // An absurd length prefix is garbage before any allocation.
+        let huge = ((MAX_FRAME as u32) + 1).to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(huge)),
+            Err(RecvError::Garbage(_))
+        ));
+        let zero = 0u32.to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(zero)),
+            Err(RecvError::Garbage(_))
+        ));
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let msgs = [
+            Msg::Hello {
+                pid: 42,
+                protocol: FABRIC_PROTOCOL.to_string(),
+                build: "0.1.0".to_string(),
+                config: "00ff00ff00ff00ff".to_string(),
+                slots: 8,
+            },
+            Msg::Welcome,
+            Msg::Reject {
+                reason: "build mismatch".to_string(),
+            },
+            Msg::Job {
+                attempt: 2,
+                job_id: "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_m1".to_string(),
+            },
+            Msg::Hb {
+                job_id: "-".to_string(),
+                progress: 17,
+            },
+            Msg::Done {
+                job_id: "al_x".to_string(),
+                partial: "{\n  \"schema\": 1\n}\n".to_string(),
+            },
+            Msg::Fail {
+                job_id: "al_x".to_string(),
+                message: "worker exited mid-run".to_string(),
+            },
+            Msg::Exit,
+            Msg::Bye,
+        ];
+        for msg in msgs {
+            assert_eq!(decode(&encode(&msg)).expect("decode"), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn bad_messages_are_rejected() {
+        for bad in [
+            &b""[..],
+            b"NOPE",
+            b"HELLO 1 fabric-v1",
+            b"HELLO x fabric-v1 0.1.0 aa 2",
+            b"WELCOME now",
+            b"JOB 1",
+            b"JOB x al_y",
+            b"JOB 1 two ids",
+            b"HB -",
+            b"HB - x",
+            b"DONE",
+            b"DONE al_x",
+            b"EXIT 0",
+            b"BYE bye",
+            b"WELCOME\nbody",
+            b"\xff\xfe",
+        ] {
+            assert!(decode(bad).is_err(), "{:?} must not decode", bad);
+        }
+    }
+
+    #[test]
+    fn newlines_in_free_text_cannot_corrupt_headers() {
+        let msg = Msg::Fail {
+            job_id: "al_x".to_string(),
+            message: "line one\nline two".to_string(),
+        };
+        match decode(&encode(&msg)).expect("decode") {
+            Msg::Fail { message, .. } => assert_eq!(message, "line one; line two"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_token_tracks_the_scale() {
+        let a = crate::Scale {
+            insts: 1_000,
+            warmup: 2_000,
+            mixes: vec![1, 2],
+        };
+        let mut b = a.clone();
+        assert_eq!(config_token(&a), config_token(&b));
+        b.insts = 1_001;
+        assert_ne!(config_token(&a), config_token(&b));
+    }
+}

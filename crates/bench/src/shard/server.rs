@@ -1,0 +1,789 @@
+//! Coordinator side of the sweep fabric: `figures --serve <addr>`.
+//!
+//! The server owns the job queue and leases work to authenticated
+//! agents over [`net`] frames. Robustness is layered:
+//!
+//! * **Leases.** A dispatched job is owned by exactly one connection
+//!   and its lease is renewed by forwarded worker heartbeats. A lease
+//!   with no progress inside `DCA_JOB_TIMEOUT_MS`, an agent silent for
+//!   `DCA_HEARTBEAT_TIMEOUT_MS`, or any disconnect/torn/garbage frame
+//!   forfeits the lease: the job re-enters the PR-6 retry machinery
+//!   (deterministic backoff, `DCA_JOB_ATTEMPTS`, quarantine). This is
+//!   at-least-once dispatch — safe because partials are byte-exact and
+//!   content-addressed by job id, so a duplicate completion merges
+//!   idempotently.
+//! * **Write-ahead journal.** Every dispatch/complete/quarantine
+//!   transition is appended to [`journal`] before it takes effect, so
+//!   a coordinator killed mid-sweep and restarted resumes with attempt
+//!   counts and quarantine decisions intact (partials on disk already
+//!   carry the results).
+//! * **Verified transport.** Completions arrive as digest-trailed
+//!   frames and the partial text is re-validated with
+//!   [`decode_partial`](super::decode_partial) before it is persisted
+//!   (atomically) and merged — a lying frame costs the connection, not
+//!   the sweep.
+//! * **Graceful degradation.** SIGINT drains leases and exits 130
+//!   (resumable); a fabric with zero live agents for
+//!   `DCA_FABRIC_GRACE_MS` (default 3000) falls back to running the
+//!   remainder on local pool workers, so `--serve` is never weaker
+//!   than `--jobs`.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use super::journal::{Event as Jev, Journal};
+use super::net::{self, Msg, RecvError};
+use super::supervisor::{
+    retry_delay, stop_requested, write_quarantine, Outcome, PoolConfig, PoolStats, Quarantined,
+    Supervisor,
+};
+use super::{decode_partial, load_existing_partial, write_partial_atomic, Job, PartialStore};
+
+/// How long a fabric may sit with zero live agents and undone work
+/// before the coordinator falls back to local workers
+/// (`DCA_FABRIC_GRACE_MS`, default 3000).
+fn fabric_grace() -> Duration {
+    let ms = std::env::var("DCA_FABRIC_GRACE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(3_000);
+    Duration::from_millis(ms)
+}
+
+/// Events flowing from per-connection reader threads (and the accept
+/// thread) into the control loop.
+enum Ev {
+    /// A new TCP connection.
+    Conn(TcpStream),
+    /// One decoded message from connection `conn`.
+    Msg { conn: u64, msg: Msg },
+    /// Connection `conn` is unusable (EOF, torn or garbage frame,
+    /// undecodable message).
+    Gone { conn: u64, why: String },
+}
+
+/// One connected agent.
+struct AgentConn {
+    stream: TcpStream,
+    peer: String,
+    /// Concurrent jobs granted (0 until HELLO is accepted).
+    slots: usize,
+    /// HELLO accepted.
+    ready: bool,
+    /// Leases currently held.
+    leases: usize,
+    /// Last frame of any kind (heartbeat-silence basis).
+    last_frame_at: Instant,
+}
+
+/// One leased job.
+struct Lease {
+    job: Job,
+    attempt: u32,
+    conn: u64,
+    /// Last forwarded `progress` value.
+    progress: u64,
+    /// When `progress` last changed (job-deadline basis).
+    progress_at: Instant,
+    since: Instant,
+}
+
+/// Run `jobs` over the fabric, serving on `addr`. `local_workers`
+/// sizes the zero-agent fallback pool. Hard `Err` only for
+/// environment-level failures (cannot bind, cannot journal); per-job
+/// failures land in [`Outcome::quarantined`].
+pub fn serve_run(
+    addr: &str,
+    jobs: &[Job],
+    local_workers: usize,
+    scale: &crate::Scale,
+) -> Result<Outcome, String> {
+    let cfg = PoolConfig::from_env(local_workers);
+    let expected_config = net::config_token(scale);
+    let replay = super::journal::replay();
+
+    let mut state = ServeState {
+        cfg: &cfg,
+        expected_config,
+        journal: None,
+        by_id: jobs.iter().map(|j| (j.id.clone(), j.clone())).collect(),
+        queue: VecDeque::new(),
+        delayed: Vec::new(),
+        agents: HashMap::new(),
+        leases: HashMap::new(),
+        completed: HashSet::new(),
+        store: PartialStore::default(),
+        stats: PoolStats::default(),
+        quarantined: Vec::new(),
+        drained: false,
+        last_agent_at: Instant::now(),
+    };
+
+    for job in jobs {
+        if let Some(result) = load_existing_partial(job) {
+            state.completed.insert(job.id.clone());
+            state.store.insert(job, result);
+            state.stats.reused += 1;
+        } else if let Some((_, attempts, error)) =
+            replay.quarantined.iter().find(|(id, _, _)| *id == job.id)
+        {
+            // A quarantine decision is final within a sweep; restore
+            // the hole instead of burning attempts again.
+            state.stats.quarantined += 1;
+            state.quarantined.push(Quarantined {
+                job_id: job.id.clone(),
+                attempts: *attempts,
+                error: error.clone(),
+                stderr: vec![],
+            });
+        } else {
+            let attempt = replay.attempts.get(&job.id).copied().unwrap_or(0);
+            state.queue.push_back((job.clone(), attempt));
+        }
+    }
+
+    if state.queue.is_empty() {
+        // Everything reused or pre-quarantined: never open a port for
+        // nothing.
+        write_quarantine(&state.quarantined)?;
+        super::journal::remove();
+        return Ok(state.into_outcome());
+    }
+
+    state.journal = Some(Journal::open()?);
+    let listener = bind_with_retry(addr)?;
+    eprintln!(
+        "figures: fabric: serving {} job(s) on {}",
+        state.queue.len(),
+        listener
+            .local_addr()
+            .map_or_else(|_| addr.to_string(), |a| a.to_string())
+    );
+
+    let (tx, rx) = mpsc::channel();
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                if tx.send(Ev::Conn(stream)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+
+    state.control_loop(&tx, &rx)?;
+    state.shutdown_agents();
+    write_quarantine(&state.quarantined)?;
+    if state.drained {
+        // Keep the journal: a re-run resumes attempt counts exactly.
+        eprintln!("figures: fabric: drained; journal kept for resume");
+    } else {
+        super::journal::remove();
+    }
+    Ok(state.into_outcome())
+}
+
+/// Bind one resolved address with `SO_REUSEADDR`, so a restarted
+/// coordinator reclaims its port while its previous life's accepted
+/// connections still sit in TIME_WAIT (up to a minute on Linux).
+/// `std::net` offers no way to set the option before binding, so this
+/// goes through raw libc calls in the same spirit as
+/// `install_signal_handlers`; non-Linux targets and IPv6 addresses
+/// fall back to a plain bind and lean on the retry loop in
+/// [`bind_with_retry`].
+fn bind_reuse(sa: &std::net::SocketAddr) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    if let std::net::SocketAddr::V4(v4) = sa {
+        use std::os::fd::FromRawFd;
+        extern "C" {
+            fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+            fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+            fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+            fn listen(fd: i32, backlog: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+        const AF_INET: i32 = 2;
+        const SOCK_STREAM: i32 = 1;
+        const SOL_SOCKET: i32 = 1;
+        const SO_REUSEADDR: i32 = 2;
+        // struct sockaddr_in: family, big-endian port, big-endian
+        // address, 8 bytes of padding.
+        let mut sin = [0u8; 16];
+        sin[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+        sin[2..4].copy_from_slice(&v4.port().to_be_bytes());
+        sin[4..8].copy_from_slice(&v4.ip().octets());
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM, 0);
+            if fd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            let one: i32 = 1;
+            let mut rc = setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4);
+            if rc == 0 {
+                rc = bind(fd, sin.as_ptr(), sin.len() as u32);
+            }
+            if rc == 0 {
+                rc = listen(fd, 64);
+            }
+            if rc != 0 {
+                let e = std::io::Error::last_os_error();
+                close(fd);
+                return Err(e);
+            }
+            return Ok(TcpListener::from_raw_fd(fd));
+        }
+    }
+    TcpListener::bind(sa)
+}
+
+/// Resolve and bind, retrying `EADDRINUSE` briefly — a coordinator
+/// restarted onto its old address may race lingering sockets from its
+/// previous life that `SO_REUSEADDR` alone cannot clear (a listener
+/// still shutting down, or a non-Linux fallback path).
+fn bind_with_retry(addr: &str) -> Result<TcpListener, String> {
+    use std::net::ToSocketAddrs;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut last: Option<std::io::Error> = None;
+        match addr.to_socket_addrs() {
+            Ok(addrs) => {
+                for sa in addrs {
+                    match bind_reuse(&sa) {
+                        Ok(l) => return Ok(l),
+                        Err(e) => last = Some(e),
+                    }
+                }
+            }
+            Err(e) => return Err(format!("cannot resolve {addr}: {e}")),
+        }
+        let e = last.ok_or_else(|| format!("{addr} resolves to no addresses"))?;
+        if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(200));
+        } else {
+            return Err(format!("cannot bind {addr}: {e}"));
+        }
+    }
+}
+
+/// All mutable state of one `serve_run` call.
+struct ServeState<'a> {
+    cfg: &'a PoolConfig,
+    expected_config: String,
+    journal: Option<Journal>,
+    by_id: HashMap<String, Job>,
+    queue: VecDeque<(Job, u32)>,
+    delayed: Vec<(Instant, Job, u32)>,
+    agents: HashMap<u64, AgentConn>,
+    leases: HashMap<String, Lease>,
+    completed: HashSet<String>,
+    store: PartialStore,
+    stats: PoolStats,
+    quarantined: Vec<Quarantined>,
+    drained: bool,
+    /// Last time any agent connected or disconnected (zero-agent grace
+    /// basis; restarts the clock so a reconnecting agent isn't raced
+    /// by the local fallback).
+    last_agent_at: Instant,
+}
+
+impl ServeState<'_> {
+    fn into_outcome(self) -> Outcome {
+        Outcome {
+            store: self.store,
+            stats: self.stats,
+            quarantined: self.quarantined,
+            drained: self.drained,
+        }
+    }
+
+    fn journal(&mut self, ev: Jev) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&ev);
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len() + self.delayed.len()
+    }
+
+    fn control_loop(&mut self, tx: &Sender<Ev>, rx: &Receiver<Ev>) -> Result<(), String> {
+        let grace = fabric_grace();
+        let mut next_conn: u64 = 1;
+        let mut announced_drain = false;
+        loop {
+            let stopping = stop_requested();
+            if stopping && !announced_drain {
+                announced_drain = true;
+                eprintln!(
+                    "figures: fabric: stop requested; draining {} leased job(s), then flushing",
+                    self.leases.len()
+                );
+            }
+
+            // Promote due retries.
+            let now = Instant::now();
+            let mut i = 0;
+            while i < self.delayed.len() {
+                if self.delayed[i].0 <= now {
+                    let (_, job, attempt) = self.delayed.remove(i);
+                    self.queue.push_back((job, attempt));
+                } else {
+                    i += 1;
+                }
+            }
+
+            if !stopping {
+                self.dispatch();
+                self.maybe_local_fallback(grace)?;
+            }
+
+            if self.leases.is_empty() && (stopping || self.pending() == 0) {
+                self.drained |= stopping && self.pending() > 0;
+                return Ok(());
+            }
+
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(ev) => self.handle_event(ev, tx, &mut next_conn),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("serve_run keeps its own sender alive")
+                }
+            }
+            while let Ok(ev) = rx.try_recv() {
+                self.handle_event(ev, tx, &mut next_conn);
+            }
+
+            self.check_liveness();
+        }
+    }
+
+    /// With no live agents, undone work, and the grace window spent,
+    /// run the remainder on local pool workers — a fabric nobody joins
+    /// must not be weaker than `--jobs`.
+    fn maybe_local_fallback(&mut self, grace: Duration) -> Result<(), String> {
+        if self.pending() == 0
+            || !self.leases.is_empty()
+            || self.agents.values().any(|a| a.ready)
+            || self.last_agent_at.elapsed() < grace
+        {
+            return Ok(());
+        }
+        let mut rest: Vec<(Job, u32)> = self.queue.drain(..).collect();
+        rest.extend(self.delayed.drain(..).map(|(_, j, a)| (j, a)));
+        eprintln!(
+            "figures: fabric: no live agents for {grace:?}; \
+             running {} remaining job(s) on local workers",
+            rest.len()
+        );
+        // The nested supervisor starts every job at attempt 0 (it has
+        // its own retry budget); journal the handoff so a killed
+        // coordinator still knows these jobs were dispatched.
+        for (job, attempt) in &rest {
+            self.journal(Jev::Dispatch {
+                job: job.id.clone(),
+                attempt: *attempt,
+            });
+        }
+        let jobs: Vec<Job> = rest.into_iter().map(|(j, _)| j).collect();
+        let out = Supervisor::with_config(self.cfg.clone()).run(&jobs)?;
+        for job in &jobs {
+            let failed = out.quarantined.iter().any(|q| q.job_id == job.id);
+            if !failed && self.completed.insert(job.id.clone()) {
+                self.journal(Jev::Complete {
+                    job: job.id.clone(),
+                });
+            }
+        }
+        for q in &out.quarantined {
+            self.journal(Jev::Quarantine {
+                job: q.job_id.clone(),
+                attempts: q.attempts,
+                error: q.error.clone(),
+            });
+        }
+        self.store.merge(out.store);
+        self.stats.run += out.stats.run;
+        self.stats.reused += out.stats.reused;
+        self.stats.retried += out.stats.retried;
+        self.stats.quarantined += out.stats.quarantined;
+        self.stats.respawns += out.stats.respawns;
+        self.quarantined.extend(out.quarantined);
+        self.drained |= out.drained;
+        Ok(())
+    }
+
+    /// Lease queued jobs to ready agents with free slots, most free
+    /// first (spreads load across hosts of unequal size).
+    fn dispatch(&mut self) {
+        while !self.queue.is_empty() {
+            let Some((&cid, _)) = self
+                .agents
+                .iter()
+                .filter(|(_, a)| a.ready && a.leases < a.slots)
+                .max_by_key(|(_, a)| a.slots - a.leases)
+            else {
+                return;
+            };
+            let (job, attempt) = self.queue.pop_front().expect("non-empty queue");
+            // WAL order: journal the dispatch before the frame can
+            // possibly reach an agent.
+            self.journal(Jev::Dispatch {
+                job: job.id.clone(),
+                attempt,
+            });
+            let msg = Msg::Job {
+                attempt,
+                job_id: job.id.clone(),
+            };
+            let agent = self.agents.get_mut(&cid).expect("agent just selected");
+            if net::send(&mut agent.stream, &msg).is_ok() {
+                agent.leases += 1;
+                let now = Instant::now();
+                self.leases.insert(
+                    job.id.clone(),
+                    Lease {
+                        job,
+                        attempt,
+                        conn: cid,
+                        progress: 0,
+                        progress_at: now,
+                        since: now,
+                    },
+                );
+            } else {
+                // The frame never left: the job keeps its attempt
+                // count; the connection's other leases are forfeited.
+                self.queue.push_front((job, attempt));
+                self.drop_conn(cid, "frame write failed", true);
+                return;
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Ev, tx: &Sender<Ev>, next_conn: &mut u64) {
+        match ev {
+            Ev::Conn(stream) => {
+                let cid = *next_conn;
+                *next_conn += 1;
+                let _ = stream.set_nodelay(true);
+                let peer = stream
+                    .peer_addr()
+                    .map_or_else(|_| "?".to_string(), |a| a.to_string());
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let mut read_half = read_half;
+                        loop {
+                            match net::recv(&mut read_half) {
+                                Ok(msg) => {
+                                    if tx.send(Ev::Msg { conn: cid, msg }).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(RecvError::Closed) => {
+                                    let _ = tx.send(Ev::Gone {
+                                        conn: cid,
+                                        why: "disconnected".to_string(),
+                                    });
+                                    return;
+                                }
+                                Err(e) => {
+                                    let _ = tx.send(Ev::Gone {
+                                        conn: cid,
+                                        why: e.to_string(),
+                                    });
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+                self.agents.insert(
+                    cid,
+                    AgentConn {
+                        stream,
+                        peer,
+                        slots: 0,
+                        ready: false,
+                        leases: 0,
+                        last_frame_at: Instant::now(),
+                    },
+                );
+                self.last_agent_at = Instant::now();
+            }
+            Ev::Msg { conn, msg } => self.handle_msg(conn, msg),
+            Ev::Gone { conn, why } => self.drop_conn(conn, &why, true),
+        }
+    }
+
+    fn handle_msg(&mut self, cid: u64, msg: Msg) {
+        {
+            let Some(agent) = self.agents.get_mut(&cid) else {
+                return; // stale reader of a dropped connection
+            };
+            agent.last_frame_at = Instant::now();
+        }
+        match msg {
+            Msg::Hello {
+                pid,
+                protocol,
+                build,
+                config,
+                slots,
+            } => self.handle_hello(cid, pid, &protocol, &build, &config, slots),
+            Msg::Hb { job_id, progress } => {
+                if job_id == "-" {
+                    return; // idle keepalive: last_frame_at is enough
+                }
+                if let Some(lease) = self.leases.get_mut(&job_id) {
+                    if lease.conn == cid && progress != lease.progress {
+                        lease.progress = progress;
+                        lease.progress_at = Instant::now();
+                    }
+                }
+            }
+            Msg::Done { job_id, partial } => self.handle_done(cid, &job_id, &partial),
+            Msg::Fail { job_id, message } => {
+                if self.leases.get(&job_id).is_some_and(|l| l.conn == cid) {
+                    let lease = self.release(&job_id).expect("lease just checked");
+                    self.fail_job(lease.job, lease.attempt, &message);
+                }
+                // A FAIL for a job this connection no longer owns is a
+                // stale report of a lease already forfeited: ignore.
+            }
+            Msg::Bye => self.drop_conn(cid, "said BYE (draining)", true),
+            Msg::Welcome | Msg::Reject { .. } | Msg::Job { .. } | Msg::Exit => {
+                self.drop_conn(cid, "sent a coordinator-only message", true);
+            }
+        }
+    }
+
+    /// Authenticate a `HELLO`: protocol, build and config token must
+    /// all match, or the fabric would merge valid-looking partials
+    /// from a different experiment.
+    fn handle_hello(
+        &mut self,
+        cid: u64,
+        pid: u32,
+        protocol: &str,
+        build: &str,
+        config: &str,
+        slots: usize,
+    ) {
+        let reason = if protocol != net::FABRIC_PROTOCOL {
+            Some(format!(
+                "protocol mismatch: agent {protocol}, coordinator {}",
+                net::FABRIC_PROTOCOL
+            ))
+        } else if build != env!("CARGO_PKG_VERSION") {
+            Some(format!(
+                "build mismatch: agent {build}, coordinator {}",
+                env!("CARGO_PKG_VERSION")
+            ))
+        } else if config != self.expected_config {
+            Some("config mismatch: agent and coordinator scales differ".to_string())
+        } else {
+            None
+        };
+        let Some(agent) = self.agents.get_mut(&cid) else {
+            return;
+        };
+        if let Some(reason) = reason {
+            eprintln!(
+                "figures: fabric: rejecting agent {} (pid {pid}): {reason}",
+                agent.peer
+            );
+            let _ = net::send(&mut agent.stream, &Msg::Reject { reason });
+            // No leases yet: drop without charging anything.
+            self.drop_conn(cid, "rejected", false);
+            return;
+        }
+        agent.ready = true;
+        agent.slots = slots.max(1);
+        eprintln!(
+            "figures: fabric: agent {} joined (pid {pid}, {} slot(s))",
+            agent.peer, agent.slots
+        );
+        if net::send(&mut agent.stream, &Msg::Welcome).is_err() {
+            self.drop_conn(cid, "frame write failed", true);
+        }
+    }
+
+    /// A completion arrived: re-validate the partial bytes, persist
+    /// them atomically, merge. Duplicate completions (a forfeited
+    /// lease's agent finishing anyway, then the retry finishing too)
+    /// are verified-idempotent merges: the partial is byte-exact for a
+    /// given job id, so the second arrival changes nothing.
+    fn handle_done(&mut self, cid: u64, job_id: &str, partial: &str) {
+        let Some(job) = self.by_id.get(job_id).cloned() else {
+            self.drop_conn(cid, &format!("DONE for an unknown job ({job_id})"), true);
+            return;
+        };
+        let result = match decode_partial(partial, &job) {
+            Ok(r) => r,
+            Err(why) => {
+                self.drop_conn(cid, &format!("invalid partial for {job_id}: {why}"), true);
+                return;
+            }
+        };
+        if let Err(e) = write_partial_atomic(job_id, partial) {
+            // Local disk trouble, not the agent's fault: forfeit the
+            // lease into the retry machinery (a later attempt may land
+            // on a healthier disk) without dropping the connection.
+            let why = format!("cannot persist partial: {e}");
+            eprintln!("figures: fabric: {why}");
+            if let Some(lease) = self.release(job_id) {
+                self.fail_job(lease.job, lease.attempt, &why);
+            }
+            return;
+        }
+        self.release(job_id);
+        // A completion supersedes any pending retry of the same job.
+        self.queue.retain(|(j, _)| j.id != job_id);
+        self.delayed.retain(|(_, j, _)| j.id != job_id);
+        if self.completed.insert(job_id.to_string()) {
+            self.store.insert(&job, result);
+            self.stats.run += 1;
+            self.journal(Jev::Complete {
+                job: job_id.to_string(),
+            });
+        }
+    }
+
+    /// Remove `job_id`'s lease (if any), fixing its holder's count.
+    fn release(&mut self, job_id: &str) -> Option<Lease> {
+        let lease = self.leases.remove(job_id)?;
+        if let Some(agent) = self.agents.get_mut(&lease.conn) {
+            agent.leases = agent.leases.saturating_sub(1);
+        }
+        Some(lease)
+    }
+
+    /// Forfeit every lease of a connection and forget it. `charge`
+    /// decides whether the forfeits consume an attempt (everything
+    /// except a rejected HELLO does).
+    fn drop_conn(&mut self, cid: u64, why: &str, charge: bool) {
+        let Some(agent) = self.agents.remove(&cid) else {
+            return;
+        };
+        if agent.ready || charge {
+            eprintln!("figures: fabric: agent {}: {why}", agent.peer);
+        }
+        let forfeited: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.conn == cid)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for job_id in forfeited {
+            let lease = self.leases.remove(&job_id).expect("lease just listed");
+            if charge {
+                self.fail_job(lease.job, lease.attempt, &format!("agent {why}"));
+            } else {
+                self.queue.push_front((lease.job, lease.attempt));
+            }
+        }
+        self.last_agent_at = Instant::now();
+    }
+
+    /// Resolve a forfeited attempt: salvage a partial that landed
+    /// anyway, else retry with backoff or quarantine — the same
+    /// machinery as the local supervisor's `fail_busy`.
+    fn fail_job(&mut self, job: Job, attempt: u32, why: &str) {
+        if self.completed.contains(&job.id) {
+            return;
+        }
+        if let Some(result) = load_existing_partial(&job) {
+            eprintln!(
+                "figures: fabric: {why}, but job {} had already flushed a valid partial; \
+                 keeping it",
+                job.id
+            );
+            self.completed.insert(job.id.clone());
+            self.journal(Jev::Complete {
+                job: job.id.clone(),
+            });
+            self.store.insert(&job, result);
+            self.stats.run += 1;
+            return;
+        }
+        let attempts_used = attempt + 1;
+        if attempts_used >= self.cfg.max_attempts {
+            eprintln!(
+                "figures: fabric: quarantining job {} after {attempts_used} attempt(s): {why}",
+                job.id
+            );
+            self.journal(Jev::Quarantine {
+                job: job.id.clone(),
+                attempts: attempts_used,
+                error: why.to_string(),
+            });
+            self.stats.quarantined += 1;
+            self.quarantined.push(Quarantined {
+                job_id: job.id,
+                attempts: attempts_used,
+                error: why.to_string(),
+                stderr: vec![],
+            });
+        } else {
+            let delay = retry_delay(self.cfg.backoff_base, &job.id, attempts_used);
+            eprintln!(
+                "figures: fabric: retrying job {} in {delay:?} (attempt {} of {}): {why}",
+                job.id,
+                attempts_used + 1,
+                self.cfg.max_attempts
+            );
+            self.stats.retried += 1;
+            self.delayed
+                .push((Instant::now() + delay, job, attempts_used));
+        }
+    }
+
+    /// Enforce lease deadlines and agent heartbeat silence.
+    fn check_liveness(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| now.duration_since(l.since.max(l.progress_at)) > self.cfg.job_timeout)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for job_id in expired {
+            let lease = self.release(&job_id).expect("lease just listed");
+            self.fail_job(
+                lease.job,
+                lease.attempt,
+                &format!("lease expired: no progress for {:?}", self.cfg.job_timeout),
+            );
+        }
+        let silent: Vec<u64> = self
+            .agents
+            .iter()
+            .filter(|(_, a)| now.duration_since(a.last_frame_at) > self.cfg.hb_timeout)
+            .map(|(&cid, _)| cid)
+            .collect();
+        for cid in silent {
+            self.drop_conn(
+                cid,
+                &format!("no heartbeat for {:?}", self.cfg.hb_timeout),
+                true,
+            );
+        }
+    }
+
+    /// Tell every surviving agent the sweep is over.
+    fn shutdown_agents(&mut self) {
+        for agent in self.agents.values_mut() {
+            let _ = net::send(&mut agent.stream, &Msg::Exit);
+        }
+        self.agents.clear();
+    }
+}

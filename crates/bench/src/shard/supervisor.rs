@@ -41,11 +41,15 @@
 //! jitter derived from `digest64(job id) ^ attempt` — no wall-clock
 //! entropy, so a given plan replays identically. After
 //! `DCA_JOB_ATTEMPTS` total attempts the job is **quarantined**: its
-//! id, last error and the worker's captured stderr tail are recorded in
+//! id, last error and the worker's captured stderr tail (bounded by
+//! lines *and* bytes) are recorded in
 //! `results/partials/quarantine.json`, and the sweep carries on —
 //! figures render the missing cells as explicit holes and `figures`
 //! exits degraded instead of aborting a multi-hour sweep for one
-//! poisoned job.
+//! poisoned job. The record is cross-session: writing it keeps prior
+//! entries that are still holes and prunes any whose job has since
+//! landed a valid partial, so a job quarantined in one session and
+//! completed in a later one stops rendering as a hole.
 //!
 //! On Ctrl-C/SIGTERM ([`install_signal_handlers`]) the supervisor
 //! **drains**: it stops dispatching, lets in-flight jobs finish and
@@ -81,6 +85,38 @@ use super::{json, load_existing_partial, quarantine_path, warm_group, Job, Parti
 
 /// Lines of worker stderr retained per worker for quarantine records.
 const STDERR_TAIL_LINES: usize = 50;
+
+/// Total bytes of stderr retained per worker. Bounds the tail by size
+/// as well as by line count, so 50 huge lines cannot bloat
+/// `quarantine.json`.
+const STDERR_TAIL_BYTES: usize = 16 * 1024;
+
+/// Bytes kept of any single stderr line; the excess is replaced by a
+/// truncation marker (one pathological multi-megabyte line must not
+/// consume the whole byte budget, let alone the record).
+const STDERR_LINE_BYTES: usize = 2 * 1024;
+
+/// Append `line` to a bounded stderr tail, enforcing all three caps:
+/// per-line bytes (truncate, marking how much was cut), total lines
+/// and total bytes (evict oldest first; the newest line always stays).
+fn push_stderr_tail(tail: &mut VecDeque<String>, line: String) {
+    let line = if line.len() > STDERR_LINE_BYTES {
+        let mut cut = STDERR_LINE_BYTES;
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}… [+{} bytes]", &line[..cut], line.len() - cut)
+    } else {
+        line
+    };
+    tail.push_back(line);
+    while tail.len() > 1
+        && (tail.len() > STDERR_TAIL_LINES
+            || tail.iter().map(String::len).sum::<usize>() > STDERR_TAIL_BYTES)
+    {
+        tail.pop_front();
+    }
+}
 
 // ---------------------------------------------------------------------
 // Stop flag + signal handlers
@@ -518,11 +554,7 @@ impl RunState<'_> {
                 for line in reader.lines() {
                     let Ok(line) = line else { break };
                     eprintln!("[worker {si}] {line}");
-                    let mut tail = tail.lock().unwrap();
-                    if tail.len() >= STDERR_TAIL_LINES {
-                        tail.pop_front();
-                    }
-                    tail.push_back(line);
+                    push_stderr_tail(&mut tail.lock().unwrap(), line);
                 }
             });
         }
@@ -793,11 +825,87 @@ impl RunState<'_> {
     }
 }
 
-/// Write (or, when empty, remove) `results/partials/quarantine.json`.
-fn write_quarantine(quarantined: &[Quarantined]) -> Result<(), String> {
+/// Parse `results/partials/quarantine.json` back into records. Absent
+/// or unreadable files yield an empty list (the record is advisory —
+/// partials are the source of truth for results).
+pub(crate) fn read_quarantine() -> Vec<Quarantined> {
+    let Ok(text) = std::fs::read_to_string(quarantine_path()) else {
+        return Vec::new();
+    };
+    let Ok(v) = json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(list) = v.get("quarantined").and_then(json::Value::as_arr) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for q in list {
+        let (Some(job_id), Some(attempts), Some(error)) =
+            (q.get_str("job"), q.get_u64("attempts"), q.get_str("error"))
+        else {
+            continue;
+        };
+        let stderr = q
+            .get("stderr")
+            .and_then(json::Value::as_arr)
+            .map(|lines| {
+                lines
+                    .iter()
+                    .filter_map(|l| l.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(Quarantined {
+            job_id: job_id.to_string(),
+            attempts: attempts.min(u64::from(u32::MAX)) as u32,
+            error: error.to_string(),
+            stderr,
+        });
+    }
+    out
+}
+
+/// Retain the prior-session quarantine entries that are still holes:
+/// drop entries superseded by a `current` record for the same job and
+/// — the heal path — entries whose job `healed` (a valid partial now
+/// exists, e.g. a later session re-ran it successfully). Entries with
+/// ids a current binary cannot even parse are treated as healed too:
+/// they can never match a planned job again.
+fn prune_quarantine(
+    prior: Vec<Quarantined>,
+    current: &[Quarantined],
+    healed: impl Fn(&str) -> bool,
+) -> Vec<Quarantined> {
+    prior
+        .into_iter()
+        .filter(|q| !current.iter().any(|c| c.job_id == q.job_id) && !healed(&q.job_id))
+        .collect()
+}
+
+/// Whether `job_id` now has a valid partial on disk (unparseable ids
+/// count as healed; see [`prune_quarantine`]).
+fn healed_on_disk(job_id: &str) -> bool {
+    match super::parse_job_id(job_id) {
+        Ok(payload) => load_existing_partial(&Job {
+            id: job_id.to_string(),
+            payload,
+        })
+        .is_some(),
+        Err(_) => true,
+    }
+}
+
+/// Write `results/partials/quarantine.json`: this run's records plus
+/// every prior entry that is still an unhealed hole (a job quarantined
+/// by one figure's session must survive another figure's clean run —
+/// but must disappear the moment any session lands a valid partial
+/// for it). When nothing remains, the file is removed.
+pub(crate) fn write_quarantine(quarantined: &[Quarantined]) -> Result<(), String> {
     let path = quarantine_path();
-    if quarantined.is_empty() {
-        // A clean run must not leave a stale quarantine behind.
+    let kept = prune_quarantine(read_quarantine(), quarantined, healed_on_disk);
+    let all: Vec<&Quarantined> = kept.iter().chain(quarantined.iter()).collect();
+    if all.is_empty() {
+        // A clean slate must not leave a stale quarantine behind.
         let _ = std::fs::remove_file(&path);
         return Ok(());
     }
@@ -806,7 +914,7 @@ fn write_quarantine(quarantined: &[Quarantined]) -> Result<(), String> {
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     }
     let mut text = String::from("{\n  \"schema\": 1,\n  \"quarantined\": [\n");
-    for (i, q) in quarantined.iter().enumerate() {
+    for (i, q) in all.iter().enumerate() {
         let stderr: Vec<String> = q
             .stderr
             .iter()
@@ -818,7 +926,7 @@ fn write_quarantine(quarantined: &[Quarantined]) -> Result<(), String> {
             q.attempts,
             json::escape(&q.error),
             stderr.join(", "),
-            if i + 1 < quarantined.len() { "," } else { "" }
+            if i + 1 < all.len() { "," } else { "" }
         ));
     }
     text.push_str("  ]\n}\n");
@@ -871,5 +979,130 @@ mod tests {
         request_stop();
         assert!(stop_requested());
         STOP.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn retry_delay_is_a_pure_function_with_the_documented_shape() {
+        // Exact construction: base·2^min(attempt-1, 10) plus
+        // digest-derived jitter below one base period. Locking the
+        // formula (digest64 is platform-stable) locks the jitter
+        // across runs and platforms.
+        let base = Duration::from_millis(25);
+        for id in ["ev_sa15_cd_x0", "al_dm_bgcc", "ev_dm_dca_x1_l1"] {
+            for attempt in [1u32, 2, 3, 9, 10, 11, 64, u32::MAX] {
+                let want = (25u64 << attempt.saturating_sub(1).min(10))
+                    + (digest64(id.as_bytes()) ^ u64::from(attempt)) % 25;
+                assert_eq!(
+                    retry_delay(base, id, attempt),
+                    Duration::from_millis(want),
+                    "{id} attempt {attempt}"
+                );
+                assert_eq!(
+                    retry_delay(base, id, attempt),
+                    retry_delay(base, id, attempt),
+                    "same inputs, same delay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_delay_base_is_monotone_to_the_shift_cap_and_never_overflows() {
+        let base = Duration::from_millis(25);
+        let id = "ev_sa15_rod_x0";
+        let mut prev_lo = 0u64;
+        for attempt in 1..=11u32 {
+            let lo = 25u64 << (attempt - 1).min(10);
+            let ms = retry_delay(base, id, attempt).as_millis() as u64;
+            assert!(
+                (lo..lo + 25).contains(&ms),
+                "attempt {attempt}: {ms} ms outside [{lo}, {})",
+                lo + 25
+            );
+            assert!(lo >= prev_lo, "base must be monotone non-decreasing");
+            prev_lo = lo;
+        }
+        // Past the shift cap the base saturates at 2^10·base: attempts
+        // 11, 12, 10^6 and u32::MAX all sit in the same envelope — no
+        // shift overflow, no wrap back to short delays.
+        let cap_lo = 25u64 << 10;
+        for attempt in [11u32, 12, 100, 1_000_000, u32::MAX] {
+            let ms = retry_delay(base, id, attempt).as_millis() as u64;
+            assert!(
+                (cap_lo..cap_lo + 25).contains(&ms),
+                "attempt {attempt}: {ms} ms escaped the cap envelope"
+            );
+        }
+        // attempt 0 (defensive: retries are 1-based) must not shift by
+        // -1; it shares attempt 1's envelope.
+        let ms = retry_delay(base, id, 0).as_millis() as u64;
+        assert!((25..75).contains(&ms), "attempt 0: {ms} ms");
+    }
+
+    #[test]
+    fn stderr_tail_is_bounded_by_lines_and_bytes() {
+        // Line-count cap (short lines never hit the byte caps).
+        let mut tail = VecDeque::new();
+        for i in 0..200 {
+            push_stderr_tail(&mut tail, format!("line {i}"));
+        }
+        assert_eq!(tail.len(), STDERR_TAIL_LINES);
+        assert_eq!(tail.back().map(String::as_str), Some("line 199"));
+        assert_eq!(tail.front().map(String::as_str), Some("line 150"));
+
+        // One pathological multi-megabyte line is truncated with a
+        // marker instead of swallowing the budget.
+        let mut tail = VecDeque::new();
+        push_stderr_tail(&mut tail, "x".repeat(5 * 1024 * 1024));
+        assert_eq!(tail.len(), 1);
+        let kept = tail.back().expect("kept line");
+        assert!(
+            kept.len() < STDERR_LINE_BYTES + 64,
+            "kept {} bytes",
+            kept.len()
+        );
+        assert!(
+            kept.ends_with("bytes]"),
+            "truncation marker missing: {kept:?}"
+        );
+
+        // Total bytes cap: many near-cap lines evict oldest-first and
+        // the retained tail stays within the byte budget.
+        let mut tail = VecDeque::new();
+        for i in 0..100 {
+            push_stderr_tail(&mut tail, format!("{i:04} {}", "y".repeat(1024)));
+        }
+        let bytes: usize = tail.iter().map(String::len).sum();
+        assert!(bytes <= STDERR_TAIL_BYTES, "{bytes} bytes retained");
+        assert!(
+            tail.len() < STDERR_TAIL_LINES,
+            "byte cap must bite first here"
+        );
+        assert!(tail.back().expect("newest").starts_with("0099"));
+
+        // Truncation never splits a UTF-8 character.
+        let mut tail = VecDeque::new();
+        push_stderr_tail(&mut tail, "é".repeat(STDERR_LINE_BYTES));
+        assert!(tail.back().expect("kept").is_char_boundary(0));
+    }
+
+    #[test]
+    fn prune_quarantine_heals_and_deduplicates() {
+        let q = |id: &str| Quarantined {
+            job_id: id.to_string(),
+            attempts: 3,
+            error: "gave up".to_string(),
+            stderr: vec![],
+        };
+        let prior = vec![
+            q("healed"),
+            q("still_bad"),
+            q("superseded"),
+            q("unparseable"),
+        ];
+        let current = vec![q("superseded")];
+        let kept = prune_quarantine(prior, &current, |id| id == "healed" || id == "unparseable");
+        let ids: Vec<&str> = kept.iter().map(|k| k.job_id.as_str()).collect();
+        assert_eq!(ids, vec!["still_bad"]);
     }
 }

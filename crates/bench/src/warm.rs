@@ -62,6 +62,23 @@
 //! each poll, which pool workers fold into their heartbeat `progress`
 //! field — so a worker legitimately parked on another process's
 //! warm-up keeps its job deadline alive (see `shard::pool`).
+//!
+//! ## Per-host warm directories (fabric)
+//!
+//! Both the lock protocol and the reclaim heuristic are **per-host by
+//! construction**: the warm directory is resolved against the process's
+//! own filesystem (`results/warm/` under its cwd, or `DCA_WARM_DIR`),
+//! and owner liveness is judged by the local `/proc` table — a pid is
+//! only meaningful on the machine that minted it. The sweep fabric
+//! (`figures --serve` / `--agent`, see `shard::fabric`) leans on this
+//! instead of fighting it: every agent warms against its *own* disk and
+//! proc table, so there is **no cross-host lock coupling** — a crashed
+//! agent on one machine can never wedge, or be "reclaimed" by, a waiter
+//! on another. Pointing two hosts' agents at one network-shared
+//! `DCA_WARM_DIR` is therefore unsupported (the pid check would judge
+//! foreign owners with the local proc table); give each host its own
+//! directory and let the coordinator's digest-verified partial
+//! transport be the only cross-host channel.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -540,6 +557,27 @@ mod tests {
         let mut cfg = SystemConfig::paper(Design::Cd, OrgKind::DirectMapped).scaled(5_000, 10_000);
         cfg.seed = seed;
         cfg
+    }
+
+    #[test]
+    fn lock_owner_liveness_is_judged_by_the_local_proc_table() {
+        let dir = std::env::temp_dir().join(format!("dca_warm_lock_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let lock = dir.join("fp.lock");
+        // Our own pid is alive on this host.
+        std::fs::write(&lock, format!("{}\n", std::process::id())).unwrap();
+        assert!(!lock_owner_is_dead(&lock));
+        // A pid beyond any realistic pid_max is dead — but only where a
+        // /proc table exists to say so.
+        std::fs::write(&lock, "999999999\n").unwrap();
+        assert_eq!(lock_owner_is_dead(&lock), cfg!(target_os = "linux"));
+        // Unparseable content and a missing file both err alive,
+        // leaving the deadline as the backstop.
+        std::fs::write(&lock, "not-a-pid\n").unwrap();
+        assert!(!lock_owner_is_dead(&lock));
+        std::fs::remove_file(&lock).unwrap();
+        assert!(!lock_owner_is_dead(&lock));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

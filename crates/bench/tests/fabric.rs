@@ -1,0 +1,375 @@
+//! Robustness matrix for the sweep fabric (`figures --serve <addr>` +
+//! `figures --agent <addr>`), driven through the real binary over
+//! loopback TCP:
+//!
+//! - an agent killed -9 while holding hung leases → leases forfeited,
+//!   jobs retried on the surviving agent, byte-identical to serial;
+//! - the coordinator killed -9 mid-sweep and restarted on the same
+//!   directory and address → journal replay resumes exactly, the agent
+//!   reconnects, byte-identical, journal removed on the clean finish;
+//! - network faults (`drop` / `torn` / `garbage-frame` in
+//!   `DCA_FAULT_PLAN`) at partial-upload time → frames rejected by the
+//!   digest-verified transport, jobs retried, byte-identical;
+//! - zero agents → the coordinator falls back to local workers after
+//!   `DCA_FABRIC_GRACE_MS`; an agent with a mismatched scale is
+//!   rejected at HELLO and exits 1.
+//!
+//! The worker-pool faults (crash/hang/garbage) have their own matrix in
+//! `tests/pool.rs`; this file only adds what the network changes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const FIGURES: &str = env!("CARGO_BIN_EXE_figures");
+
+const INSTS: &str = "2000";
+const WARMUP: &str = "5000";
+const MIXES: &str = "1,2";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dca-fabric-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn figures_cmd(dir: &Path) -> Command {
+    let mut cmd = Command::new(FIGURES);
+    cmd.current_dir(dir)
+        .env("DCA_INSTS", INSTS)
+        .env("DCA_WARMUP", WARMUP)
+        .env("DCA_MIXES", MIXES)
+        .env_remove("DCA_FULL")
+        .env_remove("DCA_WARM")
+        .env_remove("DCA_WARM_CAP")
+        .env_remove("DCA_WARM_PERSIST")
+        .env_remove("DCA_WARM_DIR")
+        .env_remove("DCA_FAULT_PLAN")
+        .env_remove("DCA_JOB_TIMEOUT_MS")
+        .env_remove("DCA_JOB_ATTEMPTS")
+        .env_remove("DCA_RETRY_BACKOFF_MS")
+        .env_remove("DCA_HEARTBEAT_MS")
+        .env_remove("DCA_HEARTBEAT_TIMEOUT_MS")
+        .env_remove("DCA_POOL_INFLIGHT")
+        .env_remove("DCA_FABRIC_GRACE_MS")
+        .env_remove("DCA_AGENT_RETRY_MS");
+    cmd
+}
+
+/// An address no other process is currently listening on. Binding an
+/// ephemeral port and releasing it races other tests in principle; the
+/// coordinator's `SO_REUSEADDR` + retry bind absorbs the common case.
+fn free_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = l.local_addr().expect("local addr").to_string();
+    drop(l);
+    addr
+}
+
+fn spawn(cmd: &mut Command) -> Child {
+    cmd.stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn figures")
+}
+
+/// Wait for `child` with a hard deadline (kill + panic past it).
+fn wait_within(mut child: Child, what: &str, secs: u64) -> Output {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => return child.wait_with_output().expect("collect output"),
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let out = child.wait_with_output().expect("collect output");
+                panic!(
+                    "{what} still running after {secs}s:\n--- stderr ---\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed ({}):\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn read_outputs(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    ["fig14.md", "fig14.csv", "fig14.json"]
+        .iter()
+        .map(|f| {
+            let bytes = std::fs::read(dir.join("results").join(f))
+                .unwrap_or_else(|e| panic!("{f} missing in {}: {e}", dir.display()));
+            (f.to_string(), bytes)
+        })
+        .collect()
+}
+
+fn serial_reference(tag: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = scratch(&format!("{tag}-serial"));
+    let out = figures_cmd(&dir)
+        .arg("--fig14")
+        .output()
+        .expect("spawn figures");
+    assert_ok(&out, "serial reference");
+    let outs = read_outputs(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    outs
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("results").join("partials").join("fabric.journal")
+}
+
+/// An agent killed -9 while its workers sit hung on leased jobs: the
+/// coordinator forfeits the dead agent's leases, retries the jobs on
+/// the surviving agent, and finishes byte-identical to serial.
+#[cfg(unix)]
+#[test]
+fn agent_killed_mid_job_forfeits_leases_and_stays_bit_identical() {
+    let serial = serial_reference("agentkill");
+    let dir = scratch("agentkill");
+    let hang_dir = scratch("agentkill-hang");
+    let live_dir = scratch("agentkill-live");
+    let addr = free_addr();
+
+    let coord = spawn(
+        figures_cmd(&dir)
+            .args(["--fig14", "--serve", &addr, "--jobs", "1"])
+            // The fallback must never race the agents in this test.
+            .env("DCA_FABRIC_GRACE_MS", "60000"),
+    );
+    // The doomed agent connects first so it certainly holds leases; its
+    // workers hang every job, so those leases can only be freed by the
+    // kill below.
+    let mut doomed = spawn(
+        figures_cmd(&hang_dir)
+            .args(["--agent", &addr, "--jobs", "2"])
+            .env("DCA_FAULT_PLAN", "hang:*@*"),
+    );
+    std::thread::sleep(Duration::from_millis(800));
+    let live = spawn(figures_cmd(&live_dir).args(["--agent", &addr, "--jobs", "2"]));
+    std::thread::sleep(Duration::from_millis(700));
+    doomed.kill().expect("kill -9 the hung agent");
+    let _ = doomed.wait();
+
+    let out = wait_within(coord, "coordinator", 120);
+    assert_ok(&out, "coordinator");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("retrying job"),
+        "the dead agent's leases must be forfeited into retries:\n{stderr}"
+    );
+    let out = wait_within(live, "surviving agent", 30);
+    assert_ok(&out, "surviving agent");
+    assert_eq!(serial, read_outputs(&dir), "output must match serial");
+    assert!(
+        !journal_path(&dir).exists(),
+        "a clean finish must remove the journal"
+    );
+    for d in [dir, hang_dir, live_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+/// The coordinator killed -9 mid-sweep resumes exactly when restarted
+/// on the same directory and address: journal replay restores attempt
+/// counts and completions, the agent reconnects and answers
+/// re-dispatches (from its local partials where it already finished),
+/// and the final outputs are byte-identical to serial.
+#[cfg(unix)]
+#[test]
+fn coordinator_killed_and_restarted_resumes_from_the_journal() {
+    let serial = serial_reference("coordkill");
+    let dir = scratch("coordkill");
+    let agent_dir = scratch("coordkill-agent");
+    let addr = free_addr();
+
+    let mut coord = spawn(
+        figures_cmd(&dir)
+            .args(["--fig14", "--serve", &addr, "--jobs", "1"])
+            .env("DCA_FABRIC_GRACE_MS", "60000"),
+    );
+    let agent = spawn(
+        figures_cmd(&agent_dir)
+            .args(["--agent", &addr, "--jobs", "1"])
+            // The agent must outlive the coordinator gap below.
+            .env("DCA_AGENT_RETRY_MS", "60000"),
+    );
+
+    // Kill the moment the journal records the first completion, so the
+    // sweep is provably mid-flight (if the tiny sweep wins the race and
+    // finishes first, the restart degenerates to a full-reuse resume,
+    // which the assertions below still cover).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let text = std::fs::read_to_string(journal_path(&dir)).unwrap_or_default();
+        if text.contains("\"ev\": \"complete\"") {
+            break;
+        }
+        if coord.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no journal activity within 60s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    coord.kill().expect("kill -9 the coordinator");
+    let _ = coord.wait();
+
+    let restarted = spawn(
+        figures_cmd(&dir)
+            .args(["--fig14", "--serve", &addr, "--jobs", "1"])
+            .env("DCA_FABRIC_GRACE_MS", "60000"),
+    );
+    let out = wait_within(restarted, "restarted coordinator", 120);
+    assert_ok(&out, "restarted coordinator");
+    let out = wait_within(agent, "agent", 30);
+    assert_ok(&out, "agent across the restart");
+    assert_eq!(
+        serial,
+        read_outputs(&dir),
+        "resumed output must match serial"
+    );
+    assert!(
+        !journal_path(&dir).exists(),
+        "a clean finish must remove the journal"
+    );
+    for d in [dir, agent_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+/// Network faults at upload time — a dropped connection, a torn frame,
+/// and a frame whose digest trailer lies — are all rejected by the
+/// verified transport, charged as ordinary attempts, and retried to a
+/// byte-identical result. One rule per run: a connection kill from one
+/// rule bumps other jobs' attempt indices (their forfeited leases
+/// retry at attempt ≥ 1), so stacking first-attempt rules would let
+/// one fault starve another's trigger window.
+#[test]
+fn network_faults_are_rejected_and_retried_to_identity() {
+    let serial = serial_reference("netfault");
+    for (mode, plan, expect) in [
+        ("garbage-frame", "garbage-frame:al_*@0", "garbage frame"),
+        ("torn", "torn:ev_*_rod_*@0", "torn frame"),
+        ("drop", "drop:ev_*_dca_*@0", "disconnected"),
+    ] {
+        let dir = scratch(&format!("netfault-{mode}"));
+        let agent_dir = scratch(&format!("netfault-{mode}-agent"));
+        let addr = free_addr();
+
+        let coord = spawn(
+            figures_cmd(&dir)
+                .args(["--fig14", "--serve", &addr, "--jobs", "1"])
+                .env("DCA_FABRIC_GRACE_MS", "60000"),
+        );
+        let agent = spawn(
+            figures_cmd(&agent_dir)
+                .args(["--agent", &addr, "--jobs", "2"])
+                // First attempt only — the re-dispatch carries a higher
+                // attempt index, so the fault self-limits.
+                .env("DCA_FAULT_PLAN", plan),
+        );
+        let out = wait_within(coord, "coordinator", 120);
+        assert_ok(&out, &format!("coordinator under {mode}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(expect),
+            "{mode} must be called out as {expect:?}:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("retrying job"),
+            "a {mode} upload must turn into a retry:\n{stderr}"
+        );
+        let out = wait_within(agent, "agent", 30);
+        assert_ok(&out, &format!("agent under {mode}"));
+        assert_eq!(
+            serial,
+            read_outputs(&dir),
+            "{mode} output must match serial"
+        );
+        for d in [dir, agent_dir] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+}
+
+/// With no agent connected, the coordinator waits `DCA_FABRIC_GRACE_MS`
+/// and then runs the sweep on local workers — same outputs, exit 0, no
+/// journal left behind. An agent whose scale disagrees with the
+/// coordinator's is rejected at HELLO and exits 1 without poisoning
+/// anything.
+#[test]
+fn zero_agents_falls_back_locally_and_scale_mismatch_is_rejected() {
+    let serial = serial_reference("fallback");
+    let dir = scratch("fallback");
+    let addr = free_addr();
+
+    let coord = spawn(
+        figures_cmd(&dir)
+            .args(["--fig14", "--serve", &addr, "--jobs", "2"])
+            .env("DCA_FABRIC_GRACE_MS", "200"),
+    );
+    let out = wait_within(coord, "agentless coordinator", 120);
+    assert_ok(&out, "agentless coordinator");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no live agents"),
+        "the fallback must be announced:\n{stderr}"
+    );
+    assert_eq!(
+        serial,
+        read_outputs(&dir),
+        "fallback output must match serial"
+    );
+    assert!(
+        !journal_path(&dir).exists(),
+        "a clean finish must remove the journal"
+    );
+
+    // Scale mismatch: a coordinator parked on an empty plan rejects an
+    // agent whose HELLO config token disagrees.
+    let dir2 = scratch("fallback-reject");
+    let agent_dir = scratch("fallback-reject-agent");
+    let addr2 = free_addr();
+    let mut coord = spawn(
+        figures_cmd(&dir2)
+            .args(["--fig14", "--serve", &addr2, "--jobs", "1"])
+            .env("DCA_FABRIC_GRACE_MS", "60000"),
+    );
+    let agent = spawn(
+        figures_cmd(&agent_dir)
+            .args(["--agent", &addr2, "--jobs", "1"])
+            // Different DCA_INSTS → different config token.
+            .env("DCA_INSTS", "4000"),
+    );
+    let out = wait_within(agent, "mismatched agent", 30);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a rejected agent must exit 1:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("rejected"),
+        "the rejection must be announced:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    coord.kill().expect("kill the parked coordinator");
+    let _ = coord.wait();
+    for d in [dir, dir2, agent_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

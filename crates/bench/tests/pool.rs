@@ -65,7 +65,9 @@ fn figures_cmd(dir: &Path) -> Command {
         .env_remove("DCA_RETRY_BACKOFF_MS")
         .env_remove("DCA_HEARTBEAT_MS")
         .env_remove("DCA_HEARTBEAT_TIMEOUT_MS")
-        .env_remove("DCA_POOL_INFLIGHT");
+        .env_remove("DCA_POOL_INFLIGHT")
+        .env_remove("DCA_FABRIC_GRACE_MS")
+        .env_remove("DCA_AGENT_RETRY_MS");
     cmd
 }
 
@@ -245,6 +247,65 @@ fn quarantine_after_k_failures_then_heal() {
         !qpath.exists(),
         "a clean run must remove the stale quarantine file"
     );
+    assert_eq!(
+        serial,
+        read_outputs(&dir),
+        "healed output must match serial"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A quarantine record must survive *unrelated* pool sessions in the
+/// same directory (a clean fig15 run must not clobber fig14's entry —
+/// its jobs are disjoint, so nothing about the broken job changed) and
+/// must be pruned the moment the job has a valid partial again: the
+/// heal-merge keys on on-disk evidence, not on which figure a session
+/// happened to run.
+#[test]
+fn quarantine_entries_survive_foreign_sessions_until_healed() {
+    let serial = serial_reference("qforeign");
+    let rod_id = fig14_jobs()
+        .iter()
+        .find(|j| j.id.contains("_rod_"))
+        .expect("a ROD eval job")
+        .id
+        .clone();
+
+    // 1. Break fig14's ROD job on every attempt → quarantined, exit 3.
+    let dir = scratch("qforeign");
+    let out = figures_cmd(&dir)
+        .args(["--fig14", "--jobs", "2"])
+        .env("DCA_FAULT_PLAN", format!("crash:{rod_id}@*"))
+        .output()
+        .expect("spawn figures");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "the broken run must exit 3:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let qpath = dir.join(dca_bench::shard::quarantine_path());
+    assert!(
+        std::fs::read_to_string(&qpath)
+            .expect("quarantine written")
+            .contains(&rod_id),
+        "quarantine must name the broken job"
+    );
+
+    // 2. A clean *fig15* session (direct-mapped — fully disjoint jobs)
+    // exits 0 and must leave fig14's still-unhealed entry in place.
+    run_ok(figures_cmd(&dir).args(["--fig15", "--jobs", "2"]));
+    assert!(
+        std::fs::read_to_string(&qpath)
+            .expect("quarantine must survive the fig15 session")
+            .contains(&rod_id),
+        "an unrelated session must not clobber the unhealed entry"
+    );
+
+    // 3. A clean fig14 run produces a valid partial for the job; the
+    // stale entry is pruned, the file removed, the figure healed.
+    run_ok(figures_cmd(&dir).args(["--fig14", "--jobs", "2"]));
+    assert!(!qpath.exists(), "a healed quarantine file must be removed");
     assert_eq!(
         serial,
         read_outputs(&dir),
