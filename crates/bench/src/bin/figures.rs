@@ -93,6 +93,7 @@ const FIGURE_FLAGS: &[&str] = &[
     "--fig19",
     "--ff",
     "--mainmem",
+    "--designs",
 ];
 
 fn usage() -> String {
@@ -501,13 +502,16 @@ fn render(
     let mut h = Holes(0);
     match plan.name {
         "fig8" | "fig9" => {
-            // Per org: [CD-base, CD, ROD, DCA].
-            let mut t = Table::new(vec!["organisation", "CD", "ROD", "DCA"]);
+            // Per org: [CD-base, then one unit per Design::ALL entry].
+            let stride = 1 + Design::ALL.len();
+            let mut header = vec!["organisation".to_string()];
+            header.extend(Design::ALL.iter().map(|d| d.label().to_string()));
+            let mut t = Table::new(header);
             for oi in 0..2 {
-                let base = sm(oi * 4)?;
-                let mut cells = vec![plan.units[oi * 4].spec.org.label().to_string()];
-                for d in 0..3 {
-                    let x = sm(oi * 4 + 1 + d)?;
+                let base = sm(oi * stride)?;
+                let mut cells = vec![plan.units[oi * stride].spec.org.label().to_string()];
+                for d in 0..Design::ALL.len() {
+                    let x = sm(oi * stride + 1 + d)?;
                     cells.push(
                         h.cell(
                             base.as_ref()
@@ -596,9 +600,9 @@ fn render(
             out(plan.name, title, &t);
         }
         "fig16" | "fig17" => {
-            // Pairs: [CD, XOR+CD, ROD, XOR+ROD, DCA, XOR+DCA].
+            // Pairs: [CD, XOR+CD, ROD, XOR+ROD, ...] — one per design.
             let mut t = Table::new(vec!["design", "no remap", "with remap"]);
-            for pair in 0..3 {
+            for pair in 0..Design::ALL.len() {
                 let plain = sm(pair * 2)?;
                 let remap = sm(pair * 2 + 1)?;
                 t.row(vec![
@@ -696,6 +700,51 @@ fn render(
             out(
                 "mainmem",
                 "Main-memory sensitivity — flat vs cycle-level DDR4 backend (direct-mapped)",
+                &t,
+            );
+        }
+        "designs" => {
+            // Blocks of Design::ALL per (backend, policy) pair — see
+            // shard::figure_plan. One row per pair: absolute WS per
+            // design plus BAN/DCA (does fill economy pay off?).
+            let n = Design::ALL.len();
+            let mut header = vec!["main memory".to_string(), "policy".to_string()];
+            header.extend(Design::ALL.iter().map(|d| format!("{} WS", d.label())));
+            header.push("BAN/DCA".to_string());
+            let mut t = Table::new(header);
+            for block in 0..plan.units.len() / n {
+                let mut parts = plan.units[block * n].label.split('+');
+                let backend = parts.next().unwrap_or("?").to_string();
+                let policy = parts.next().unwrap_or("?").to_string();
+                let designs: Vec<_> = (0..n)
+                    .map(|d| sm(block * n + d))
+                    .collect::<Result<_, _>>()?;
+                let mut row = vec![backend, policy];
+                for x in &designs {
+                    row.push(h.cell(x.as_ref().map(|x| fmt(x.ws_geomean()))));
+                }
+                let dca = designs
+                    .iter()
+                    .zip(&plan.units[block * n..(block + 1) * n])
+                    .find(|(_, u)| u.label.ends_with("+DCA"))
+                    .and_then(|(s, _)| s.as_ref());
+                let ban = designs
+                    .iter()
+                    .zip(&plan.units[block * n..(block + 1) * n])
+                    .find(|(_, u)| u.label.ends_with("+BAN"))
+                    .and_then(|(s, _)| s.as_ref());
+                row.push(
+                    h.cell(
+                        dca.zip(ban)
+                            .map(|(d, b)| fmt(b.ws_geomean() / d.ws_geomean())),
+                    ),
+                );
+                t.row(row);
+            }
+            out(
+                "designs",
+                "Design comparison — CD/ROD/DCA/BAN × replacement policy × main-memory tier \
+                 (direct-mapped)",
                 &t,
             );
         }

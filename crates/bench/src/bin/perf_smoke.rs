@@ -48,6 +48,13 @@
 //! bit-for-bit. CI runs this binary, so the cycle-level device is
 //! exercised on every push.
 //!
+//! It also runs the **designs smoke**: the Banshee-style fourth design
+//! and the 3DXPoint slow-memory backend, each against the DCA
+//! reference — asserting Banshee's frequency gate actually bypasses
+//! fills (and that it restores from a warm checkpoint bit-for-bit,
+//! warm state being design-portable), and recording the fill-traffic
+//! reduction and wall clocks in the JSON's `designs` section.
+//!
 //! Finally it runs the **trace-file smoke**: the checked-in
 //! `tests/fixtures/*.dcat` fixture is registered, bundled into a
 //! custom mix, and driven through the same `RunSpec::run_mix`
@@ -72,7 +79,7 @@ use std::time::Instant;
 use dca::{Design, System, SystemConfig, SystemReport};
 use dca_bench::{MainMemKind, RunSpec};
 use dca_cpu::{mix, register_mix, register_trace_file, Benchmark};
-use dca_dram_cache::OrgKind;
+use dca_dram_cache::{OrgKind, ReplacementPolicy};
 
 /// Event-loop wall time of the hash-map/`Vec::remove` engine this PR
 /// replaced, measured on the same workload (200 k insts/core, 3-rep
@@ -290,6 +297,7 @@ fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
         remap: false,
         lee: false,
         flushing_factor: 4,
+        policy: ReplacementPolicy::Srrip,
         main_mem: MainMemKind::Flat,
         insts: insts / 2,
         warmup: 200_000,
@@ -608,6 +616,115 @@ fn run_main_mem_smoke(insts: u64) -> MainMemSmokeResult {
     }
 }
 
+/// Outcome of the designs smoke (Banshee + XPoint vs the DCA reference).
+struct DesignsSmokeResult {
+    /// Wall clock of the DCA flat-backend reference run.
+    dca_s: f64,
+    /// Wall clock of the Banshee flat-backend run.
+    banshee_s: f64,
+    /// Wall clock of the DCA run on the XPoint backend.
+    xpoint_s: f64,
+    /// Cache fills the DCA reference issued.
+    dca_fills: u64,
+    /// Cache fills Banshee admitted through its frequency gate.
+    banshee_fills: u64,
+    /// Fills Banshee's gate bypassed.
+    banshee_bypasses: u64,
+}
+
+impl DesignsSmokeResult {
+    /// Fraction of the DCA reference's fill traffic Banshee avoided.
+    fn fill_reduction(&self) -> f64 {
+        if self.dca_fills == 0 {
+            return 0.0;
+        }
+        1.0 - self.banshee_fills as f64 / self.dca_fills as f64
+    }
+}
+
+/// Run the Banshee design and the XPoint backend against the DCA
+/// reference on the smoke workload, asserting the gate bypasses fills,
+/// both new paths complete, and both restore from warm checkpoints
+/// bit-for-bit.
+fn run_designs_smoke(insts: u64) -> DesignsSmokeResult {
+    let m = mix(1);
+    let mk = |design, xpoint: bool| {
+        let mut cfg = if xpoint {
+            SystemConfig::paper_xpoint(design, OrgKind::DirectMapped)
+        } else {
+            SystemConfig::paper(design, OrgKind::DirectMapped)
+        };
+        cfg.target_insts = insts;
+        cfg.warmup_ops = 400_000;
+        cfg
+    };
+
+    let t0 = Instant::now();
+    let dca = System::new(mk(Design::Dca, false), &m.benches).run();
+    let dca_s = t0.elapsed().as_secs_f64();
+
+    let ban_cfg = mk(Design::Banshee, false);
+    let t0 = Instant::now();
+    let ban = System::new(ban_cfg, &m.benches).run();
+    let banshee_s = t0.elapsed().as_secs_f64();
+    assert!(
+        ban.cores.iter().all(|c| c.insts >= insts),
+        "Banshee run must complete"
+    );
+    assert!(
+        ban.fill_bypasses > 0,
+        "Banshee's frequency gate must bypass some cold fills"
+    );
+    assert_eq!(ban.cache_fills, ban.refill_requests);
+    assert!(
+        ban.cache_fills < dca.cache_fills,
+        "Banshee must fill less than DCA ({} !< {})",
+        ban.cache_fills,
+        dca.cache_fills
+    );
+    // Warm state is design-portable: a checkpoint captured under the
+    // Banshee config (warm-up never consults the gate) restores to a
+    // bit-identical Banshee run.
+    let warm = System::capture_warm(ban_cfg, &m.benches);
+    let restored = System::from_warm(ban_cfg, &m.benches, &warm).run();
+    assert_eq!(
+        fingerprint(&ban),
+        fingerprint(&restored),
+        "Banshee warm-restored run diverged from cold"
+    );
+    assert_eq!(
+        (ban.cache_fills, ban.fill_bypasses),
+        (restored.cache_fills, restored.fill_bypasses),
+        "Banshee fill counters diverged across warm restore"
+    );
+
+    let xp_cfg = mk(Design::Dca, true);
+    let t0 = Instant::now();
+    let xp = System::new(xp_cfg, &m.benches).run();
+    let xpoint_s = t0.elapsed().as_secs_f64();
+    assert_eq!(xp.main_mem.backend, "cycle");
+    assert!(
+        xp.cores.iter().all(|c| c.insts >= insts),
+        "XPoint-backend run must complete"
+    );
+    let warm = System::capture_warm(xp_cfg, &m.benches);
+    let restored = System::from_warm(xp_cfg, &m.benches, &warm).run();
+    assert_eq!(
+        fingerprint(&xp),
+        fingerprint(&restored),
+        "XPoint-backend warm-restored run diverged from cold"
+    );
+
+    DesignsSmokeResult {
+        dca_s,
+        banshee_s,
+        xpoint_s,
+        dca_fills: dca.cache_fills,
+        banshee_fills: ban.cache_fills,
+        banshee_bypasses: ban.fill_bypasses,
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -699,6 +816,20 @@ fn main() {
         main_mem.cycle_row_hit_rate
     );
 
+    let designs = run_designs_smoke(insts);
+    println!(
+        "\ndesigns smoke (mix 1, direct-mapped): DCA {:.2}s   Banshee {:.2}s   \
+         DCA@XPoint {:.2}s   fills {} -> {} (bypassed {}, -{:.1}%); Banshee and XPoint \
+         warm-restores bit-identical",
+        designs.dca_s,
+        designs.banshee_s,
+        designs.xpoint_s,
+        designs.dca_fills,
+        designs.banshee_fills,
+        designs.banshee_bypasses,
+        designs.fill_reduction() * 100.0
+    );
+
     let trace = run_trace_smoke(insts);
     println!(
         "\ntrace smoke (fixture mix {}, RunSpec::run_mix): first (warms cache) {:.2}s   \
@@ -734,6 +865,9 @@ fn main() {
          \"pool_s\": {:.4}, \"fabric_s\": {:.4}, \"overhead_vs_serial\": {:.4}}},\n  \
          \"main_mem\": {{\"flat_s\": {:.4}, \"cycle_s\": {:.4}, \"cycle_overhead\": {:.4}, \
          \"cycle_mem_reads\": {}, \"cycle_row_hit_rate\": {:.4}}},\n  \
+         \"designs\": {{\"dca_s\": {:.4}, \"banshee_s\": {:.4}, \"xpoint_s\": {:.4}, \
+         \"dca_fills\": {}, \"banshee_fills\": {}, \"banshee_bypasses\": {}, \
+         \"fill_reduction\": {:.4}}},\n  \
          \"trace_smoke\": {{\"mix_id\": {}, \"build_s\": {:.4}, \"warm_s\": {:.4}, \
          \"cold_s\": {:.4}}},\n  \
          \"events_processed\": {},\n  \"sim_time_us\": {:.3}\n}}\n",
@@ -764,6 +898,13 @@ fn main() {
         main_mem.cycle_s / main_mem.flat_s,
         main_mem.cycle_mem_reads,
         main_mem.cycle_row_hit_rate,
+        designs.dca_s,
+        designs.banshee_s,
+        designs.xpoint_s,
+        designs.dca_fills,
+        designs.banshee_fills,
+        designs.banshee_bypasses,
+        designs.fill_reduction(),
         trace.mix_id,
         trace.build_s,
         trace.warm_s,

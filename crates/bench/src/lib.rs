@@ -71,7 +71,7 @@ use std::sync::Mutex;
 use dca::{Design, System, SystemConfig, SystemReport};
 use dca_cpu::{mix, Benchmark};
 use dca_dram::MappingScheme;
-use dca_dram_cache::OrgKind;
+use dca_dram_cache::{OrgKind, ReplacementPolicy};
 use dca_mem_hier::MainMemConfig;
 use dca_metrics::{geomean, weighted_speedup};
 
@@ -84,7 +84,8 @@ pub use warm::{WarmCache, WarmCacheStats};
 pub const DEFAULT_SEED: u64 = 0xDCA_2016;
 
 /// Main-memory backend a [`RunSpec`] selects — compact enough to ride
-/// in a shard job id (see `shard`'s grammar: `mmf` / `mmd<slow>`).
+/// in a shard job id (see `shard`'s grammar: `mmf` / `mmd<slow>` /
+/// `mmx`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MainMemKind {
     /// The flat 50 ns + bus seed model (the default everywhere).
@@ -95,6 +96,9 @@ pub enum MainMemKind {
         /// Bandwidth divisor (≥ 1).
         slow: u8,
     },
+    /// Cycle-level 3DXPoint-like slow tier (asymmetric read/write
+    /// media timings behind a DDR4-like link).
+    Xpoint,
 }
 
 impl MainMemKind {
@@ -103,6 +107,7 @@ impl MainMemKind {
         match self {
             MainMemKind::Flat => MainMemConfig::paper_flat(),
             MainMemKind::Ddr4 { slow } => MainMemConfig::ddr4_bandwidth_div(slow.max(1) as u32),
+            MainMemKind::Xpoint => MainMemConfig::xpoint(),
         }
     }
 
@@ -112,15 +117,17 @@ impl MainMemKind {
             MainMemKind::Flat => "flat-50ns".to_string(),
             MainMemKind::Ddr4 { slow: 1 } => "ddr4-2400".to_string(),
             MainMemKind::Ddr4 { slow } => format!("ddr4-2400/{slow}"),
+            MainMemKind::Xpoint => "xpoint".to_string(),
         }
     }
 
-    /// Job-id token (`mmf` / `mmd<slow>`), kept here so the shard
-    /// grammar and this type cannot drift apart.
+    /// Job-id token (`mmf` / `mmd<slow>` / `mmx`), kept here so the
+    /// shard grammar and this type cannot drift apart.
     pub fn token(self) -> String {
         match self {
             MainMemKind::Flat => "mmf".to_string(),
             MainMemKind::Ddr4 { slow } => format!("mmd{slow}"),
+            MainMemKind::Xpoint => "mmx".to_string(),
         }
     }
 
@@ -128,6 +135,9 @@ impl MainMemKind {
     pub fn parse_token(t: &str) -> Result<MainMemKind, String> {
         if t == "mmf" {
             return Ok(MainMemKind::Flat);
+        }
+        if t == "mmx" {
+            return Ok(MainMemKind::Xpoint);
         }
         if let Some(slow) = t.strip_prefix("mmd") {
             let slow: u8 = slow
@@ -154,6 +164,9 @@ pub struct RunSpec {
     pub lee: bool,
     /// DCA flushing factor (ablation; paper default 4).
     pub flushing_factor: u8,
+    /// DRAM-cache replacement policy (default SRRIP — the seed
+    /// behaviour).
+    pub policy: ReplacementPolicy,
     /// Main-memory backend (default flat — the seed model).
     pub main_mem: MainMemKind,
     /// Instructions per core.
@@ -179,6 +192,7 @@ impl RunSpec {
             remap: false,
             lee: false,
             flushing_factor: 4,
+            policy: ReplacementPolicy::Srrip,
             main_mem: MainMemKind::Flat,
             insts: scale.insts,
             warmup: scale.warmup,
@@ -204,6 +218,12 @@ impl RunSpec {
         self
     }
 
+    /// Select a DRAM-cache replacement policy.
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Materialise the system configuration.
     pub fn config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::paper(self.design, self.org);
@@ -212,6 +232,7 @@ impl RunSpec {
         }
         cfg.lee_writeback = self.lee;
         cfg.dca.flushing_factor = self.flushing_factor;
+        cfg.replacement = self.policy;
         cfg.main_mem = self.main_mem.config();
         cfg.target_insts = self.insts;
         cfg.warmup_ops = self.warmup;
@@ -344,6 +365,7 @@ impl AloneIpc {
             remap: false,
             lee: false,
             flushing_factor: 4,
+            policy: ReplacementPolicy::Srrip,
             main_mem: mm,
             insts: self.insts,
             warmup: self.warmup,

@@ -13,15 +13,20 @@
 //! `figures --worker --job <id>`. The grammar:
 //!
 //! ```text
-//! ev_<org>_<design>_x<0|1>_l<0|1>_ff<n>_i<insts>_w<warmup>_s<seed hex>_<mm>_m<mix>.<mix>...
+//! ev_<org>_<design>_x<0|1>_l<0|1>_ff<n>_p<policy>_i<insts>_w<warmup>_s<seed hex>_<mm>_m<mix>.<mix>...
 //! al_<org>_i<insts>_w<warmup>_s<seed hex>_<mm>_b<bench>.<bench>...
 //! ```
 //!
 //! with `<org>` one of `sa<ways>` / `dm`, `<design>` one of
-//! `cd` / `rod` / `dca`, and `<mm>` the main-memory backend token
-//! (`mmf` flat, `mmd<n>` cycle-level DDR4 at bandwidth ÷ n — see
-//! [`crate::MainMemKind`]). Identical units shared by several figures
-//! (e.g. the CD baseline of Figs 8 and 12) collapse to one job.
+//! `cd` / `rod` / `dca` / `ban`, `<policy>` a replacement-policy label
+//! (`srrip` / `lru` / `lruc` / `lrud` — see
+//! [`dca_dram_cache::ReplacementPolicy`]), and `<mm>` the main-memory
+//! backend token (`mmf` flat, `mmd<n>` cycle-level DDR4 at bandwidth
+//! ÷ n, `mmx` the 3DXPoint-like slow tier — see [`crate::MainMemKind`]).
+//! Alone jobs carry no design or policy field: the weighted-speedup
+//! denominator is always the CD/SRRIP baseline. Identical units shared
+//! by several figures (e.g. the CD baseline of Figs 8 and 12) collapse
+//! to one job.
 //!
 //! ## Partials
 //!
@@ -103,7 +108,7 @@ use std::path::PathBuf;
 
 use dca::Design;
 use dca_cpu::{mix, Benchmark};
-use dca_dram_cache::OrgKind;
+use dca_dram_cache::{OrgKind, ReplacementPolicy};
 
 use crate::{run_parallel, summarize, DesignSummary, MainMemKind, MixPoint, RunSpec, Scale};
 
@@ -205,6 +210,7 @@ fn design_token(d: Design) -> &'static str {
         Design::Cd => "cd",
         Design::Rod => "rod",
         Design::Dca => "dca",
+        Design::Banshee => "ban",
     }
 }
 
@@ -213,8 +219,16 @@ fn parse_design_token(t: &str) -> Result<Design, String> {
         "cd" => Ok(Design::Cd),
         "rod" => Ok(Design::Rod),
         "dca" => Ok(Design::Dca),
+        "ban" => Ok(Design::Banshee),
         _ => Err(format!("bad design token {t:?} in job id")),
     }
+}
+
+fn parse_policy_token(t: &str) -> Result<ReplacementPolicy, String> {
+    ReplacementPolicy::ALL
+        .into_iter()
+        .find(|p| p.label() == t)
+        .ok_or_else(|| format!("bad replacement-policy token {t:?} in job id"))
 }
 
 /// Canonical id for a payload (see the module-docs grammar).
@@ -223,12 +237,13 @@ pub fn encode_job_id(payload: &JobPayload) -> String {
         JobPayload::Eval { spec, mixes } => {
             let mixes: Vec<String> = mixes.iter().map(|m| m.to_string()).collect();
             format!(
-                "ev_{}_{}_x{}_l{}_ff{}_i{}_w{}_s{:x}_{}_m{}",
+                "ev_{}_{}_x{}_l{}_ff{}_p{}_i{}_w{}_s{:x}_{}_m{}",
                 org_token(spec.org),
                 design_token(spec.design),
                 spec.remap as u8,
                 spec.lee as u8,
                 spec.flushing_factor,
+                spec.policy.label(),
                 spec.insts,
                 spec.warmup,
                 spec.seed,
@@ -275,8 +290,8 @@ fn tagged<'a>(tok: &'a str, tag: &str) -> Result<&'a str, String> {
 pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
     if let Some(rest) = id.strip_prefix("ev_") {
         let t: Vec<&str> = rest.split('_').collect();
-        if t.len() != 10 {
-            return Err(format!("eval job id has {} fields, expected 10", t.len()));
+        if t.len() != 11 {
+            return Err(format!("eval job id has {} fields, expected 11", t.len()));
         }
         let org = parse_org_token(field(&t, 0, "org")?)?;
         let design = parse_design_token(field(&t, 1, "design")?)?;
@@ -285,16 +300,17 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
         let ff: u8 = tagged(field(&t, 4, "flushing factor")?, "ff")?
             .parse()
             .map_err(|_| "bad flushing factor".to_string())?;
-        let insts: u64 = tagged(field(&t, 5, "insts")?, "i")?
+        let policy = parse_policy_token(tagged(field(&t, 5, "replacement policy")?, "p")?)?;
+        let insts: u64 = tagged(field(&t, 6, "insts")?, "i")?
             .parse()
             .map_err(|_| "bad insts".to_string())?;
-        let warmup: u64 = tagged(field(&t, 6, "warmup")?, "w")?
+        let warmup: u64 = tagged(field(&t, 7, "warmup")?, "w")?
             .parse()
             .map_err(|_| "bad warmup".to_string())?;
-        let seed = u64::from_str_radix(tagged(field(&t, 7, "seed")?, "s")?, 16)
+        let seed = u64::from_str_radix(tagged(field(&t, 8, "seed")?, "s")?, 16)
             .map_err(|_| "bad seed".to_string())?;
-        let main_mem = MainMemKind::parse_token(field(&t, 8, "main memory")?)?;
-        let mixes: Vec<u32> = tagged(field(&t, 9, "mixes")?, "m")?
+        let main_mem = MainMemKind::parse_token(field(&t, 9, "main memory")?)?;
+        let mixes: Vec<u32> = tagged(field(&t, 10, "mixes")?, "m")?
             .split('.')
             .map(|m| m.parse().map_err(|_| format!("bad mix id {m:?}")))
             .collect::<Result<_, _>>()?;
@@ -308,6 +324,7 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
                 remap,
                 lee,
                 flushing_factor: ff,
+                policy,
                 main_mem,
                 insts,
                 warmup,
@@ -407,6 +424,7 @@ pub const SHARDED_FIGURES: &[&str] = &[
     "fig19",
     "ablation_ff",
     "mainmem",
+    "designs",
 ];
 
 /// Main-memory backends the sensitivity sweep evaluates, in render
@@ -418,6 +436,17 @@ pub const MAINMEM_SWEEP: &[MainMemKind] = &[
     MainMemKind::Ddr4 { slow: 2 },
     MainMemKind::Ddr4 { slow: 4 },
 ];
+
+/// Main-memory backends the design-comparison table sweeps: the fast
+/// DDR4 tier and the slow 3DXPoint-like tier (where fill-traffic
+/// economy matters most).
+pub const DESIGNS_MAINMEMS: &[MainMemKind] = &[MainMemKind::Ddr4 { slow: 1 }, MainMemKind::Xpoint];
+
+/// Replacement policies the design-comparison table sweeps: the seed
+/// SRRIP and plain LRU (the two ends of the scan-resistance spectrum;
+/// `lruc`/`lrud` remain reachable via [`RunSpec::with_policy`]).
+pub const DESIGNS_POLICIES: &[ReplacementPolicy] =
+    &[ReplacementPolicy::Srrip, ReplacementPolicy::Lru];
 
 /// Plan `name` at `scale`, or `None` for a figure that is not sharded.
 pub fn figure_plan(name: &str, scale: &Scale) -> Option<FigurePlan> {
@@ -541,6 +570,25 @@ pub fn figure_plan(name: &str, scale: &Scale) -> Option<FigurePlan> {
             }
             "mainmem"
         }
+        "designs" => {
+            // Design comparison: all four controller organisations ×
+            // replacement policy × main-memory tier, on the paper's
+            // direct-mapped org. The XPoint column shows whether
+            // Banshee's fill economy pays off once the backing store
+            // is slow; the LRU column whether the ranking is
+            // policy-robust.
+            for &mm in DESIGNS_MAINMEMS {
+                for &policy in DESIGNS_POLICIES {
+                    for design in Design::ALL {
+                        units.push(EvalUnit::new(
+                            format!("{}+{}+{}", mm.label(), policy.label(), design.label()),
+                            spec(design, dm).with_main_mem(mm).with_policy(policy),
+                        ));
+                    }
+                }
+            }
+            "designs"
+        }
         _ => return None,
     };
     Some(FigurePlan {
@@ -654,6 +702,7 @@ pub fn execute_job(payload: &JobPayload) -> JobResult {
                 remap: false,
                 lee: false,
                 flushing_factor: 4,
+                policy: ReplacementPolicy::Srrip,
                 main_mem: *main_mem,
                 insts: *insts,
                 warmup: *warmup,
@@ -958,18 +1007,21 @@ pub fn execute_inline(jobs: &[Job]) -> PartialStore {
 
 /// The **warm group** of a job: jobs in one group share warm-state
 /// fingerprints (warm-up is design-, remap-, lee-, ff- and
-/// main-memory-independent), so the supervisor routes a group to one
-/// worker and that worker builds each warm state exactly once for the
-/// whole group. Eval groups key on `(org, scale, seed, mixes)`; alone
-/// groups on `(org, scale, seed, benches)` — i.e. the job id minus the
-/// fields warm-up ignores.
+/// main-memory-independent, but **policy-dependent** — warm-up evicts
+/// through the replacement policy), so the supervisor routes a group to
+/// one worker and that worker builds each warm state exactly once for
+/// the whole group. Eval groups key on
+/// `(org, policy, scale, seed, mixes)`; alone groups on
+/// `(org, scale, seed, benches)` (alone runs are always SRRIP) — i.e.
+/// the job id minus the fields warm-up ignores.
 pub fn warm_group(payload: &JobPayload) -> String {
     match payload {
         JobPayload::Eval { spec, mixes } => {
             let m: Vec<String> = mixes.iter().map(u32::to_string).collect();
             format!(
-                "ev_{}_i{}_w{}_s{:x}_m{}",
+                "ev_{}_p{}_i{}_w{}_s{:x}_m{}",
                 org_token(spec.org),
+                spec.policy.label(),
                 spec.insts,
                 spec.warmup,
                 spec.seed,
@@ -1336,18 +1388,23 @@ mod tests {
             "",
             "zz_dm_cd",
             "ev_dm",
-            "ev_qq_cd_x0_l0_ff4_i1_w1_s0_m1",
-            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_m",
+            "ev_qq_cd_x0_l0_ff4_psrrip_i1_w1_s0_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_m",
             "al_dm_i1_w1_s0_bnosuchbench",
             // Trailing fields (e.g. a trace stem with '_') must not be
             // silently ignored.
-            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_m1_extra",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_m1_extra",
             "al_dm_i1_w1_s0_mmf_bgcc_2800",
-            // Unknown / malformed main-memory backend tokens.
-            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmq_m1",
-            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmd0_m1",
+            // Unknown / malformed tokens for the main-memory backend,
+            // the replacement policy, and the design.
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmq_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmd0_m1",
+            "ev_dm_cd_x0_l0_ff4_pfifo_i1_w1_s0_mmf_m1",
+            "ev_dm_ban2_x0_l0_ff4_psrrip_i1_w1_s0_mmf_m1",
             "al_dm_i1_w1_s0_mmd_bgcc",
-            // Pre-refactor (9-field / 5-field) ids must not half-parse.
+            // Pre-refactor (10-field / 9-field / 5-field) ids must not
+            // half-parse — the policy field is mandatory.
+            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_m1",
             "ev_dm_cd_x0_l0_ff4_i1_w1_s0_m1",
             "al_dm_i1_w1_s0_bgcc",
         ] {
@@ -1429,6 +1486,47 @@ mod tests {
         }
         assert_eq!(mms.len(), MAINMEM_SWEEP.len());
         assert_eq!(alone.len() % MAINMEM_SWEEP.len(), 0);
+    }
+
+    #[test]
+    fn designs_plan_covers_the_full_matrix_and_splits_warm_groups_by_policy() {
+        let scale = tiny_scale();
+        let plan = figure_plan("designs", &scale).expect("shardable");
+        assert_eq!(
+            plan.units.len(),
+            DESIGNS_MAINMEMS.len() * DESIGNS_POLICIES.len() * Design::ALL.len()
+        );
+        // Every (backend, policy, design) cell is present and labelled.
+        for &mm in DESIGNS_MAINMEMS {
+            for &policy in DESIGNS_POLICIES {
+                for design in Design::ALL {
+                    let label = format!("{}+{}+{}", mm.label(), policy.label(), design.label());
+                    assert!(
+                        plan.units.iter().any(|u| u.label == label),
+                        "missing unit {label}"
+                    );
+                }
+            }
+        }
+        let jobs = plan_jobs(std::slice::from_ref(&plan), 4);
+        // Warm-up evicts through the policy, so eval warm groups must
+        // split by policy — but not by design or backend.
+        let groups: HashSet<String> = jobs
+            .iter()
+            .filter(|j| matches!(j.payload, JobPayload::Eval { .. }))
+            .map(|j| warm_group(&j.payload))
+            .collect();
+        assert_eq!(groups.len(), DESIGNS_POLICIES.len(), "{groups:?}");
+        // Alone tables (always SRRIP) exist per backend.
+        let mut mms: Vec<MainMemKind> = Vec::new();
+        for j in &jobs {
+            if let JobPayload::Alone { main_mem, .. } = &j.payload {
+                if !mms.contains(main_mem) {
+                    mms.push(*main_mem);
+                }
+            }
+        }
+        assert_eq!(mms.len(), DESIGNS_MAINMEMS.len());
     }
 
     #[test]

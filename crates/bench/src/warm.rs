@@ -602,7 +602,12 @@ mod tests {
             cfg.design = design;
             cache.get_or_build(&cfg, &benches);
         }
-        assert_eq!(cache.stats().builds, 1, "one warm-up for three designs");
+        assert_eq!(
+            cache.stats().builds,
+            1,
+            "one warm-up shared by all {} designs",
+            Design::ALL.len()
+        );
     }
 
     #[test]
@@ -675,6 +680,45 @@ mod tests {
         let rebuilt = torn.get_or_build(&cfg, &benches);
         assert_eq!(torn.stats().builds, 1, "truncated blob must rebuild");
         assert_eq!(rebuilt.fingerprint(), state.fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_v3_blob_downgrades_to_cold_warmup_without_poisoning() {
+        // A warm pool written before the replacement-policy layer
+        // (format v3) must not survive the v4 bump: the loader warns,
+        // warms cold, and the store replaces the stale blob — the pool
+        // heals instead of erroring or serving pre-policy tag state.
+        let dir = scratch_dir("v3-downgrade");
+        let cfg = tiny_cfg(22);
+        let benches = [Benchmark::Gcc];
+        let fp = dca::WarmState::fingerprint_for(&cfg, &benches);
+        let blob_path = dir.join(format!("{fp:016x}.warm"));
+
+        // Forge a v3-stamped blob with a valid digest — the exact
+        // shape a pre-bump harness left behind, so only the version
+        // check can reject it.
+        let fresh = System::capture_warm(cfg, &benches).encode();
+        let mut stale = fresh[..fresh.len() - 8].to_vec();
+        stale[8..12].copy_from_slice(&3u32.to_le_bytes()); // version field
+        let d = dca_sim_core::digest64(&stale);
+        stale.extend_from_slice(&d.to_le_bytes());
+        std::fs::write(&blob_path, &stale).expect("plant stale v3 blob");
+
+        let cache = WarmCache::with_policy(4, Some(dir.clone()), true);
+        let state = cache.get_or_build(&cfg, &benches);
+        assert_eq!(state.fingerprint(), fp);
+        let s = cache.stats();
+        assert_eq!(
+            (s.builds, s.disk_loads),
+            (1, 0),
+            "a stale v3 blob must fall back to a cold warm-up"
+        );
+
+        // The rebuild replaced the stale blob with a current-format
+        // one, byte-identical to a fresh cold capture.
+        let healed = std::fs::read(&blob_path).expect("blob present after heal");
+        assert_eq!(healed, fresh, "store must heal the pool with a v4 blob");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

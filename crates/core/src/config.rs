@@ -1,10 +1,11 @@
 //! System configuration (paper Table II).
 
 use dca_dram::{MappingScheme, Organization, TimingParams};
-use dca_dram_cache::OrgKind;
+use dca_dram_cache::{OrgKind, ReplacementPolicy};
 use dca_mem_hier::MainMemConfig;
 
-/// The three controller designs compared in the paper.
+/// The controller designs raced against each other: the paper's three
+/// plus a Banshee-style bandwidth-efficient fourth.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Design {
     /// Conventional Design (§III-A): queue by access type.
@@ -13,11 +14,16 @@ pub enum Design {
     Rod,
     /// DRAM-Cache-Aware (§IV): CD queues + PR/LR split + OFS.
     Dca,
+    /// Banshee-style bandwidth-efficient design (Yu et al.): CD queues,
+    /// but miss fills are gated by page-granular frequency counters so
+    /// cold pages bypass the cache and fill traffic drops
+    /// ([`BansheeParams`]).
+    Banshee,
 }
 
 impl Design {
-    /// All designs, in the paper's presentation order.
-    pub const ALL: [Design; 3] = [Design::Cd, Design::Rod, Design::Dca];
+    /// All designs, the paper's three in presentation order first.
+    pub const ALL: [Design; 4] = [Design::Cd, Design::Rod, Design::Dca, Design::Banshee];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -25,6 +31,7 @@ impl Design {
             Design::Cd => "CD",
             Design::Rod => "ROD",
             Design::Dca => "DCA",
+            Design::Banshee => "BAN",
         }
     }
 }
@@ -60,6 +67,27 @@ impl Default for DcaParams {
     }
 }
 
+/// Banshee-style fill-gate knobs ([`Design::Banshee`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BansheeParams {
+    /// A page's miss fills are admitted only once its frequency counter
+    /// has reached this value — the first `fill_threshold - 1` misses
+    /// to a cold page bypass the cache.
+    pub fill_threshold: u8,
+    /// Saturation cap for the per-page frequency counters (Banshee uses
+    /// small saturating counters in the page-table/TLB entries).
+    pub counter_cap: u8,
+}
+
+impl Default for BansheeParams {
+    fn default() -> Self {
+        BansheeParams {
+            fill_threshold: 2,
+            counter_cap: 7,
+        }
+    }
+}
+
 /// Full system configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
@@ -67,6 +95,9 @@ pub struct SystemConfig {
     pub design: Design,
     /// DRAM-cache organisation (set-associative / direct-mapped).
     pub org_kind: OrgKind,
+    /// DRAM-cache replacement policy (SRRIP default; warm-up drives the
+    /// tag array through it, so it is part of the warm fingerprint).
+    pub replacement: ReplacementPolicy,
     /// Bank-index mapping (plain or XOR remap \[9\]).
     pub mapping: MappingScheme,
     /// Base arbiter (paper: BLISS for everything).
@@ -90,6 +121,8 @@ pub struct SystemConfig {
     pub write_hi: f64,
     /// DCA knobs.
     pub dca: DcaParams,
+    /// Banshee fill-gate knobs (consulted only by [`Design::Banshee`]).
+    pub banshee: BansheeParams,
     /// Enable Lee et al. DRAM-aware L2 writeback \[20\] (Fig 19).
     pub lee_writeback: bool,
     /// Enable the MAP-I hit/miss predictor \[7\] (paper: on).
@@ -132,6 +165,7 @@ impl SystemConfig {
         SystemConfig {
             design,
             org_kind,
+            replacement: ReplacementPolicy::Srrip,
             mapping: MappingScheme::Direct,
             arbiter: Arbiter::Bliss,
             timing: TimingParams::paper_stacked(),
@@ -142,6 +176,7 @@ impl SystemConfig {
             write_lo: 0.50,
             write_hi: 0.85,
             dca: DcaParams::default(),
+            banshee: BansheeParams::default(),
             lee_writeback: false,
             predictor: true,
             target_insts: 2_000_000,
@@ -168,6 +203,15 @@ impl SystemConfig {
     pub fn paper_cycle_mem(design: Design, org_kind: OrgKind) -> Self {
         let mut cfg = Self::paper(design, org_kind);
         cfg.main_mem = MainMemConfig::ddr4();
+        cfg
+    }
+
+    /// Convenience: the paper config with the slow 3DXPoint-like
+    /// cycle-level main memory — the regime where the DRAM cache stops
+    /// being an optimisation and becomes load-bearing.
+    pub fn paper_xpoint(design: Design, org_kind: OrgKind) -> Self {
+        let mut cfg = Self::paper(design, org_kind);
+        cfg.main_mem = MainMemConfig::xpoint();
         cfg
     }
 
@@ -199,7 +243,26 @@ mod tests {
         assert_eq!(Design::Cd.label(), "CD");
         assert_eq!(Design::Rod.label(), "ROD");
         assert_eq!(Design::Dca.label(), "DCA");
-        assert_eq!(Design::ALL.len(), 3);
+        assert_eq!(Design::Banshee.label(), "BAN");
+        assert_eq!(Design::ALL.len(), 4);
+    }
+
+    #[test]
+    fn banshee_gets_cd_queues_and_srrip_default() {
+        let ban = SystemConfig::paper(Design::Banshee, OrgKind::DirectMapped);
+        assert_eq!((ban.read_q_cap, ban.write_q_cap), (64, 64));
+        assert_eq!(ban.replacement, ReplacementPolicy::Srrip);
+        assert_eq!(ban.banshee.fill_threshold, 2);
+        assert!(ban.banshee.counter_cap >= ban.banshee.fill_threshold);
+    }
+
+    #[test]
+    fn xpoint_variant_flips_main_mem_only() {
+        let a = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+        let b = SystemConfig::paper_xpoint(Design::Dca, OrgKind::DirectMapped);
+        assert!(!a.main_mem.is_cycle());
+        assert!(b.main_mem.is_cycle());
+        assert_eq!(a.read_q_cap, b.read_q_cap);
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! The per-channel DRAM-cache controller: CD, ROD and DCA.
+//! The per-channel DRAM-cache controller: CD, ROD, DCA and the
+//! Banshee-style BAN.
 //!
-//! All three designs share the same machinery — a bounded read queue, a
+//! All designs share the same machinery — a bounded read queue, a
 //! bounded write queue, a base arbiter (BLISS), and the two-threshold
 //! write-drain policy — and differ *only* in:
 //!
-//! 1. **queue placement** ([`ChannelController::enqueue`]): CD and DCA
-//!    place accesses by access type; ROD places them by request type
+//! 1. **queue placement** ([`ChannelController::enqueue`]): CD, DCA and
+//!    BAN place accesses by access type; ROD places them by request type
 //!    (with the paper's footnote: a read request's tag write still goes
-//!    to the write queue);
+//!    to the write queue). BAN's defining mechanism — the frequency-
+//!    gated fill — lives upstream in the system's refill submission,
+//!    not here: its controller scheduling is CD's;
 //! 2. **read-queue arbitration** ([`ChannelController::schedule_one`]):
 //!    CD and ROD arbitrate over every read-queue entry; DCA normally
 //!    arbitrates over priority reads only, holding low-priority reads
@@ -190,8 +193,9 @@ impl ChannelController {
     /// Queue placement (the design-defining function, Fig 3 / Fig 6).
     fn target_is_write_q(&self, spec: &AccessSpec, req_kind: CacheReqKind) -> bool {
         match self.design {
-            // CD and DCA: by access type.
-            Design::Cd | Design::Dca => spec.access.kind == AccessKind::Write,
+            // CD, DCA and Banshee: by access type (Banshee reshapes the
+            // *fill stream*, not the queue placement).
+            Design::Cd | Design::Dca | Design::Banshee => spec.access.kind == AccessKind::Write,
             // ROD: by request type, except a read request's tag write
             // which goes to the write queue (§III-B footnote).
             Design::Rod => match req_kind {
@@ -253,7 +257,7 @@ impl ChannelController {
     /// O(1): the queue tracks its PR population incrementally.
     fn reads_pending(&self) -> bool {
         match self.design {
-            Design::Cd | Design::Rod => !self.read_q.is_empty(),
+            Design::Cd | Design::Rod | Design::Banshee => !self.read_q.is_empty(),
             Design::Dca => self.read_q.priority_count() > 0,
         }
     }
@@ -496,6 +500,32 @@ mod tests {
         );
         assert_eq!(c.read_q.len(), 1);
         assert_eq!(c.write_q.len(), 1);
+    }
+
+    #[test]
+    fn banshee_routes_like_cd_and_schedules_all_reads() {
+        let (mut c, mut r) = ctrl(Design::Banshee);
+        // By access type: a writeback's tag read lands in the read queue.
+        c.enqueue(
+            0,
+            spec(0, 5, AccessKind::Read, ReadClass::LowPriority),
+            CacheReqKind::Writeback,
+            0,
+            SimTime(0),
+        );
+        c.enqueue(
+            1,
+            spec(0, 0, AccessKind::Write, ReadClass::LowPriority),
+            CacheReqKind::Writeback,
+            0,
+            SimTime(0),
+        );
+        assert_eq!(c.read_q.len(), 1);
+        assert_eq!(c.write_q.len(), 1);
+        // And the LR is schedulable immediately — no DCA-style holdback.
+        let mut ch = channel();
+        let issued = c.schedule_one(&mut ch, &mut r, SimTime(20)).unwrap();
+        assert_eq!(issued.entry.class, ReadClass::LowPriority);
     }
 
     #[test]

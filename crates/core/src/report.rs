@@ -66,6 +66,13 @@ pub struct SystemReport {
     pub writeback_requests: u64,
     /// Refill requests presented to the DRAM cache.
     pub refill_requests: u64,
+    /// Miss fills admitted into the cache (equals `refill_requests` for
+    /// every design except Banshee, whose frequency gate filters them).
+    pub cache_fills: u64,
+    /// Miss fills the Banshee-style frequency gate bypassed (0 for the
+    /// other designs): the block answered the cores but was not
+    /// installed, saving the fill's DRAM-cache write traffic.
+    pub fill_bypasses: u64,
     /// Final simulated time.
     pub end_time: SimTime,
     /// Events the engine delivered over the run (throughput denominator
@@ -83,6 +90,17 @@ impl SystemReport {
             0.0
         } else {
             self.cache_read_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of miss fills the fill gate bypassed (0 when every fill
+    /// was admitted — i.e. for every design except Banshee).
+    pub fn fill_bypass_rate(&self) -> f64 {
+        let total = self.cache_fills + self.fill_bypasses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fill_bypasses as f64 / total as f64
         }
     }
 

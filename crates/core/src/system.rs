@@ -39,10 +39,10 @@ use dca_dram_cache::{
 use dca_mem_hier::{collect_same_row_dirty, MainMemory, MemArrival, Mshr, MshrOutcome, SramCache};
 use dca_metrics::LatencyStat;
 use dca_sim_core::{
-    BaselineEventQueue, Duration, EventQueue, SeedSplitter, SimTime, Slab, SlabKey,
+    BaselineEventQueue, Duration, EventQueue, FastHashMap, SeedSplitter, SimTime, Slab, SlabKey,
 };
 
-use crate::config::SystemConfig;
+use crate::config::{Design, SystemConfig};
 use crate::controller::{AccessMeta, ChannelController};
 use crate::report::{ChannelReport, CoreReport, SystemReport};
 use crate::rrpc::Rrpc;
@@ -205,12 +205,19 @@ struct Uncore {
     /// Events produced while the event queue is not borrowable
     /// (inside the cores' port callbacks).
     outbox: Vec<(SimTime, Ev)>,
+    /// Banshee fill gate: per-page (row-frame) saturating frequency
+    /// counters. Consulted only when the design is [`Design::Banshee`];
+    /// a miss fill is admitted only once its page has proven itself hot
+    /// enough, so cold pages never spend fill bandwidth.
+    fill_counters: FastHashMap<u64, u8>,
     // Statistics.
     latency: LatencyStat,
     cache_read_hits: u64,
     cache_read_misses: u64,
     wb_requests: u64,
     refill_requests: u64,
+    cache_fills: u64,
+    fill_bypasses: u64,
     wasted_prefetches: u64,
     timeline: Option<Timeline>,
 }
@@ -323,8 +330,24 @@ impl Uncore {
         self.outbox.push((at, Ev::Pump(ch as u8)));
     }
 
-    /// Create and queue a refill request for `block`.
+    /// Create and queue a refill request for `block`. Under the Banshee
+    /// design the fill is frequency-gated: a cold page's refills bypass
+    /// the cache entirely (the demand data already answered the cores),
+    /// saving the fill's DRAM-cache write traffic. Warm-up is
+    /// design-independent and never passes through this gate.
     fn submit_refill(&mut self, block: u64, app: u8, at: SimTime) {
+        if self.cfg.design == Design::Banshee {
+            let frame = self.geom.place(block).frame;
+            let count = self.fill_counters.entry(frame).or_insert(0);
+            if *count < self.cfg.banshee.counter_cap {
+                *count += 1;
+            }
+            if *count < self.cfg.banshee.fill_threshold {
+                self.fill_bypasses += 1;
+                return;
+            }
+        }
+        self.cache_fills += 1;
         let id = self.alloc_request(None);
         self.refill_requests += 1;
         let req = CacheRequest {
@@ -440,8 +463,8 @@ impl System {
         let geom = CacheGeometry::new(cfg.org_kind, cfg.dram_org, cfg.mapping);
         assert_eq!(warm.l1.len(), benches.len(), "warm-state core count");
         assert_eq!(
-            (warm.tags.sets(), warm.tags.ways()),
-            (geom.num_sets(), cfg.org_kind.ways()),
+            (warm.tags.sets(), warm.tags.ways(), warm.tags.policy()),
+            (geom.num_sets(), cfg.org_kind.ways(), cfg.replacement),
             "warm-state tag geometry"
         );
         let hier = HierState {
@@ -467,7 +490,7 @@ impl System {
         HierState {
             l1: benches.iter().map(|_| SramCache::paper_l1()).collect(),
             l2: SramCache::paper_l2(),
-            tags: TagArray::new(geom.num_sets(), cfg.org_kind.ways()),
+            tags: TagArray::with_policy(geom.num_sets(), cfg.org_kind.ways(), cfg.replacement),
             predictor: MapI::paper(),
             gens: benches
                 .iter()
@@ -511,11 +534,14 @@ impl System {
             mem_pump_armed_at: None,
             mem_arrivals: Vec::new(),
             outbox: Vec::new(),
+            fill_counters: FastHashMap::default(),
             latency: LatencyStat::new(),
             cache_read_hits: 0,
             cache_read_misses: 0,
             wb_requests: 0,
             refill_requests: 0,
+            cache_fills: 0,
+            fill_bypasses: 0,
             wasted_prefetches: 0,
             timeline: cfg.record_timeline.then(|| Timeline::new(100_000)),
         };
@@ -1042,6 +1068,8 @@ impl System {
             main_mem: self.uncore.memory.stats(),
             writeback_requests: self.uncore.wb_requests,
             refill_requests: self.uncore.refill_requests,
+            cache_fills: self.uncore.cache_fills,
+            fill_bypasses: self.uncore.fill_bypasses,
             end_time: self.queue.now(),
             events_processed: self.queue.counters().1,
             timeline: self.uncore.timeline,
@@ -1094,6 +1122,62 @@ mod tests {
                 r.cores.iter().all(|c| c.insts >= 60_000),
                 "{} SA run incomplete",
                 d.label()
+            );
+        }
+    }
+
+    #[test]
+    fn banshee_gates_fills_and_stays_deterministic() {
+        let r = tiny(Design::Banshee, OrgKind::DirectMapped);
+        assert!(r.cores.iter().all(|c| c.insts >= 60_000));
+        // The frequency gate must actually bypass some cold-page fills
+        // while admitting the rest; admitted fills are exactly the
+        // refills that reached the controller.
+        assert!(r.fill_bypasses > 0, "cold pages should bypass the cache");
+        assert!(r.cache_fills > 0, "hot pages should still be filled");
+        assert_eq!(r.cache_fills, r.refill_requests);
+        assert!(r.fill_bypass_rate() > 0.0 && r.fill_bypass_rate() < 1.0);
+        let b = tiny(Design::Banshee, OrgKind::DirectMapped);
+        assert_eq!(r.end_time, b.end_time);
+        assert_eq!(r.fill_bypasses, b.fill_bypasses);
+        // The other designs never consult the gate.
+        let cd = tiny(Design::Cd, OrgKind::DirectMapped);
+        assert_eq!(cd.fill_bypasses, 0);
+        assert_eq!(cd.cache_fills, cd.refill_requests);
+    }
+
+    #[test]
+    fn every_replacement_policy_runs_the_sa_org_deterministically() {
+        // At unit-test scale the paper SA geometry (millions of tag
+        // entries) never fills a set, so the policy layer — which may
+        // only act at eviction time — must be *invisible*: every policy
+        // completes, reruns bit-identically, and agrees with SRRIP
+        // exactly. Divergence under set pressure is pinned down by the
+        // TagArray unit and property tests, where pressure is cheap.
+        let mk = |policy| {
+            let mut cfg =
+                SystemConfig::paper(Design::Cd, OrgKind::paper_set_assoc()).scaled(60_000, 300_000);
+            cfg.replacement = policy;
+            System::new(cfg, &[Benchmark::Libquantum, Benchmark::Mcf]).run()
+        };
+        use dca_dram_cache::ReplacementPolicy;
+        let srrip = mk(ReplacementPolicy::Srrip);
+        for policy in ReplacementPolicy::ALL {
+            let r = mk(policy);
+            assert!(r.cores.iter().all(|c| c.insts >= 60_000), "{policy:?}");
+            assert_eq!(
+                r.end_time,
+                mk(policy).end_time,
+                "{policy:?} must be deterministic"
+            );
+            assert_eq!(
+                (r.end_time, r.events_processed, r.cache_read_hits),
+                (
+                    srrip.end_time,
+                    srrip.events_processed,
+                    srrip.cache_read_hits
+                ),
+                "{policy:?}: below eviction pressure every policy must match SRRIP"
             );
         }
     }

@@ -25,7 +25,9 @@
 //!   a trace workload it is the trace file's **content digest** — an
 //!   edited trace yields a new digest and therefore misses every stale
 //!   checkpoint by construction (paths and mtimes are never consulted),
-//! * the cache organisation (`OrgKind` discriminant + associativity),
+//! * the cache organisation (`OrgKind` discriminant + associativity)
+//!   and the replacement policy (warm-up drives the tag array through
+//!   [`TagArray::insert`], whose victim choice is policy-dependent),
 //! * the stacked-DRAM organisation (channels, ranks, banks, rows,
 //!   row bytes — these size the tag array via the frame count),
 //! * `warmup_ops` and the experiment `seed`.
@@ -87,8 +89,14 @@ use crate::config::SystemConfig;
 /// warm-up; nothing panics. The backend choice itself is deliberately
 /// *excluded* from the fingerprint: warm-up is timing-free, so one
 /// warm-up legally serves every main-memory backend of a sensitivity
-/// sweep.)
-pub const WARM_FORMAT_VERSION: u32 = 3;
+/// sweep.
+/// v4: the tag array grew a pluggable replacement policy — the codec
+/// carries a policy byte and the fingerprint folds the policy in (the
+/// warmed tag contents depend on it). A v3 blob is rejected with the
+/// same clean version error as v2; consumers warm cold. The *design*
+/// — including the Banshee fill gate, which is a timing-phase refill
+/// filter — and the main-memory backend remain excluded.)
+pub const WARM_FORMAT_VERSION: u32 = 4;
 
 /// Magic prefix of an encoded [`WarmState`].
 const MAGIC: &[u8; 8] = b"DCAWARM\0";
@@ -203,6 +211,9 @@ impl WarmState {
                 OrgKind::DirectMapped => 0xD300,
             },
         );
+        // The replacement policy shapes which victims warm-up evicts,
+        // so the warmed tag contents are policy-specific.
+        h = mix(h, 0x7263_7000 | cfg.replacement.code() as u64);
         let org = &cfg.dram_org;
         for v in [
             org.channels as u64,
@@ -269,8 +280,9 @@ impl WarmState {
         }
         let version = r.u32()?;
         if version != WARM_FORMAT_VERSION {
-            // Old pools (v2 and earlier) predate the tier-generic
-            // main-memory refactor: reject cleanly so callers re-warm.
+            // Old pools predate either the tier-generic main-memory
+            // refactor (v2 and earlier) or the policy-aware tag codec
+            // (v3): reject cleanly so callers re-warm.
             return Err(CodecError::new("unsupported warm-state version"));
         }
         let fingerprint = r.u64()?;
@@ -396,6 +408,49 @@ mod tests {
         assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
         c.main_mem = dca_mem_hier::MainMemConfig::ddr4_bandwidth_div(4);
         assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+        c.main_mem = dca_mem_hier::MainMemConfig::xpoint();
+        assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
+    }
+
+    #[test]
+    fn fingerprint_tracks_replacement_policy() {
+        use dca_dram_cache::ReplacementPolicy;
+        // Warm-up evicts through the policy, so every policy keys its
+        // own checkpoint — and each key is distinct.
+        let base = cfg(OrgKind::paper_set_assoc());
+        let fps: Vec<u64> = ReplacementPolicy::ALL
+            .iter()
+            .map(|&p| {
+                let mut c = base;
+                c.replacement = p;
+                WarmState::fingerprint_for(&c, &BENCHES)
+            })
+            .collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "policies {i} and {j} collide");
+            }
+        }
+        assert_eq!(fps[0], WarmState::fingerprint_for(&base, &BENCHES));
+    }
+
+    #[test]
+    fn decode_rejects_v3_blobs_cleanly() {
+        // A pre-policy-layer (v3) pool must be refused the same way v2
+        // is: a clean version error, then a cold re-warm. Forge a
+        // v3-stamped blob with a valid digest so only the version check
+        // can reject it.
+        let c = cfg(OrgKind::DirectMapped);
+        let blob = crate::System::capture_warm(c, &BENCHES).encode();
+        let mut old = blob[..blob.len() - 8].to_vec();
+        old[8..12].copy_from_slice(&3u32.to_le_bytes()); // version field
+        let d = dca_sim_core::digest64(&old);
+        old.extend_from_slice(&d.to_le_bytes());
+        let err = WarmState::decode(&old).expect_err("v3 must be rejected");
+        assert!(
+            format!("{err}").contains("version"),
+            "error should name the version mismatch, got: {err}"
+        );
     }
 
     #[test]

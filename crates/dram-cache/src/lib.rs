@@ -14,13 +14,32 @@
 //!   a single access — which is exactly why the paper's DCA gains are
 //!   larger for direct-mapped (§VI-A).
 //!
+//! ## Design × organisation × replacement matrix
+//!
+//! Any controller design runs over any organisation under any
+//! replacement policy; the axes are orthogonal:
+//!
+//! | Axis | Variants | Decided in |
+//! |------|----------|------------|
+//! | Controller design | CD, ROD, DCA, BAN (Banshee-style frequency-gated fill) | `dca_core::config::Design` |
+//! | Organisation | SA (4×15-way tags-in-row), DM (Alloy TAD) | [`OrgKind`] |
+//! | Replacement | `srrip` (default), `lru`, `lruc`, `lrud` | [`tags::ReplacementPolicy`] |
+//! | Main memory | flat 50 ns, cycle-level DDR4, cycle-level XPoint | `dca_mem_hier::MainMemConfig` |
+//!
+//! The design axis lives in the controller/system crate (it schedules
+//! the access streams); the organisation and replacement axes live here
+//! (they define what the access streams *are* and which blocks
+//! survive). For the direct-mapped organisation every replacement
+//! policy degenerates to the same single-way behaviour.
+//!
 //! Modules:
 //!
 //! * [`geometry`] — address → (set, way-slot, DRAM location) for both
 //!   organisations, including the RoBaRaChCo frame mapping and optional
 //!   XOR remap.
-//! * [`tags`] — the functional tag/dirty/replacement array (SRRIP
-//!   replacement for the 15-way design).
+//! * [`tags`] — the functional tag/dirty/replacement array with a
+//!   pluggable [`tags::ReplacementPolicy`] (SRRIP default, plus the
+//!   LRU family).
 //! * [`request`] — cache-level request types (read / writeback / refill).
 //! * [`translate`] — the per-request state machines that expand a cache
 //!   request into its DRAM accesses *as dependencies resolve* (a tag read
@@ -42,5 +61,5 @@ pub use geometry::{BlockPlace, CacheGeometry, OrgKind};
 pub use predictor::MapI;
 pub use request::{CacheReqKind, CacheRequest, RequestId};
 pub use tag_cache::{TagCache, TagCacheStats};
-pub use tags::{InsertOutcome, TagArray};
+pub use tags::{InsertOutcome, ReplacementPolicy, TagArray};
 pub use translate::{AccessRole, AccessSpec, FsmOutput, RequestFsm};

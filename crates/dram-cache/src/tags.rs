@@ -5,11 +5,21 @@
 //! this state through the DRAM array is what the controller designs
 //! schedule; it is modelled by the access streams, not here.
 //!
-//! Replacement is SRRIP (Jaleel et al., the paper's citation \[12\] for
-//! re-reference prediction): 2-bit RRPV per way, hit promotes to 0,
-//! insertion at 2, victim = first way with RRPV 3 (aging increments all
-//! until one qualifies). For the direct-mapped organisation the set has
-//! one way and replacement is trivial.
+//! Replacement is pluggable per [`ReplacementPolicy`]:
+//!
+//! * [`ReplacementPolicy::Srrip`] (the default, and the only policy the
+//!   seed model had): SRRIP (Jaleel et al., the paper's citation \[12\]
+//!   for re-reference prediction) — 2-bit RRPV per way, hit promotes to
+//!   0, insertion at 2, victim = first way with RRPV 3 (aging increments
+//!   all until one qualifies).
+//! * [`ReplacementPolicy::Lru`] / [`ReplacementPolicy::LruClean`] /
+//!   [`ReplacementPolicy::LruDirty`]: true LRU stack positions per way
+//!   (0 = MRU), with the gem5 `DRAMCacheCtrl` exemplar's `lruc`/`lrud`
+//!   variants preferring to evict the LRU *clean* (no victim writeback)
+//!   or LRU *dirty* (drain dirt early) way when one exists.
+//!
+//! For the direct-mapped organisation the set has one way and every
+//! policy degenerates to the same trivial replacement.
 
 use dca_sim_core::{ByteReader, ByteWriter, CodecError};
 
@@ -25,12 +35,67 @@ pub struct InsertOutcome {
 const RRPV_MAX: u8 = 3;
 const RRPV_INSERT: u8 = 2;
 
+/// Which replacement policy governs a [`TagArray`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// 2-bit SRRIP (seed behaviour, bit-identical to the pre-layer code).
+    #[default]
+    Srrip,
+    /// True LRU: evict the least-recently-used way.
+    Lru,
+    /// LRU preferring clean victims (gem5 exemplar `lruc`): evict the
+    /// LRU clean way when any way is clean, else plain LRU.
+    LruClean,
+    /// LRU preferring dirty victims (gem5 exemplar `lrud`): evict the
+    /// LRU dirty way when any way is dirty, else plain LRU.
+    LruDirty,
+}
+
+impl ReplacementPolicy {
+    /// Every policy, SRRIP (the default) first.
+    pub const ALL: [ReplacementPolicy; 4] = [
+        ReplacementPolicy::Srrip,
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::LruClean,
+        ReplacementPolicy::LruDirty,
+    ];
+
+    /// Display label for reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Srrip => "srrip",
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::LruClean => "lruc",
+            ReplacementPolicy::LruDirty => "lrud",
+        }
+    }
+
+    /// Stable numeric code for codecs and fingerprints.
+    pub fn code(self) -> u8 {
+        match self {
+            ReplacementPolicy::Srrip => 0,
+            ReplacementPolicy::Lru => 1,
+            ReplacementPolicy::LruClean => 2,
+            ReplacementPolicy::LruDirty => 3,
+        }
+    }
+
+    /// Inverse of [`ReplacementPolicy::code`].
+    pub fn from_code(code: u8) -> Option<ReplacementPolicy> {
+        ReplacementPolicy::ALL
+            .into_iter()
+            .find(|p| p.code() == code)
+    }
+}
+
 #[derive(Clone, Copy, Debug, Default)]
 struct TagEntry {
     tag: u32,
     valid: bool,
     dirty: bool,
-    rrpv: u8,
+    /// Per-way replacement state: the RRPV under SRRIP, the LRU stack
+    /// position (0 = MRU) under the LRU family.
+    state: u8,
 }
 
 /// The functional tag array: `sets × ways` entries, flat storage.
@@ -39,17 +104,24 @@ pub struct TagArray {
     entries: Vec<TagEntry>,
     sets: u64,
     ways: u16,
+    policy: ReplacementPolicy,
 }
 
 impl TagArray {
-    /// An all-invalid array.
+    /// An all-invalid array under the default (SRRIP) policy.
     pub fn new(sets: u64, ways: u16) -> Self {
+        Self::with_policy(sets, ways, ReplacementPolicy::Srrip)
+    }
+
+    /// An all-invalid array governed by `policy`.
+    pub fn with_policy(sets: u64, ways: u16, policy: ReplacementPolicy) -> Self {
         assert!(ways >= 1);
         assert!(sets >= 1);
         TagArray {
             entries: vec![TagEntry::default(); (sets * ways as u64) as usize],
             sets,
             ways,
+            policy,
         }
     }
 
@@ -61,6 +133,11 @@ impl TagArray {
     /// Associativity.
     pub fn ways(&self) -> u16 {
         self.ways
+    }
+
+    /// Replacement policy in force.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
     }
 
     #[inline]
@@ -86,7 +163,19 @@ impl TagArray {
     /// Record a hit on (set, way): promote its replacement state.
     pub fn touch(&mut self, set: u64, way: u16) {
         let base = self.base(set);
-        self.entries[base + way as usize].rrpv = 0;
+        match self.policy {
+            ReplacementPolicy::Srrip => self.entries[base + way as usize].state = 0,
+            _ => {
+                // LRU family: move to MRU, older entries shift down.
+                let old = self.entries[base + way as usize].state;
+                for e in &mut self.entries[base..base + self.ways as usize] {
+                    if e.valid && e.state < old {
+                        e.state += 1;
+                    }
+                }
+                self.entries[base + way as usize].state = 0;
+            }
+        }
     }
 
     /// Mark (set, way) dirty (hit by a writeback).
@@ -95,29 +184,67 @@ impl TagArray {
         self.entries[base + way as usize].dirty = dirty;
     }
 
+    /// The LRU-family victim among a full set: the preferred class's
+    /// oldest way, falling back to the overall LRU way. Ties cannot
+    /// happen — stack positions are a permutation of `0..ways`.
+    fn lru_victim(&self, base: usize) -> usize {
+        let ways = &self.entries[base..base + self.ways as usize];
+        let prefer: Option<fn(&TagEntry) -> bool> = match self.policy {
+            ReplacementPolicy::LruClean => Some(|e| !e.dirty),
+            ReplacementPolicy::LruDirty => Some(|e| e.dirty),
+            _ => None,
+        };
+        let oldest = |pred: &dyn Fn(&TagEntry) -> bool| {
+            ways.iter()
+                .enumerate()
+                .filter(|(_, e)| pred(e))
+                .max_by_key(|(_, e)| e.state)
+                .map(|(i, _)| i)
+        };
+        prefer
+            .and_then(|p| oldest(&p))
+            .or_else(|| oldest(&|_| true))
+            .expect("full set has a victim")
+    }
+
     /// Identify the victim way an insertion into `set` would use, without
-    /// modifying anything. Invalid ways win first; otherwise SRRIP aging
-    /// is *simulated* (the actual aging happens on insert).
+    /// modifying anything. Invalid ways win first; otherwise the policy
+    /// decides (SRRIP aging is *simulated* — the actual aging happens on
+    /// insert).
     pub fn victim_way(&self, set: u64) -> (u16, Option<(u32, bool)>) {
         let base = self.base(set);
         let ways = &self.entries[base..base + self.ways as usize];
         if let Some(w) = ways.iter().position(|e| !e.valid) {
             return (w as u16, None);
         }
-        // SRRIP: pick the first way whose RRPV would reach MAX first —
-        // i.e. the way with the highest current RRPV; ties to lowest index.
-        let mut best = 0usize;
-        for (i, e) in ways.iter().enumerate().skip(1) {
-            if e.rrpv > ways[best].rrpv {
-                best = i;
+        let best = match self.policy {
+            ReplacementPolicy::Srrip => {
+                // SRRIP: pick the first way whose RRPV would reach MAX
+                // first — i.e. the way with the highest current RRPV;
+                // ties to lowest index.
+                let mut best = 0usize;
+                for (i, e) in ways.iter().enumerate().skip(1) {
+                    if e.state > ways[best].state {
+                        best = i;
+                    }
+                }
+                best
             }
-        }
+            _ => self.lru_victim(base),
+        };
         let v = &ways[best];
         (best as u16, Some((v.tag, v.dirty)))
     }
 
-    /// Insert `tag` into `set`, evicting per SRRIP if needed.
+    /// Insert `tag` into `set`, evicting per the policy if needed.
     pub fn insert(&mut self, set: u64, tag: u32, dirty: bool) -> InsertOutcome {
+        match self.policy {
+            ReplacementPolicy::Srrip => self.insert_srrip(set, tag, dirty),
+            _ => self.insert_lru(set, tag, dirty),
+        }
+    }
+
+    fn insert_srrip(&mut self, set: u64, tag: u32, dirty: bool) -> InsertOutcome {
         let base = self.base(set);
         // Reuse an invalid way when available.
         if let Some(w) = (0..self.ways as usize).find(|&w| !self.entries[base + w].valid) {
@@ -125,7 +252,7 @@ impl TagArray {
                 tag,
                 valid: true,
                 dirty,
-                rrpv: RRPV_INSERT,
+                state: RRPV_INSERT,
             };
             return InsertOutcome {
                 way: w as u16,
@@ -135,14 +262,14 @@ impl TagArray {
         // Age until some way reaches RRPV_MAX.
         loop {
             if let Some(w) =
-                (0..self.ways as usize).find(|&w| self.entries[base + w].rrpv >= RRPV_MAX)
+                (0..self.ways as usize).find(|&w| self.entries[base + w].state >= RRPV_MAX)
             {
                 let victim = self.entries[base + w];
                 self.entries[base + w] = TagEntry {
                     tag,
                     valid: true,
                     dirty,
-                    rrpv: RRPV_INSERT,
+                    state: RRPV_INSERT,
                 };
                 return InsertOutcome {
                     way: w as u16,
@@ -150,8 +277,49 @@ impl TagArray {
                 };
             }
             for w in 0..self.ways as usize {
-                self.entries[base + w].rrpv += 1;
+                self.entries[base + w].state += 1;
             }
+        }
+    }
+
+    fn insert_lru(&mut self, set: u64, tag: u32, dirty: bool) -> InsertOutcome {
+        let base = self.base(set);
+        if let Some(w) = (0..self.ways as usize).find(|&w| !self.entries[base + w].valid) {
+            // New block enters at MRU; every resident ages one step.
+            for e in &mut self.entries[base..base + self.ways as usize] {
+                if e.valid {
+                    e.state += 1;
+                }
+            }
+            self.entries[base + w] = TagEntry {
+                tag,
+                valid: true,
+                dirty,
+                state: 0,
+            };
+            return InsertOutcome {
+                way: w as u16,
+                evicted: None,
+            };
+        }
+        let w = self.lru_victim(base);
+        let victim = self.entries[base + w];
+        // Ways younger than the victim age one step; older ones keep
+        // their positions — the stack stays a permutation of 0..ways.
+        for e in &mut self.entries[base..base + self.ways as usize] {
+            if e.state < victim.state {
+                e.state += 1;
+            }
+        }
+        self.entries[base + w] = TagEntry {
+            tag,
+            valid: true,
+            dirty,
+            state: 0,
+        };
+        InsertOutcome {
+            way: w as u16,
+            evicted: Some((victim.tag, victim.dirty)),
         }
     }
 
@@ -181,7 +349,7 @@ impl TagArray {
     /// Overwrite this array's state with a previously captured snapshot.
     ///
     /// # Panics
-    /// Panics on a geometry mismatch.
+    /// Panics on a geometry or policy mismatch.
     pub fn restore(&mut self, snap: &TagArray) {
         assert_eq!(
             (self.sets, self.ways),
@@ -192,19 +360,21 @@ impl TagArray {
             self.sets,
             self.ways
         );
+        assert_eq!(self.policy, snap.policy, "snapshot policy mismatch");
         *self = snap.clone();
     }
 
     /// Serialise the full state into `w` (checkpoint-file payload).
-    /// Layout: sets, ways, then one `(tag, valid|dirty flags, rrpv)`
-    /// record per entry.
+    /// Layout: sets, ways, policy code, then one
+    /// `(tag, valid|dirty flags, state)` record per entry.
     pub fn encode(&self, w: &mut ByteWriter) {
         w.put_u64(self.sets);
         w.put_u16(self.ways);
+        w.put_u8(self.policy.code());
         for e in &self.entries {
             w.put_u32(e.tag);
             w.put_u8(e.valid as u8 | (e.dirty as u8) << 1);
-            w.put_u8(e.rrpv);
+            w.put_u8(e.state);
         }
     }
 
@@ -215,6 +385,8 @@ impl TagArray {
         if sets == 0 || ways == 0 {
             return Err(CodecError::new("invalid tag array geometry"));
         }
+        let policy = ReplacementPolicy::from_code(r.u8()?)
+            .ok_or(CodecError::new("unknown replacement policy code"))?;
         let n = sets
             .checked_mul(ways as u64)
             .ok_or(CodecError::new("tag array entry count overflow"))? as usize;
@@ -223,25 +395,31 @@ impl TagArray {
         if r.remaining() < n.saturating_mul(6) {
             return Err(CodecError::new("tag array entry count exceeds buffer"));
         }
+        // Per-policy bound on the per-way state byte.
+        let state_ok = |s: u8| match policy {
+            ReplacementPolicy::Srrip => s <= RRPV_MAX,
+            _ => (s as u16) < ways,
+        };
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let tag = r.u32()?;
             let flags = r.u8()?;
-            let rrpv = r.u8()?;
-            if flags > 0b11 || rrpv > RRPV_MAX {
+            let state = r.u8()?;
+            if flags > 0b11 || !state_ok(state) {
                 return Err(CodecError::new("invalid tag entry state"));
             }
             entries.push(TagEntry {
                 tag,
                 valid: flags & 1 != 0,
                 dirty: flags & 2 != 0,
-                rrpv,
+                state,
             });
         }
         Ok(TagArray {
             entries,
             sets,
             ways,
+            policy,
         })
     }
 }
@@ -272,14 +450,16 @@ mod tests {
 
     #[test]
     fn fills_invalid_ways_before_evicting() {
-        let mut t = TagArray::new(1, 4);
-        for tag in 0..4 {
-            let out = t.insert(0, tag, false);
-            assert_eq!(out.evicted, None, "way {} should be free", tag);
+        for policy in ReplacementPolicy::ALL {
+            let mut t = TagArray::with_policy(1, 4, policy);
+            for tag in 0..4 {
+                let out = t.insert(0, tag, false);
+                assert_eq!(out.evicted, None, "{policy:?}: way {tag} should be free");
+            }
+            let out = t.insert(0, 99, false);
+            assert!(out.evicted.is_some(), "{policy:?}: 5th insert must evict");
+            assert_eq!(t.valid_count(), 4);
         }
-        let out = t.insert(0, 99, false);
-        assert!(out.evicted.is_some(), "5th insert must evict");
-        assert_eq!(t.valid_count(), 4);
     }
 
     #[test]
@@ -296,15 +476,75 @@ mod tests {
     }
 
     #[test]
-    fn victim_way_predicts_insert() {
-        let mut t = TagArray::new(1, 4);
-        for tag in 0..4 {
-            t.insert(0, tag, tag % 2 == 1);
+    fn lru_evicts_least_recently_used() {
+        let mut t = TagArray::with_policy(1, 3, ReplacementPolicy::Lru);
+        for tag in 1..=3 {
+            t.insert(0, tag, false);
         }
-        let (way, evicted) = t.victim_way(0);
-        let out = t.insert(0, 42, false);
-        assert_eq!(way, out.way);
-        assert_eq!(evicted, out.evicted);
+        // Touch 1 then 2: tag 3 becomes the LRU way.
+        t.touch(0, t.lookup(0, 1).unwrap());
+        t.touch(0, t.lookup(0, 2).unwrap());
+        let out = t.insert(0, 9, false);
+        assert_eq!(out.evicted, Some((3, false)));
+        assert!(t.lookup(0, 1).is_some());
+        assert!(t.lookup(0, 2).is_some());
+    }
+
+    #[test]
+    fn lruc_prefers_clean_victims() {
+        let mut t = TagArray::with_policy(1, 3, ReplacementPolicy::LruClean);
+        t.insert(0, 1, true); // oldest, dirty
+        t.insert(0, 2, false); // middle, clean
+        t.insert(0, 3, true); // newest, dirty
+        let out = t.insert(0, 9, false);
+        assert_eq!(out.evicted, Some((2, false)), "clean way evicts first");
+        // All dirty now: falls back to plain LRU (tag 1 is oldest).
+        t.set_dirty(0, t.lookup(0, 9).unwrap(), true);
+        let out = t.insert(0, 10, false);
+        assert_eq!(out.evicted, Some((1, true)));
+    }
+
+    #[test]
+    fn lrud_prefers_dirty_victims() {
+        let mut t = TagArray::with_policy(1, 3, ReplacementPolicy::LruDirty);
+        t.insert(0, 1, false); // oldest, clean
+        t.insert(0, 2, true); // middle, dirty
+        t.insert(0, 3, false); // newest, clean
+        let out = t.insert(0, 9, false);
+        assert_eq!(out.evicted, Some((2, true)), "dirty way evicts first");
+        // All clean now: falls back to plain LRU (tag 1 is oldest).
+        let out = t.insert(0, 10, false);
+        assert_eq!(out.evicted, Some((1, false)));
+    }
+
+    #[test]
+    fn lru_touch_never_evicts_and_keeps_permutation() {
+        let mut t = TagArray::with_policy(2, 4, ReplacementPolicy::Lru);
+        for tag in 0..4 {
+            t.insert(1, tag, false);
+        }
+        for tag in 0..4u32 {
+            t.touch(1, t.lookup(1, tag).unwrap());
+            assert_eq!(t.valid_count(), 4);
+            // Every resident must still be found.
+            for probe in 0..4 {
+                assert!(t.lookup(1, probe).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn victim_way_predicts_insert() {
+        for policy in ReplacementPolicy::ALL {
+            let mut t = TagArray::with_policy(1, 4, policy);
+            for tag in 0..4 {
+                t.insert(0, tag, tag % 2 == 1);
+            }
+            let (way, evicted) = t.victim_way(0);
+            let out = t.insert(0, 42, false);
+            assert_eq!(way, out.way, "{policy:?}");
+            assert_eq!(evicted, out.evicted, "{policy:?}");
+        }
     }
 
     #[test]
@@ -328,67 +568,89 @@ mod tests {
 
     #[test]
     fn direct_mapped_single_way() {
-        let mut t = TagArray::new(8, 1);
-        t.insert(5, 1, false);
-        let out = t.insert(5, 2, true);
-        assert_eq!(out.way, 0);
-        assert_eq!(out.evicted, Some((1, false)));
-        assert_eq!(t.lookup(5, 2), Some(0));
-        assert_eq!(t.lookup(5, 1), None);
+        for policy in ReplacementPolicy::ALL {
+            let mut t = TagArray::with_policy(8, 1, policy);
+            t.insert(5, 1, false);
+            let out = t.insert(5, 2, true);
+            assert_eq!(out.way, 0);
+            assert_eq!(out.evicted, Some((1, false)));
+            assert_eq!(t.lookup(5, 2), Some(0));
+            assert_eq!(t.lookup(5, 1), None);
+        }
     }
 
     #[test]
     fn snapshot_restore_and_codec_round_trip() {
-        let mut t = TagArray::new(64, 4);
-        let mut x = 5u64;
-        for _ in 0..600 {
-            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
-            let (set, tag) = (x % 64, (x >> 8) as u32 & 0xFF);
-            match t.lookup(set, tag) {
-                Some(w) => t.touch(set, w),
-                None => {
-                    t.insert(set, tag, x & 1 == 0);
+        for policy in ReplacementPolicy::ALL {
+            let mut t = TagArray::with_policy(64, 4, policy);
+            let mut x = 5u64;
+            for _ in 0..600 {
+                x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+                let (set, tag) = (x % 64, (x >> 8) as u32 & 0xFF);
+                match t.lookup(set, tag) {
+                    Some(w) => t.touch(set, w),
+                    None => {
+                        t.insert(set, tag, x & 1 == 0);
+                    }
                 }
             }
-        }
-        let snap = t.snapshot();
+            let snap = t.snapshot();
 
-        // Codec round trip reproduces the snapshot bit-for-bit.
-        let mut w = dca_sim_core::ByteWriter::new();
-        snap.encode(&mut w);
-        let buf = w.into_vec();
-        let mut r = dca_sim_core::ByteReader::new(&buf);
-        let mut decoded = TagArray::decode(&mut r).expect("decode");
-        r.finish().expect("fully consumed");
+            // Codec round trip reproduces the snapshot bit-for-bit.
+            let mut w = dca_sim_core::ByteWriter::new();
+            snap.encode(&mut w);
+            let buf = w.into_vec();
+            let mut r = dca_sim_core::ByteReader::new(&buf);
+            let mut decoded = TagArray::decode(&mut r).expect("decode");
+            r.finish().expect("fully consumed");
+            assert_eq!(decoded.policy(), policy);
 
-        // Diverge, restore, then both must behave identically.
-        for s in 0..64 {
-            t.insert(s, 999, true);
-        }
-        t.restore(&snap);
-        for _ in 0..600 {
-            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
-            let (set, tag) = (x % 64, (x >> 8) as u32 & 0xFF);
-            assert_eq!(t.lookup(set, tag), decoded.lookup(set, tag));
-            assert_eq!(t.victim_way(set), decoded.victim_way(set));
-            assert_eq!(
-                t.insert(set, tag, x & 1 == 0),
-                decoded.insert(set, tag, x & 1 == 0)
-            );
+            // Diverge, restore, then both must behave identically.
+            for s in 0..64 {
+                t.insert(s, 999, true);
+            }
+            t.restore(&snap);
+            for _ in 0..600 {
+                x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+                let (set, tag) = (x % 64, (x >> 8) as u32 & 0xFF);
+                assert_eq!(t.lookup(set, tag), decoded.lookup(set, tag));
+                assert_eq!(t.victim_way(set), decoded.victim_way(set));
+                assert_eq!(
+                    t.insert(set, tag, x & 1 == 0),
+                    decoded.insert(set, tag, x & 1 == 0)
+                );
+            }
         }
     }
 
     #[test]
-    fn decode_rejects_invalid_rrpv() {
-        let mut t = TagArray::new(2, 1);
-        t.insert(0, 1, false);
+    fn decode_rejects_invalid_state() {
+        for policy in [ReplacementPolicy::Srrip, ReplacementPolicy::Lru] {
+            let mut t = TagArray::with_policy(2, 1, policy);
+            t.insert(0, 1, false);
+            let mut w = dca_sim_core::ByteWriter::new();
+            t.encode(&mut w);
+            let mut buf = w.into_vec();
+            let last = buf.len() - 1; // state byte of the final entry
+            buf[last] = match policy {
+                ReplacementPolicy::Srrip => RRPV_MAX + 1,
+                _ => 1, // stack position must stay below ways (= 1)
+            };
+            let mut r = dca_sim_core::ByteReader::new(&buf);
+            assert!(TagArray::decode(&mut r).is_err(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_policy() {
+        let t = TagArray::new(2, 1);
         let mut w = dca_sim_core::ByteWriter::new();
         t.encode(&mut w);
         let mut buf = w.into_vec();
-        let last = buf.len() - 1; // rrpv of the final entry
-        buf[last] = RRPV_MAX + 1;
+        buf[10] = 0xEE; // the policy byte follows sets (8) + ways (2)
         let mut r = dca_sim_core::ByteReader::new(&buf);
-        assert!(TagArray::decode(&mut r).is_err());
+        let err = TagArray::decode(&mut r).unwrap_err();
+        assert!(err.to_string().contains("replacement policy"));
     }
 
     #[test]
@@ -396,6 +658,14 @@ mod tests {
     fn restore_rejects_wrong_geometry() {
         let a = TagArray::new(4, 2);
         let mut b = TagArray::new(8, 2);
+        b.restore(&a.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "policy mismatch")]
+    fn restore_rejects_wrong_policy() {
+        let a = TagArray::with_policy(4, 2, ReplacementPolicy::Lru);
+        let mut b = TagArray::new(4, 2);
         b.restore(&a.snapshot());
     }
 

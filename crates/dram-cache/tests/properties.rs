@@ -2,7 +2,9 @@
 //! model, geometry round-trips, and FSM access-count invariants.
 
 use dca_dram::MappingScheme;
-use dca_dram_cache::{CacheGeometry, CacheReqKind, CacheRequest, OrgKind, RequestFsm, TagArray};
+use dca_dram_cache::{
+    CacheGeometry, CacheReqKind, CacheRequest, OrgKind, ReplacementPolicy, RequestFsm, TagArray,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -134,5 +136,153 @@ proptest! {
         let (mut fsm4, first4) = RequestFsm::start(rd2, &geom);
         let out = fsm4.on_access_done(first4[0].role, &mut tags, &geom);
         prop_assert!(out.respond_miss, "evicted block must miss");
+    }
+}
+
+// Replacement-policy invariants, checked for *every* policy the layer
+// offers: the same op stream drives each policy's array, so a policy
+// whose bookkeeping drifts (bad stack permutation, RRPV overflow, a
+// victim outside the set) fails here before it can skew a figure.
+proptest! {
+    /// The victim is always a real way of the set, only a full set
+    /// evicts, the evicted tag is resident, and `victim_way` exactly
+    /// prophesies what `insert` then does.
+    #[test]
+    fn victim_is_always_a_valid_way_under_every_policy(
+        ops in prop::collection::vec((0u64..16, 0u32..48, any::<bool>()), 1..200)
+    ) {
+        let (sets, ways) = (16u64, 4u16);
+        for policy in ReplacementPolicy::ALL {
+            let mut tags = TagArray::with_policy(sets, ways, policy);
+            let mut resident: HashMap<u64, Vec<u32>> = HashMap::new();
+            for &(set, tag, dirty) in &ops {
+                if let Some(way) = tags.lookup(set, tag) {
+                    tags.touch(set, way);
+                    tags.set_dirty(set, way, dirty);
+                    continue;
+                }
+                let entry = resident.entry(set).or_default();
+                let (way, predicted) = tags.victim_way(set);
+                prop_assert!(way < ways, "{policy:?}: victim way {way} out of range");
+                prop_assert_eq!(
+                    predicted.is_some(),
+                    entry.len() == ways as usize,
+                    "{policy:?}: eviction iff the set is full"
+                );
+                if let Some((vt, _)) = predicted {
+                    prop_assert!(
+                        entry.contains(&vt),
+                        "{policy:?}: predicted victim {vt} is not resident in set {set}"
+                    );
+                }
+                let out = tags.insert(set, tag, dirty);
+                prop_assert_eq!(
+                    (out.way, out.evicted),
+                    (way, predicted),
+                    "{policy:?}: victim_way must prophesy insert exactly"
+                );
+                if let Some((vt, _)) = out.evicted {
+                    entry.retain(|&t| t != vt);
+                }
+                entry.push(tag);
+                prop_assert!(entry.len() <= ways as usize, "{policy:?}: set overflow");
+            }
+        }
+    }
+
+    /// Promoting a hit never changes residency: no eviction, no lost
+    /// tags, and the promoted block stays in its way.
+    #[test]
+    fn hit_promotion_never_evicts_under_every_policy(
+        ops in prop::collection::vec((0u64..8, 0u32..24, any::<bool>()), 1..250)
+    ) {
+        for policy in ReplacementPolicy::ALL {
+            let mut tags = TagArray::with_policy(8, 4, policy);
+            let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+            for &(set, tag, dirty) in &ops {
+                match tags.lookup(set, tag) {
+                    Some(way) => {
+                        let before = tags.valid_count();
+                        tags.touch(set, way);
+                        tags.set_dirty(set, way, dirty);
+                        prop_assert_eq!(
+                            tags.valid_count(),
+                            before,
+                            "{policy:?}: a hit promotion changed residency"
+                        );
+                        prop_assert_eq!(
+                            tags.lookup(set, tag),
+                            Some(way),
+                            "{policy:?}: promoted block moved ways"
+                        );
+                    }
+                    None => {
+                        let out = tags.insert(set, tag, dirty);
+                        let entry = reference.entry(set).or_default();
+                        if let Some((vt, _)) = out.evicted {
+                            entry.retain(|&t| t != vt);
+                        }
+                        entry.push(tag);
+                    }
+                }
+                for (&s, v) in &reference {
+                    for &t in v {
+                        prop_assert!(
+                            tags.lookup(s, t).is_some(),
+                            "{policy:?}: lost tag {t} in set {s} after a promotion"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert/invalidate round-trips preserve `valid_count`: an insert
+    /// changes it by exactly the net fill, invalidating the inserted
+    /// way returns exactly what went in, and a double invalidate is a
+    /// no-op.
+    #[test]
+    fn insert_invalidate_round_trips_preserve_valid_count_under_every_policy(
+        ops in prop::collection::vec(
+            (0u64..8, 0u32..32, any::<bool>(), any::<bool>()), 1..200
+        )
+    ) {
+        for policy in ReplacementPolicy::ALL {
+            let mut tags = TagArray::with_policy(8, 4, policy);
+            for &(set, tag, dirty, undo) in &ops {
+                if tags.lookup(set, tag).is_some() {
+                    continue;
+                }
+                let before = tags.valid_count();
+                let out = tags.insert(set, tag, dirty);
+                let expect = before + 1 - u64::from(out.evicted.is_some());
+                prop_assert_eq!(
+                    tags.valid_count(),
+                    expect,
+                    "{policy:?}: insert must change valid_count by the net fill"
+                );
+                if undo {
+                    prop_assert_eq!(
+                        tags.invalidate(set, out.way),
+                        Some((tag, dirty)),
+                        "{policy:?}: invalidate must return the inserted block"
+                    );
+                    prop_assert!(
+                        tags.lookup(set, tag).is_none(),
+                        "{policy:?}: invalidated block still hits"
+                    );
+                    prop_assert_eq!(
+                        tags.invalidate(set, out.way),
+                        None,
+                        "{policy:?}: double invalidate must be a no-op"
+                    );
+                    prop_assert_eq!(
+                        tags.valid_count(),
+                        expect - 1,
+                        "{policy:?}: round-trip must restore valid_count"
+                    );
+                }
+            }
+        }
     }
 }

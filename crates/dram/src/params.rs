@@ -83,6 +83,28 @@ impl TimingParams {
         }
     }
 
+    /// A 3DXPoint-like slow persistent-memory tier behind a DDR-style
+    /// interface (the gem5 unified DRAM-cache controller for 3DXPoint
+    /// models the same shape). Reads pay a long media sensing time
+    /// (tRCD ≈ 120 ns vs DDR4's 14 ns); writes are far slower still —
+    /// the write recovery tWR ≈ 400 ns holds the bank through the
+    /// media program, so write-heavy traffic serialises hard. The bus
+    /// interface (tCAS, tBURST) stays DDR4-like: the media, not the
+    /// link, is the bottleneck.
+    pub fn xpoint() -> Self {
+        TimingParams {
+            t_rcd: Duration::from_ns(120),
+            t_cas: Duration::from_ns_f64(14.16),
+            t_rp: Duration::from_ns(20),
+            t_ras: Duration::from_ns(160),
+            t_wtr: Duration::from_ns(30),
+            t_rtp: Duration::from_ns_f64(7.5),
+            t_rtw: Duration::from_ns_f64(2.5),
+            t_wr: Duration::from_ns(400),
+            t_burst: Duration::from_ns_f64(3.33),
+        }
+    }
+
     /// Scale the data-burst time by `div`, dividing the channel's data
     /// bandwidth by the same factor while leaving the core timings
     /// untouched — the knob behind the main-memory-bandwidth
@@ -220,6 +242,24 @@ mod tests {
         let org = Organization::ddr4_main();
         assert_eq!(org.capacity_bytes(), 4 << 30);
         assert_eq!(org.banks_per_channel(), 16);
+    }
+
+    #[test]
+    fn xpoint_is_slow_and_write_asymmetric() {
+        let x = TimingParams::xpoint();
+        let d = TimingParams::ddr4_2400();
+        assert_eq!(x.t_rcd.ps(), 120_000);
+        assert_eq!(x.t_wr.ps(), 400_000);
+        assert!(
+            x.t_rcd.ps() > 5 * d.t_rcd.ps(),
+            "reads pay the media sensing time"
+        );
+        assert!(
+            x.t_wr.ps() > 20 * d.t_wr.ps(),
+            "writes pay the media program time"
+        );
+        assert!(x.t_wtr > x.t_rtw, "WTR asymmetry holds for XPoint too");
+        assert_eq!(x.t_burst, d.t_burst, "the link itself is DDR4-like");
     }
 
     #[test]

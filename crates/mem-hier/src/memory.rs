@@ -81,6 +81,20 @@ impl MainMemConfig {
         }
     }
 
+    /// Cycle-level 3DXPoint-like slow main memory: the same DDR4-style
+    /// channel geometry driven with [`TimingParams::xpoint`] — ~120 ns
+    /// media reads and ~400 ns write recovery behind a DDR4-like link.
+    /// With main memory this slow the DRAM cache becomes load-bearing,
+    /// the regime where the controller designs diverge hardest.
+    pub fn xpoint() -> Self {
+        MainMemConfig::Cycle {
+            timing: TimingParams::xpoint(),
+            org: Organization::ddr4_main(),
+            extra_latency: Duration::from_ns(20),
+            queue_cap: 64,
+        }
+    }
+
     /// [`MainMemConfig::ddr4`] with the data bandwidth divided by `div`
     /// (burst time multiplied), the main-memory-bandwidth sensitivity
     /// knob.
@@ -702,6 +716,40 @@ mod tests {
         assert_eq!((b1, r1), (1, 0), "adjacent frames hit adjacent banks");
         let (_, b16, r16) = c.locate(blocks_per_row * 16);
         assert_eq!((b16, r16), (0, 1), "wraps to the next row");
+    }
+
+    #[test]
+    fn xpoint_reads_are_slow_and_writes_hold_the_bank() {
+        let mut m = MainMemory::build(&MainMemConfig::xpoint());
+        m.enqueue_read(1, 0, t(0));
+        let read = pump(&mut m, t(0));
+        assert_eq!(read.len(), 1);
+        // Closed bank: tRCD(120) + tCAS(14.16) + tBURST(3.33) + 20ns.
+        assert_eq!(read[0].at.ps(), 120_000 + 14_160 + 3_330 + 20_000);
+        // A write to the same bank, then a conflicting read behind it:
+        // the read must wait out the ~400ns write recovery.
+        let MainMemory::Cycle(ref c) = m else {
+            unreachable!()
+        };
+        let free = c.channels[0].bank_busy_until(0);
+        m.enqueue_write(2, free);
+        assert!(pump(&mut m, free).is_empty());
+        let blocks_per_row = 8192 / 64;
+        m.enqueue_read(9, 16 * blocks_per_row, free);
+        assert!(pump(&mut m, free).is_empty(), "bank held by the write");
+        // Drain until the read completes: its arrival must sit past the
+        // ~400 ns media program time the write holds the bank for.
+        let mut done = Vec::new();
+        while done.iter().all(|a: &MemArrival| a.token != 9) {
+            let now = m.next_wakeup().expect("pending read must wake the device");
+            done.extend(pump(&mut m, now));
+        }
+        let read_done = done.iter().find(|a| a.token == 9).unwrap().at;
+        assert!(
+            read_done.since(free).ps() > 400_000,
+            "write recovery dominates the stall: {} ps",
+            read_done.since(free).ps()
+        );
     }
 
     #[test]

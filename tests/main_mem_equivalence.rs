@@ -9,7 +9,7 @@
 
 use dca::{Design, System, SystemConfig, SystemReport};
 use dca_cpu::mix;
-use dca_dram_cache::OrgKind;
+use dca_dram_cache::{OrgKind, ReplacementPolicy};
 use dca_mem_hier::MainMemConfig;
 
 /// Seed-model fingerprints: (design, org, end_time_ps, events,
@@ -165,6 +165,39 @@ fn flat_backend_is_bit_identical_to_the_seed_model() {
         assert_eq!(r.main_mem.backend, "flat");
         assert_eq!(r.main_mem.reads, mr);
         assert_eq!(r.main_mem.writes, mw);
+    }
+}
+
+#[test]
+fn explicit_srrip_policy_is_bit_identical_to_the_seed_model() {
+    // The replacement-policy layer must be a pure refactor for SRRIP:
+    // spelling out the seed's hard-wired policy explicitly reproduces
+    // the pre-refactor fingerprints bit for bit, for every existing
+    // design on both organisations.
+    for &(design, org, end_ps, events, mr, mw, hits, misses, wbs, cores) in SEED_GOLDEN {
+        let mut cfg = SystemConfig::paper(design_of(design), org_of(org)).scaled(25_000, 120_000);
+        assert_eq!(
+            cfg.replacement,
+            ReplacementPolicy::Srrip,
+            "SRRIP must stay the default policy"
+        );
+        cfg.replacement = ReplacementPolicy::Srrip;
+        let r = System::new(cfg, &mix(3).benches).run();
+        let got_cores: Vec<(u64, u64)> = r.cores.iter().map(|c| (c.insts, c.cycles)).collect();
+        assert_eq!(
+            (
+                r.end_time.ps(),
+                r.events_processed,
+                r.mem_reads,
+                r.mem_writes,
+                r.cache_read_hits,
+                r.cache_read_misses,
+                r.writeback_requests,
+                got_cores.as_slice(),
+            ),
+            (end_ps, events, mr, mw, hits, misses, wbs, cores),
+            "{design}/{org}: explicit SRRIP diverged from the seed model"
+        );
     }
 }
 

@@ -36,6 +36,7 @@ fn harness_spec() -> RunSpec {
         remap: false,
         lee: false,
         flushing_factor: 4,
+        policy: dca_dram_cache::ReplacementPolicy::Srrip,
         main_mem: dca_bench::MainMemKind::Flat,
         insts: 20_000,
         warmup: 60_000,
