@@ -153,8 +153,14 @@ impl Pool {
                 return false;
             }
         };
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        let (Some(stdin), Some(stdout)) = (child.stdin.take(), child.stdout.take()) else {
+            // Pipes we asked for are missing: treat it like a failed
+            // spawn so the caller respawns or fails the job cleanly.
+            eprintln!("figures agent: pool worker spawned without stdio pipes");
+            let _ = child.kill();
+            let _ = child.wait();
+            return false;
+        };
         let tx = self.tx.clone();
         std::thread::spawn(move || {
             let reader = BufReader::new(stdout);
@@ -402,7 +408,9 @@ impl AgentState {
             let Some(si) = self.pool.acquire_idle() else {
                 return Flow::Continue;
             };
-            let job_id = self.backlog.pop_front().expect("non-empty backlog");
+            let Some(job_id) = self.backlog.pop_front() else {
+                return Flow::Continue;
+            };
             let attempt = self.attempts.get(&job_id).copied().unwrap_or(0);
             if !self.pool.run(si, attempt, &job_id) {
                 self.pool.kill(si);

@@ -429,7 +429,9 @@ impl ServeState<'_> {
             else {
                 return;
             };
-            let (job, attempt) = self.queue.pop_front().expect("non-empty queue");
+            let Some((job, attempt)) = self.queue.pop_front() else {
+                return;
+            };
             // WAL order: journal the dispatch before the frame can
             // possibly reach an agent.
             self.journal(Jev::Dispatch {
@@ -440,7 +442,12 @@ impl ServeState<'_> {
                 attempt,
                 job_id: job.id.clone(),
             };
-            let agent = self.agents.get_mut(&cid).expect("agent just selected");
+            let Some(agent) = self.agents.get_mut(&cid) else {
+                // Selection raced with a disconnect: requeue and retry
+                // the pick on the next loop iteration.
+                self.queue.push_front((job, attempt));
+                continue;
+            };
             if net::send(&mut agent.stream, &msg).is_ok() {
                 agent.leases += 1;
                 let now = Instant::now();
@@ -553,8 +560,9 @@ impl ServeState<'_> {
             Msg::Done { job_id, partial } => self.handle_done(cid, &job_id, &partial),
             Msg::Fail { job_id, message } => {
                 if self.leases.get(&job_id).is_some_and(|l| l.conn == cid) {
-                    let lease = self.release(&job_id).expect("lease just checked");
-                    self.fail_job(lease.job, lease.attempt, &message);
+                    if let Some(lease) = self.release(&job_id) {
+                        self.fail_job(lease.job, lease.attempt, &message);
+                    }
                 }
                 // A FAIL for a job this connection no longer owns is a
                 // stale report of a lease already forfeited: ignore.
@@ -684,7 +692,9 @@ impl ServeState<'_> {
             .map(|(id, _)| id.clone())
             .collect();
         for job_id in forfeited {
-            let lease = self.leases.remove(&job_id).expect("lease just listed");
+            let Some(lease) = self.leases.remove(&job_id) else {
+                continue;
+            };
             if charge {
                 self.fail_job(lease.job, lease.attempt, &format!("agent {why}"));
             } else {
@@ -757,7 +767,9 @@ impl ServeState<'_> {
             .map(|(id, _)| id.clone())
             .collect();
         for job_id in expired {
-            let lease = self.release(&job_id).expect("lease just listed");
+            let Some(lease) = self.release(&job_id) else {
+                continue;
+            };
             self.fail_job(
                 lease.job,
                 lease.attempt,

@@ -523,11 +523,21 @@ impl RunState<'_> {
             .stderr(Stdio::piped())
             .spawn()
             .map_err(|e| format!("cannot spawn pool worker: {e}"))?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
-        let stderr = child.stderr.take().expect("piped stderr");
+        let (Some(stdin), Some(stdout), Some(stderr)) =
+            (child.stdin.take(), child.stdout.take(), child.stderr.take())
+        else {
+            // Pipes we asked for are missing: reap the child and report
+            // it as a spawn failure so the retry budget applies.
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("pool worker spawned without stdio pipes".to_string());
+        };
 
-        let tx = self.tx.as_ref().expect("sender while spawning").clone();
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| "pool event channel closed while spawning".to_string())?
+            .clone();
         std::thread::spawn(move || {
             let reader = BufReader::new(stdout);
             for line in reader.lines() {
@@ -554,7 +564,9 @@ impl RunState<'_> {
                 for line in reader.lines() {
                     let Ok(line) = line else { break };
                     eprintln!("[worker {si}] {line}");
-                    push_stderr_tail(&mut tail.lock().unwrap(), line);
+                    // A poisoned tail mutex only ever holds log lines;
+                    // keep collecting rather than killing the reader.
+                    push_stderr_tail(&mut tail.lock().unwrap_or_else(|p| p.into_inner()), line);
                 }
             });
         }
@@ -598,7 +610,9 @@ impl RunState<'_> {
                 .filter(|&s| self.slots[s].idle())
                 .or_else(|| self.slots.iter().position(|s| s.idle()));
             let Some(si) = slot else { return };
-            let (job, attempt) = self.queue.remove(pos).expect("position is in range");
+            let Some((job, attempt)) = self.queue.remove(pos) else {
+                return;
+            };
             let wrote = self.slots[si].stdin.as_mut().is_some_and(|w| {
                 writeln!(w, "RUN {attempt} {}", job.id).is_ok() && w.flush().is_ok()
             });
@@ -667,7 +681,9 @@ impl RunState<'_> {
                             self.babble(si, &format!("OK for a job it was not given ({job_id})"));
                             return;
                         }
-                        let busy = self.slots[si].busy.take().expect("matched busy job");
+                        let Some(busy) = self.slots[si].busy.take() else {
+                            return;
+                        };
                         match load_existing_partial(&busy.job) {
                             Some(result) => {
                                 self.store.insert(&busy.job, result);
@@ -738,10 +754,11 @@ impl RunState<'_> {
                 "figures: quarantining job {} after {attempts_used} attempt(s): {why}",
                 busy.job.id
             );
+            // A poisoned tail mutex still holds usable log lines.
             let stderr = self.slots[si]
                 .stderr_tail
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|p| p.into_inner())
                 .iter()
                 .cloned()
                 .collect();

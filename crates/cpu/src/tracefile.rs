@@ -53,7 +53,7 @@
 //! participate in warm-state checkpointing; the encoded form stores the
 //! content digest and is resolved back through the registry on decode.
 
-use std::collections::HashMap;
+use dca_sim_core::hash::FastHashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -353,7 +353,7 @@ pub struct TraceData {
 /// The process-wide trace registry.
 struct Registry {
     traces: Vec<Arc<TraceData>>,
-    by_digest: HashMap<u64, TraceId>,
+    by_digest: FastHashMap<u64, TraceId>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -361,7 +361,7 @@ fn registry() -> &'static Mutex<Registry> {
     REGISTRY.get_or_init(|| {
         Mutex::new(Registry {
             traces: Vec::new(),
-            by_digest: HashMap::new(),
+            by_digest: FastHashMap::default(),
         })
     })
 }

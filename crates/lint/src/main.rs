@@ -1,0 +1,76 @@
+//! CLI for `dca-lint`. See the library docs for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: dca-lint [--json] [--root <dir>]\n\
+     \n\
+     Scans <root>/crates/*/**.rs (skipping tests/ and benches/) for\n\
+     determinism and robustness violations. Exit 0 clean, 1 findings,\n\
+     2 usage/IO error."
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("dca-lint: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dca-lint: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("dca-lint: current_dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match dca_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("dca-lint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match dca_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dca-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", dca_lint::render_json(&report));
+    } else {
+        print!("{}", dca_lint::render_text(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,5 @@
+//! R01 suppression: the pragma must name the rule it silences.
+
+pub fn drain(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().expect("fixture") // dca-lint: allow(R01) fixture exercises R01 suppression
+}

@@ -1,0 +1,29 @@
+//! Every seeded violation carries an allow pragma: the scan must come
+//! back clean and report each pragma.
+
+use std::collections::HashMap; // dca-lint: allow(D01) fixture exercises same-line suppression
+
+pub struct Table {
+    counts: HashMap<u64, u64>, // dca-lint: allow(D01) fixture keeps the std map on purpose
+}
+
+impl Table {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        // dca-lint: allow(D03) summation is order-independent
+        for (_, v) in self.counts.iter() {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn stamp() -> u64 {
+        // dca-lint: allow(D02) fixture exercises next-line suppression
+        let _ = std::time::Instant::now();
+        0
+    }
+}
+
+pub fn risky(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap_or_default()
+}

@@ -1,0 +1,26 @@
+//! A well-behaved sim-crate source: deterministic maps, no wall clock,
+//! codec covers every field. The scan must find nothing.
+
+pub struct State {
+    clock: u64,
+    blocks: Vec<u64>,
+}
+
+impl State {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.clock.to_le_bytes());
+        for b in &self.blocks {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let clock = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+        let blocks = Vec::new();
+        Some(State { clock, blocks })
+    }
+
+    pub fn tick(&mut self) {
+        self.clock += 1;
+    }
+}

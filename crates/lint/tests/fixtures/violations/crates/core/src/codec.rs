@@ -1,0 +1,61 @@
+//! Seeded C01 violation: `generation` is snapshotted state but never
+//! touched by the codec. Scanned, never compiled.
+
+pub struct Snapshot {
+    clock: u64,
+    lines: Vec<u64>,
+    generation: u64,
+}
+
+impl Snapshot {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.clock.to_le_bytes());
+        out.extend_from_slice(&(self.lines.len() as u64).to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let clock = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+        let mut snap = Self::empty();
+        snap.clock = clock;
+        Some(snap)
+    }
+
+    fn empty() -> Self {
+        Snapshot {
+            clock: 0,
+            lines: Vec::new(),
+            generation: 0,
+        }
+    }
+}
+
+/// Full coverage: every field named in encode/decode. Must NOT trip C01.
+pub struct Covered {
+    a: u64,
+    b: u64,
+}
+
+impl Covered {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let a = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+        let b = a ^ 1;
+        Some(Covered { a, b })
+    }
+}
+
+/// No encode at all: C01 does not apply.
+pub struct Plain {
+    hidden: u64,
+}
+
+/// Malformed pragmas are themselves findings (P01).
+pub fn misuse() -> u64 {
+    // dca-lint: allow(Z99) no such rule
+    // dca-lint: allow(C01)
+    let x = 1; // dca-lint: oops
+    x
+}

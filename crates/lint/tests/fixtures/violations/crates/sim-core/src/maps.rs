@@ -1,0 +1,42 @@
+//! Seeded D01/D02/D03 violations for the linter's own tests. This file is
+//! never compiled; it only exists to be scanned.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    counts: FastHashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, v) in self.counts.iter() {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn stamp(&self) -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}
+
+pub fn build() -> HashMap<u64, u64> {
+    // A mention inside a string or comment must NOT trip D01: "HashMap".
+    let m: HashMap<u64, u64> = HashMap::new();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn in_tests_anything_goes() {
+        let s: HashSet<u64> = HashSet::new();
+        for v in s.iter() {
+            let _ = v;
+        }
+        let _ = std::time::Instant::now();
+    }
+}

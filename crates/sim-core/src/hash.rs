@@ -13,6 +13,7 @@
 //! map where order affects results — but with this hasher such a bug
 //! would at least be reproducible rather than seed-dependent.
 
+// dca-lint: allow(D01) this module defines the FastHashMap/FastHashSet aliases every other sim crate must use
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -99,10 +100,10 @@ pub fn digest64(bytes: &[u8]) -> u64 {
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
 /// `HashMap` keyed by the fast unkeyed hasher.
-pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>; // dca-lint: allow(D01) alias definition site
 
 /// `HashSet` keyed by the fast unkeyed hasher.
-pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>; // dca-lint: allow(D01) alias definition site
 
 #[cfg(test)]
 mod tests {

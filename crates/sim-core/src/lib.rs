@@ -58,6 +58,40 @@
 //! The `perf_smoke` binary in `dca-bench` measures the end-to-end effect
 //! (simulated cycles/sec and events/sec, new engine vs. baseline) and
 //! writes `BENCH_engine.json` so every PR leaves a perf trajectory.
+//!
+//! ## Determinism & codec rules (enforced by `dca-lint`)
+//!
+//! Bit-identical figures across engines, warm restores, and the
+//! serial/pool/TCP-fabric execution paths are a correctness requirement,
+//! not an aspiration. The `dca-lint` crate enforces the source-level
+//! invariants behind that statically (CI runs it before anything builds):
+//!
+//! * **No std hash maps in sim code (D01).** `std::collections::HashMap`
+//!   seeds SipHash per process, so hash order — and anything computed
+//!   from it — differs run to run. Sim crates use [`hash::FastHashMap`]
+//!   (unkeyed, stable) or `BTreeMap`.
+//! * **No wall clock in sim code (D02).** `Instant::now`/`SystemTime`
+//!   belong only to the bench-timing layer (perf smoke, supervisor
+//!   deadlines, lease expiry). Simulated time is [`time::SimTime`],
+//!   advanced exclusively by the event queue.
+//! * **No hash-order iteration (D03).** Even a stable hasher's iteration
+//!   order is an accident of insertion; iterating a map into event order
+//!   or a report is a silent reproducibility bug. Collect and sort, or
+//!   keep the structure in a `BTreeMap`/dense array.
+//! * **Codec coverage (C01).** Every struct with `fn encode` must touch
+//!   each named field in its `encode`/`decode` bodies — the
+//!   "added a field, forgot the codec" class that forced the `WarmState`
+//!   v2→v3→v4 bumps now fails the lint instead of corrupting warm
+//!   restores.
+//! * **No panics on crash-recoverable paths (R01).** The sweep fabric
+//!   (`shard::{net,server,agent,supervisor,journal}` in `dca-bench`)
+//!   exists to survive worker crashes, torn frames, and dead agents; its
+//!   own code must degrade through the retry/quarantine machinery, never
+//!   abort.
+//!
+//! Violations carry a `// dca-lint: allow(<rule>) <reason>` escape hatch,
+//! but every pragma is pinned by the linter's workspace self-test — see
+//! the `dca-lint` crate docs for the rule set and usage.
 
 pub mod codec;
 pub mod events;
