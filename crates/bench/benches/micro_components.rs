@@ -10,6 +10,35 @@ use dca_dram_cache::{CacheGeometry, CacheReqKind, CacheRequest, OrgKind, Request
 use dca_sched::{AccessQueue, Bliss, QueueEntry, ReadClass};
 use dca_sim_core::{BaselineEventQueue, EventQueue, SimTime, Slab};
 
+/// Reschedule offset (ps) for the three arrival distributions the
+/// adaptive queue is benchmarked against. `0` = uniform (~1 event per
+/// 4 default slots, the shape `SLOT_SHIFT` was tuned for), `1` =
+/// clustered (sub-slot bursts with occasional long jumps — sorted
+/// inserts degrade at the default shift), anything else = bursty
+/// (phases alternate between the two every 4096 events — no fixed
+/// shift suits both, the regime the EWMA density tracker exists for).
+fn dist_offset(dist: usize, v: u64) -> u64 {
+    let sparse = 3 * 1024 + (v * 467) % 2048;
+    let dense = (v * 31) % 16;
+    match dist {
+        0 => sparse,
+        1 => {
+            if v.is_multiple_of(512) {
+                1 << 22
+            } else {
+                dense
+            }
+        }
+        _ => {
+            if (v >> 12) & 1 == 0 {
+                sparse
+            } else {
+                dense
+            }
+        }
+    }
+}
+
 fn micro(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro");
 
@@ -109,6 +138,64 @@ fn micro(c: &mut Criterion) {
             })
         });
     }
+
+    // The self-tuning queue across arrival distributions: fixed default
+    // shift vs adaptive vs the heap oracle, rolling window of 256. On
+    // `uniform` the adaptive queue should match fixed (its EWMA settles
+    // inside the hysteresis band and it never rebuilds); on `clustered`
+    // and `bursty` it narrows the slots and closes most of the gap to
+    // wherever a hand-pinned shift would land — without anyone picking
+    // that shift per workload. `perf_smoke` runs the same three
+    // distributions at 200 k events and records them in
+    // `BENCH_engine.json` under `engine_adaptive.micro`.
+    macro_rules! dist_bench {
+        ($name:expr, $qinit:expr, $dist:expr) => {{
+            let mut q = $qinit;
+            for i in 0..256u64 {
+                q.push(SimTime(i * 131 % 4096), i);
+            }
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let (t, v) = q.pop().expect("window stays populated");
+                    q.push(SimTime(t.ps() + dist_offset($dist, v)), v + 1);
+                    std::hint::black_box(v)
+                })
+            });
+        }};
+    }
+    dist_bench!("event_dist_uniform_fixed10", EventQueue::<u64>::new(), 0);
+    dist_bench!(
+        "event_dist_uniform_adaptive",
+        EventQueue::<u64>::adaptive(),
+        0
+    );
+    dist_bench!(
+        "event_dist_uniform_heap",
+        BaselineEventQueue::<u64>::new(),
+        0
+    );
+    dist_bench!("event_dist_clustered_fixed10", EventQueue::<u64>::new(), 1);
+    dist_bench!(
+        "event_dist_clustered_adaptive",
+        EventQueue::<u64>::adaptive(),
+        1
+    );
+    dist_bench!(
+        "event_dist_clustered_heap",
+        BaselineEventQueue::<u64>::new(),
+        1
+    );
+    dist_bench!("event_dist_bursty_fixed10", EventQueue::<u64>::new(), 2);
+    dist_bench!(
+        "event_dist_bursty_adaptive",
+        EventQueue::<u64>::adaptive(),
+        2
+    );
+    dist_bench!(
+        "event_dist_bursty_heap",
+        BaselineEventQueue::<u64>::new(),
+        2
+    );
 
     // Request-state bookkeeping: slab (packed generational keys) vs the
     // default-hashed HashMap it replaced. Mirrors the system's pattern —

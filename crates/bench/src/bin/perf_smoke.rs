@@ -1,10 +1,27 @@
 //! Engine + sweep throughput smoke test.
 //!
 //! Runs the quickstart workload (Table I mix 1 under DCA, direct-mapped)
-//! through the calendar-queue engine and the baseline heap engine,
-//! reports simulated-cycles/sec and events/sec for each, verifies the two
-//! engines agree bit-for-bit, and writes the numbers to
-//! `BENCH_engine.json` so every PR leaves a perf trajectory.
+//! through every event engine — the calendar queue, the baseline heap,
+//! the density-adaptive calendar queue, and the domain-sharded merge at
+//! two shards — reports simulated-cycles/sec and events/sec for each,
+//! **fails on any fingerprint divergence from the heap engine**, and
+//! writes the numbers to `BENCH_engine.json` so every PR leaves a perf
+//! trajectory.
+//!
+//! Two engine-specific sections accompany the head-to-head:
+//!
+//! * `engine_adaptive` — raw-queue microbenches (uniform / clustered /
+//!   bursty arrivals; fixed shift vs adaptive vs heap) plus the
+//!   adaptive engine's system-level wall clock.
+//! * `sharded` — the honest parallel story. The *system-level* sharded
+//!   engine is merge-bound by design (cross-domain events carry zero
+//!   lookahead and handlers share one uncore, so its number reports the
+//!   partition/merge overhead floor, typically < 1.0x). The wall-clock
+//!   *win* comes from `dca_sim_core::shardloop` on a long-run
+//!   domain-decoupled workload (positive lookahead): sequential vs 2
+//!   and 4 worker threads, bit-identity asserted, with a deliberately
+//!   tiny `short` config documenting the crossover regime where
+//!   synchronization overhead dominates and parallelism loses.
 //!
 //! Construction (functional cache warm-up) is timed separately from the
 //! event loop: the engine overhaul targets the loop, and warm-up noise
@@ -76,10 +93,14 @@
 
 use std::time::Instant;
 
-use dca::{Design, System, SystemConfig, SystemReport};
+use dca::{Design, EngineSel, System, SystemConfig, SystemReport};
 use dca_bench::{MainMemKind, RunSpec};
 use dca_cpu::{mix, register_mix, register_trace_file, Benchmark};
 use dca_dram_cache::{OrgKind, ReplacementPolicy};
+use dca_sim_core::{
+    events::SLOT_SHIFT, BaselineEventQueue, Duration, EventQueue, Outbox, ShardConfig, ShardSim,
+    SimTime,
+};
 
 /// Event-loop wall time of the hash-map/`Vec::remove` engine this PR
 /// replaced, measured on the same workload (200 k insts/core, 3-rep
@@ -103,11 +124,11 @@ struct EngineResult {
     report: SystemReport,
 }
 
-fn run_engine(label: &'static str, baseline: bool, insts: u64, reps: u32) -> EngineResult {
+fn run_engine(label: &'static str, engine: EngineSel, insts: u64, reps: u32) -> EngineResult {
     let mut cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
     cfg.target_insts = insts;
     cfg.warmup_ops = 400_000;
-    cfg.baseline_engine = baseline;
+    cfg.engine = engine;
     let m = mix(1);
 
     let mut best_run = f64::INFINITY;
@@ -299,6 +320,7 @@ fn run_trace_smoke(insts: u64) -> TraceSmokeResult {
         flushing_factor: 4,
         policy: ReplacementPolicy::Srrip,
         main_mem: MainMemKind::Flat,
+        engine: EngineSel::Calendar,
         insts: insts / 2,
         warmup: 200_000,
         seed: 0xDCA_2016,
@@ -725,6 +747,282 @@ fn run_designs_smoke(insts: u64) -> DesignsSmokeResult {
     }
 }
 
+/// One arrival distribution's raw-queue microbench row: the same
+/// 200 k-event rolling-window workload through the fixed-shift
+/// calendar, the self-tuning calendar, and the binary-heap oracle.
+struct QueueMicroRow {
+    label: &'static str,
+    fixed_ms: f64,
+    adaptive_ms: f64,
+    heap_ms: f64,
+    /// Ring rebuilds the adaptive queue performed on this distribution.
+    resizes: u64,
+    /// Slot shift the adaptive queue settled on (started at SLOT_SHIFT).
+    final_shift: u32,
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Absolute arrival times (ps, nondecreasing) for one distribution.
+///
+/// * `uniform` — one event every ~4 default slots: a good match for
+///   `SLOT_SHIFT`, the adaptive queue should mostly leave it alone.
+/// * `clustered` — dense bursts (many events per default slot) with
+///   long silent gaps: per-bucket sorted inserts degrade at the default
+///   shift, so the adaptive queue narrows the slots.
+/// * `bursty` — alternating sparse and dense phases: no fixed shift is
+///   right for both, the regime the EWMA tracker exists for.
+fn micro_times(label: &str) -> Vec<u64> {
+    const N: usize = 200_000;
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut times = Vec::with_capacity(N);
+    let mut t: u64 = 0;
+    match label {
+        "uniform" => {
+            for _ in 0..N {
+                t += 3 * 1024 + (xorshift(&mut rng) % 2048);
+                times.push(t);
+            }
+        }
+        "clustered" => {
+            while times.len() < N {
+                for _ in 0..512 {
+                    t += xorshift(&mut rng) % 16;
+                    times.push(t);
+                }
+                t += 1 << 22;
+            }
+            times.truncate(N);
+        }
+        "bursty" => {
+            while times.len() < N {
+                for _ in 0..4096 {
+                    t += 3 * 1024 + (xorshift(&mut rng) % 2048);
+                    times.push(t);
+                }
+                for _ in 0..4096 {
+                    t += xorshift(&mut rng) % 16;
+                    times.push(t);
+                }
+            }
+            times.truncate(N);
+        }
+        other => panic!("unknown micro distribution {other}"),
+    }
+    times
+}
+
+/// Rolling-window driver: keep `WINDOW` events in flight, pop one /
+/// push one — the steady-state shape of the system event loop.
+const MICRO_WINDOW: usize = 4096;
+
+fn drive_calendar(q: &mut EventQueue<u32>, times: &[u64]) -> f64 {
+    let t0 = Instant::now();
+    let w = MICRO_WINDOW.min(times.len());
+    for (i, &t) in times[..w].iter().enumerate() {
+        q.push(SimTime(t), i as u32);
+    }
+    for (i, &t) in times[w..].iter().enumerate() {
+        let _ = q.pop();
+        q.push(SimTime(t), i as u32);
+    }
+    while q.pop().is_some() {}
+    t0.elapsed().as_secs_f64()
+}
+
+fn drive_heap(q: &mut BaselineEventQueue<u32>, times: &[u64]) -> f64 {
+    let t0 = Instant::now();
+    let w = MICRO_WINDOW.min(times.len());
+    for (i, &t) in times[..w].iter().enumerate() {
+        q.push(SimTime(t), i as u32);
+    }
+    for (i, &t) in times[w..].iter().enumerate() {
+        let _ = q.pop();
+        q.push(SimTime(t), i as u32);
+    }
+    while q.pop().is_some() {}
+    t0.elapsed().as_secs_f64()
+}
+
+/// Raw-queue head-to-head on the three arrival distributions, best of
+/// `reps`. Mirrors `benches/micro_components.rs`; this copy runs in CI
+/// and lands in `BENCH_engine.json` under `engine_adaptive.micro`.
+fn run_adaptive_micro(reps: u32) -> Vec<QueueMicroRow> {
+    ["uniform", "clustered", "bursty"]
+        .into_iter()
+        .map(|label| {
+            let times = micro_times(label);
+            let mut fixed_ms = f64::INFINITY;
+            let mut adaptive_ms = f64::INFINITY;
+            let mut heap_ms = f64::INFINITY;
+            let mut resizes = 0;
+            let mut final_shift = SLOT_SHIFT;
+            for _ in 0..reps.max(1) {
+                let mut q = EventQueue::with_slot_shift(SLOT_SHIFT);
+                fixed_ms = fixed_ms.min(drive_calendar(&mut q, &times) * 1e3);
+                let mut q = EventQueue::adaptive();
+                adaptive_ms = adaptive_ms.min(drive_calendar(&mut q, &times) * 1e3);
+                resizes = q.resizes();
+                final_shift = q.slot_shift();
+                let mut q = BaselineEventQueue::new();
+                heap_ms = heap_ms.min(drive_heap(&mut q, &times) * 1e3);
+            }
+            QueueMicroRow {
+                label,
+                fixed_ms,
+                adaptive_ms,
+                heap_ms,
+                resizes,
+                final_shift,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of the shardloop (conservative-sync parallel engine) smoke.
+struct ShardloopSmokeResult {
+    host_cores: usize,
+    domains: usize,
+    /// Long run: enough per-event work and concurrent chains for the
+    /// safe-time protocol to amortize — the regime threading exists for.
+    long_events: u64,
+    long_seq_s: f64,
+    long_t2_s: f64,
+    long_t4_s: f64,
+    /// Short run: a few hundred tiny events — synchronization overhead
+    /// dominates and parallelism legitimately loses. Reported, never
+    /// asserted, so the crossover stays visible in the JSON.
+    short_events: u64,
+    short_seq_s: f64,
+    short_t2_s: f64,
+}
+
+/// SplitMix64 finalizer: the per-event "model work" of the synthetic
+/// domain-decoupled workload.
+fn smix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const SHARDLOOP_DOMAINS: usize = 6;
+const SHARDLOOP_LOOKAHEAD_NS: u64 = 8;
+
+/// Build the synthetic workload: `seeds` independent event chains of
+/// `hops + 1` events each, hopping pseudo-randomly between domains with
+/// `work` rounds of hashing per event. Deterministic by construction.
+fn shardloop_sim(threads: usize, seeds: u64, hops: u32) -> ShardSim<(u64, u64), (u32, u64)> {
+    let cfg = ShardConfig::new(threads, Duration::from_ns(SHARDLOOP_LOOKAHEAD_NS));
+    let states = vec![(0u64, 0u64); SHARDLOOP_DOMAINS];
+    let mut sim = ShardSim::new(cfg, states).expect("valid shardloop config");
+    for i in 0..seeds {
+        let dst = (i % SHARDLOOP_DOMAINS as u64) as u16;
+        let at = SimTime(smix(i) % 4_000);
+        sim.schedule(dst, at, (hops, smix(i ^ 0xD0A)))
+            .expect("schedule initial event");
+    }
+    sim
+}
+
+/// Run the workload sequentially and on 2 and 4 threads, asserting the
+/// final per-domain states are bit-identical, and time each flavour
+/// (best of `reps`).
+fn run_shardloop_smoke(reps: u32) -> ShardloopSmokeResult {
+    let handler = |work: u32| {
+        move |state: &mut (u64, u64),
+              d: u16,
+              t: SimTime,
+              (hops, tag): (u32, u64),
+              out: &mut Outbox<(u32, u64)>| {
+            let mut acc = state.1 ^ tag ^ t.ps() ^ (d as u64);
+            for _ in 0..work {
+                acc = smix(acc);
+            }
+            state.0 += 1;
+            state.1 = state.1.wrapping_add(acc);
+            if hops > 0 {
+                let dst = ((acc >> 8) % SHARDLOOP_DOMAINS as u64) as u16;
+                let at =
+                    t + Duration::from_ns(SHARDLOOP_LOOKAHEAD_NS) + Duration::from_ps(acc % 4_000);
+                out.send(dst, at, (hops - 1, acc));
+            }
+        }
+    };
+
+    let measure = |threads: usize, seeds: u64, hops: u32, work: u32, reps: u32| {
+        let mut best_s = f64::INFINITY;
+        let mut best_run = None;
+        for _ in 0..reps.max(1) {
+            let sim = shardloop_sim(threads, seeds, hops);
+            let t0 = Instant::now();
+            let run = if threads == 1 {
+                sim.run_sequential(handler(work))
+            } else {
+                sim.run(handler(work))
+            }
+            .expect("shardloop run succeeds");
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < best_s {
+                best_s = dt;
+                best_run = Some(run);
+            }
+        }
+        (best_s, best_run.expect("at least one rep"))
+    };
+
+    // Long run: ~147 k events, 384 hash rounds each, 1536 concurrent
+    // chains over 6 domains — plenty of events per safe-time window.
+    let (long_seq_s, long_seq) = measure(1, 1536, 95, 384, reps);
+    let (long_t2_s, long_t2) = measure(2, 1536, 95, 384, reps);
+    let (long_t4_s, long_t4) = measure(4, 1536, 95, 384, reps);
+    assert_eq!(
+        long_seq.states, long_t2.states,
+        "shardloop 2-thread run diverged from sequential"
+    );
+    assert_eq!(
+        long_seq.states, long_t4.states,
+        "shardloop 4-thread run diverged from sequential"
+    );
+    assert_eq!(long_seq.events, 1536 * 96);
+
+    // Short run: 96 tiny events — the sync-dominated crossover regime.
+    let (short_seq_s, short_seq) = measure(1, 24, 3, 16, reps);
+    let (short_t2_s, short_t2) = measure(2, 24, 3, 16, reps);
+    assert_eq!(
+        short_seq.states, short_t2.states,
+        "shardloop short 2-thread run diverged from sequential"
+    );
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The engine's reason to exist: on the long run, 2 threads must beat
+    // sequential. Only assertable when the host actually has 2 cores.
+    if host_cores >= 2 {
+        assert!(
+            long_seq_s / long_t2_s > 1.0,
+            "shardloop 2-thread long run slower than sequential ({long_t2_s:.3}s vs {long_seq_s:.3}s)"
+        );
+    }
+    ShardloopSmokeResult {
+        host_cores,
+        domains: SHARDLOOP_DOMAINS,
+        long_events: long_seq.events,
+        long_seq_s,
+        long_t2_s,
+        long_t4_s,
+        short_events: short_seq.events,
+        short_seq_s,
+        short_t2_s,
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -741,17 +1039,24 @@ fn main() {
 
     println!("perf_smoke: mix 1, DCA, direct-mapped, {insts} insts/core, {reps} reps/engine\n");
 
-    let calendar = run_engine("calendar", false, insts, reps);
-    let heap = run_engine("baseline-heap", true, insts, reps);
+    let calendar = run_engine("calendar", EngineSel::Calendar, insts, reps);
+    let heap = run_engine("baseline-heap", EngineSel::Heap, insts, reps);
+    let adaptive = run_engine("cal-adaptive", EngineSel::CalendarAdaptive, insts, reps);
+    let sharded2 = run_engine("sharded(2)", EngineSel::Sharded { threads: 2 }, insts, reps);
 
-    assert_eq!(
-        fingerprint(&calendar.report),
-        fingerprint(&heap.report),
-        "engines must agree bit-for-bit"
-    );
-    println!("engines agree bit-for-bit on the workload fingerprint\n");
+    // The CI gate: every engine must reproduce the heap oracle's report
+    // bit for bit. Any divergence fails the build here.
+    for r in [&calendar, &adaptive, &sharded2] {
+        assert_eq!(
+            fingerprint(&r.report),
+            fingerprint(&heap.report),
+            "{} engine diverged from the heap oracle",
+            r.label
+        );
+    }
+    println!("all engines agree bit-for-bit with the heap oracle\n");
 
-    for r in [&calendar, &heap] {
+    for r in [&calendar, &heap, &adaptive, &sharded2] {
         println!(
             "{:<14} build {:>7.1} ms   loop {:>7.1} ms   {:>12.0} sim-cycles/s   {:>12.0} events/s",
             r.label,
@@ -767,6 +1072,36 @@ fn main() {
     if insts == 200_000 {
         println!("calendar event-loop speedup vs pre-overhaul ref: {vs_pre:.3}x");
     }
+
+    let micro = run_adaptive_micro(reps);
+    println!("\nadaptive-queue micro (200k events, rolling window, best of {reps}):");
+    for row in &micro {
+        println!(
+            "  {:<10} fixed(shift {SLOT_SHIFT}) {:>7.2} ms   adaptive {:>7.2} ms \
+             (-> shift {}, {} resizes)   heap {:>7.2} ms",
+            row.label, row.fixed_ms, row.adaptive_ms, row.final_shift, row.resizes, row.heap_ms
+        );
+    }
+
+    let sl = run_shardloop_smoke(sweep_reps);
+    println!(
+        "\nshardloop smoke ({} domains, {} host cores): long run ({} events) seq {:.3}s   \
+         2 threads {:.3}s ({:.3}x)   4 threads {:.3}s ({:.3}x)   short run ({} events) \
+         seq {:.4}s vs 2 threads {:.4}s ({:.3}x — sync-dominated, reported not asserted); \
+         all states bit-identical",
+        sl.domains,
+        sl.host_cores,
+        sl.long_events,
+        sl.long_seq_s,
+        sl.long_t2_s,
+        sl.long_seq_s / sl.long_t2_s,
+        sl.long_t4_s,
+        sl.long_seq_s / sl.long_t4_s,
+        sl.short_events,
+        sl.short_seq_s,
+        sl.short_t2_s,
+        sl.short_seq_s / sl.short_t2_s,
+    );
 
     let sweep = run_sweep(insts, sweep_reps);
     println!(
@@ -849,12 +1184,62 @@ fn main() {
     };
     // Hand-rolled JSON: the workspace is offline (no serde), and the
     // schema is flat.
+    let micro_json = micro
+        .iter()
+        .map(|r| {
+            format!(
+                "      \"{}\": {{\"fixed_shift_ms\": {:.4}, \"adaptive_ms\": {:.4}, \
+                 \"heap_ms\": {:.4}, \"resizes\": {}, \"final_shift\": {}}}",
+                r.label, r.fixed_ms, r.adaptive_ms, r.heap_ms, r.resizes, r.final_shift
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let adaptive_section = format!(
+        "\"engine_adaptive\": {{\n    \
+         \"system\": {{\"run_loop_s\": {:.6}, \"vs_calendar\": {:.4}}},\n    \
+         \"micro\": {{\n{micro_json}\n    }}\n  }}",
+        adaptive.run_s,
+        calendar.run_s / adaptive.run_s,
+    );
+    let sharded_section = format!(
+        "\"sharded\": {{\n    \
+         \"system_merge\": {{\"run_loop_s\": {:.6}, \"vs_calendar\": {:.4}, \
+         \"note\": \"zero cross-domain lookahead + shared uncore make the system-level sharded \
+         engine a deterministic merge, not a parallel win; see the shardloop numbers\"}},\n    \
+         \"shardloop\": {{\"host_cores\": {}, \"domains\": {}, \
+         \"lookahead_ns\": {SHARDLOOP_LOOKAHEAD_NS},\n      \
+         \"long\": {{\"events\": {}, \"seq_s\": {:.4}, \"t2_s\": {:.4}, \"t4_s\": {:.4}, \
+         \"speedup_t2\": {:.4}, \"speedup_t4\": {:.4}}},\n      \
+         \"short\": {{\"events\": {}, \"seq_s\": {:.6}, \"t2_s\": {:.6}, \
+         \"speedup_t2\": {:.4}, \
+         \"note\": \"sync overhead dominates at this scale; parallelism legitimately loses\"}}\n    \
+         }}\n  }}",
+        sharded2.run_s,
+        calendar.run_s / sharded2.run_s,
+        sl.host_cores,
+        sl.domains,
+        sl.long_events,
+        sl.long_seq_s,
+        sl.long_t2_s,
+        sl.long_t4_s,
+        sl.long_seq_s / sl.long_t2_s,
+        sl.long_seq_s / sl.long_t4_s,
+        sl.short_events,
+        sl.short_seq_s,
+        sl.short_t2_s,
+        sl.short_seq_s / sl.short_t2_s,
+    );
     let json = format!(
         "{{\n  \"workload\": {{\"mix\": 1, \"design\": \"DCA\", \"org\": \"direct-mapped\", \
          \"insts_per_core\": {insts}, \"reps\": {reps}}},\n  \"engines\": {{\n    \
          \"calendar\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}},\n    \
-         \"baseline_heap\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}}\n  }},\n  \
+         \"baseline_heap\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}},\n    \
+         \"cal_adaptive\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}},\n    \
+         \"sharded_2\": {{\"run_loop_s\": {:.6}, \"sim_cycles_per_sec\": {:.0}, \"events_per_sec\": {:.0}}}\n  }},\n  \
          \"speedup_calendar_over_heap\": {vs_heap:.4}{reference},\n  \
+         {adaptive_section},\n  \
+         {sharded_section},\n  \
          \"sweep\": {{\"variants\": {}, \"reps\": {sweep_reps}, \"cold_s\": {:.4}, \
          \"warm_s\": {:.4}, \"speedup\": {:.4}}},\n  \
          \"shard\": {{\"figure\": \"fig14\", \"jobs\": {}, \"host_cores\": {}, \
@@ -877,6 +1262,12 @@ fn main() {
         heap.run_s,
         heap.cycles_per_sec,
         heap.events_per_sec,
+        adaptive.run_s,
+        adaptive.cycles_per_sec,
+        adaptive.events_per_sec,
+        sharded2.run_s,
+        sharded2.cycles_per_sec,
+        sharded2.events_per_sec,
         sweep.variants,
         sweep.cold_s,
         sweep.warm_s,

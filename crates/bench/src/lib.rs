@@ -68,7 +68,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use dca::{Design, System, SystemConfig, SystemReport};
+use dca::{Design, EngineSel, System, SystemConfig, SystemReport};
 use dca_cpu::{mix, Benchmark};
 use dca_dram::MappingScheme;
 use dca_dram_cache::{OrgKind, ReplacementPolicy};
@@ -169,6 +169,10 @@ pub struct RunSpec {
     pub policy: ReplacementPolicy,
     /// Main-memory backend (default flat — the seed model).
     pub main_mem: MainMemKind,
+    /// Event engine (default calendar). A pure wall-clock knob: every
+    /// engine is locked bit-identical by `tests/engine_equivalence.rs`,
+    /// so it rides in job ids for reproducibility, not for results.
+    pub engine: EngineSel,
     /// Instructions per core.
     pub insts: u64,
     /// Warm-up ops per core.
@@ -194,6 +198,7 @@ impl RunSpec {
             flushing_factor: 4,
             policy: ReplacementPolicy::Srrip,
             main_mem: MainMemKind::Flat,
+            engine: EngineSel::Calendar,
             insts: scale.insts,
             warmup: scale.warmup,
             seed: DEFAULT_SEED,
@@ -224,6 +229,12 @@ impl RunSpec {
         self
     }
 
+    /// Select an event engine.
+    pub fn with_engine(mut self, engine: EngineSel) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Materialise the system configuration.
     pub fn config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::paper(self.design, self.org);
@@ -234,6 +245,7 @@ impl RunSpec {
         cfg.dca.flushing_factor = self.flushing_factor;
         cfg.replacement = self.policy;
         cfg.main_mem = self.main_mem.config();
+        cfg.engine = self.engine;
         cfg.target_insts = self.insts;
         cfg.warmup_ops = self.warmup;
         cfg.seed = self.seed;
@@ -367,6 +379,7 @@ impl AloneIpc {
             flushing_factor: 4,
             policy: ReplacementPolicy::Srrip,
             main_mem: mm,
+            engine: EngineSel::Calendar,
             insts: self.insts,
             warmup: self.warmup,
             seed: self.seed,

@@ -13,20 +13,23 @@
 //! `figures --worker --job <id>`. The grammar:
 //!
 //! ```text
-//! ev_<org>_<design>_x<0|1>_l<0|1>_ff<n>_p<policy>_i<insts>_w<warmup>_s<seed hex>_<mm>_m<mix>.<mix>...
+//! ev_<org>_<design>_x<0|1>_l<0|1>_ff<n>_p<policy>_i<insts>_w<warmup>_s<seed hex>_<mm>_e<engine>_m<mix>.<mix>...
 //! al_<org>_i<insts>_w<warmup>_s<seed hex>_<mm>_b<bench>.<bench>...
 //! ```
 //!
 //! with `<org>` one of `sa<ways>` / `dm`, `<design>` one of
 //! `cd` / `rod` / `dca` / `ban`, `<policy>` a replacement-policy label
 //! (`srrip` / `lru` / `lruc` / `lrud` — see
-//! [`dca_dram_cache::ReplacementPolicy`]), and `<mm>` the main-memory
+//! [`dca_dram_cache::ReplacementPolicy`]), `<mm>` the main-memory
 //! backend token (`mmf` flat, `mmd<n>` cycle-level DDR4 at bandwidth
-//! ÷ n, `mmx` the 3DXPoint-like slow tier — see [`crate::MainMemKind`]).
-//! Alone jobs carry no design or policy field: the weighted-speedup
-//! denominator is always the CD/SRRIP baseline. Identical units shared
-//! by several figures (e.g. the CD baseline of Figs 8 and 12) collapse
-//! to one job.
+//! ÷ n, `mmx` the 3DXPoint-like slow tier — see [`crate::MainMemKind`]),
+//! and `<engine>` the event-engine token (`heap` / `cal` / `cala` /
+//! `sh<threads>` — see [`dca::EngineSel`]; a pure wall-clock knob, in
+//! the id so a job names its engine reproducibly). Alone jobs carry no
+//! design, policy, or engine field: the weighted-speedup denominator is
+//! always the CD/SRRIP baseline on the default engine. Identical units
+//! shared by several figures (e.g. the CD baseline of Figs 8 and 12)
+//! collapse to one job.
 //!
 //! ## Partials
 //!
@@ -106,7 +109,7 @@ pub mod fabric {
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 
-use dca::Design;
+use dca::{Design, EngineSel};
 use dca_cpu::{mix, Benchmark};
 use dca_dram_cache::{OrgKind, ReplacementPolicy};
 
@@ -237,7 +240,7 @@ pub fn encode_job_id(payload: &JobPayload) -> String {
         JobPayload::Eval { spec, mixes } => {
             let mixes: Vec<String> = mixes.iter().map(|m| m.to_string()).collect();
             format!(
-                "ev_{}_{}_x{}_l{}_ff{}_p{}_i{}_w{}_s{:x}_{}_m{}",
+                "ev_{}_{}_x{}_l{}_ff{}_p{}_i{}_w{}_s{:x}_{}_e{}_m{}",
                 org_token(spec.org),
                 design_token(spec.design),
                 spec.remap as u8,
@@ -248,6 +251,7 @@ pub fn encode_job_id(payload: &JobPayload) -> String {
                 spec.warmup,
                 spec.seed,
                 spec.main_mem.token(),
+                spec.engine.token(),
                 mixes.join(".")
             )
         }
@@ -290,8 +294,8 @@ fn tagged<'a>(tok: &'a str, tag: &str) -> Result<&'a str, String> {
 pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
     if let Some(rest) = id.strip_prefix("ev_") {
         let t: Vec<&str> = rest.split('_').collect();
-        if t.len() != 11 {
-            return Err(format!("eval job id has {} fields, expected 11", t.len()));
+        if t.len() != 12 {
+            return Err(format!("eval job id has {} fields, expected 12", t.len()));
         }
         let org = parse_org_token(field(&t, 0, "org")?)?;
         let design = parse_design_token(field(&t, 1, "design")?)?;
@@ -310,7 +314,10 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
         let seed = u64::from_str_radix(tagged(field(&t, 8, "seed")?, "s")?, 16)
             .map_err(|_| "bad seed".to_string())?;
         let main_mem = MainMemKind::parse_token(field(&t, 9, "main memory")?)?;
-        let mixes: Vec<u32> = tagged(field(&t, 10, "mixes")?, "m")?
+        let engine_tok = tagged(field(&t, 10, "engine")?, "e")?;
+        let engine = EngineSel::parse_token(engine_tok)
+            .ok_or_else(|| format!("bad engine token {engine_tok:?} in job id"))?;
+        let mixes: Vec<u32> = tagged(field(&t, 11, "mixes")?, "m")?
             .split('.')
             .map(|m| m.parse().map_err(|_| format!("bad mix id {m:?}")))
             .collect::<Result<_, _>>()?;
@@ -326,6 +333,7 @@ pub fn parse_job_id(id: &str) -> Result<JobPayload, String> {
                 flushing_factor: ff,
                 policy,
                 main_mem,
+                engine,
                 insts,
                 warmup,
                 seed,
@@ -704,6 +712,7 @@ pub fn execute_job(payload: &JobPayload) -> JobResult {
                 flushing_factor: 4,
                 policy: ReplacementPolicy::Srrip,
                 main_mem: *main_mem,
+                engine: EngineSel::Calendar,
                 insts: *insts,
                 warmup: *warmup,
                 seed: *seed,
@@ -1006,7 +1015,7 @@ pub fn execute_inline(jobs: &[Job]) -> PartialStore {
 // ---------------------------------------------------------------------
 
 /// The **warm group** of a job: jobs in one group share warm-state
-/// fingerprints (warm-up is design-, remap-, lee-, ff- and
+/// fingerprints (warm-up is design-, remap-, lee-, ff-, engine- and
 /// main-memory-independent, but **policy-dependent** — warm-up evicts
 /// through the replacement policy), so the supervisor routes a group to
 /// one worker and that worker builds each warm state exactly once for
@@ -1388,23 +1397,27 @@ mod tests {
             "",
             "zz_dm_cd",
             "ev_dm",
-            "ev_qq_cd_x0_l0_ff4_psrrip_i1_w1_s0_m1",
-            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_m",
+            "ev_qq_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_ecal_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_ecal_m",
             "al_dm_i1_w1_s0_bnosuchbench",
             // Trailing fields (e.g. a trace stem with '_') must not be
             // silently ignored.
-            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_m1_extra",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_ecal_m1_extra",
             "al_dm_i1_w1_s0_mmf_bgcc_2800",
             // Unknown / malformed tokens for the main-memory backend,
-            // the replacement policy, and the design.
-            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmq_m1",
-            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmd0_m1",
-            "ev_dm_cd_x0_l0_ff4_pfifo_i1_w1_s0_mmf_m1",
-            "ev_dm_ban2_x0_l0_ff4_psrrip_i1_w1_s0_mmf_m1",
+            // the replacement policy, the design, and the engine.
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmq_ecal_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmd0_ecal_m1",
+            "ev_dm_cd_x0_l0_ff4_pfifo_i1_w1_s0_mmf_ecal_m1",
+            "ev_dm_ban2_x0_l0_ff4_psrrip_i1_w1_s0_mmf_ecal_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_eturbo_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_esh0_m1",
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_esh9_m1",
             "al_dm_i1_w1_s0_mmd_bgcc",
-            // Pre-refactor (10-field / 9-field / 5-field) ids must not
-            // half-parse — the policy field is mandatory.
-            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_m1",
+            // Pre-refactor (11-field / 10-field / 5-field) ids must not
+            // half-parse — the policy and engine fields are mandatory.
+            "ev_dm_cd_x0_l0_ff4_psrrip_i1_w1_s0_mmf_m1",
+            "ev_dm_cd_x0_l0_ff4_i1_w1_s0_mmf_ecal_m1",
             "ev_dm_cd_x0_l0_ff4_i1_w1_s0_m1",
             "al_dm_i1_w1_s0_bgcc",
         ] {

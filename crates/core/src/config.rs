@@ -36,6 +36,66 @@ impl Design {
     }
 }
 
+/// Which event engine drives the simulation loop. Every variant delivers
+/// events in the same total `(time, seq)` order, so the choice cannot
+/// affect results — `tests/engine_equivalence.rs` locks all of them to
+/// bit-identical `SystemReport` fingerprints. The knob selects wall-clock
+/// behaviour only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineSel {
+    /// The original `BinaryHeap` engine — the A/B oracle and perf
+    /// baseline.
+    Heap,
+    /// Two-level calendar queue at the fixed
+    /// [`SystemConfig::event_slot_shift`] slot width (default).
+    #[default]
+    Calendar,
+    /// Calendar queue with runtime density-adaptive slot width: the
+    /// queue samples events-per-slot and resizes itself when clustering
+    /// changes, so no per-workload `event_slot_shift` tuning is needed.
+    CalendarAdaptive,
+    /// Domain-sharded event storage: one calendar queue per shard
+    /// (events are tagged with a static domain — front-end, per
+    /// DRAM-cache channel, main memory — at their schedule sites) with a
+    /// deterministic min-merge across shards. `threads` sets the shard
+    /// count (1–8). See the engine notes in `core::system` for why the
+    /// system-level merge stays on one thread while the parallel
+    /// protocol itself lives in `dca_sim_core::shardloop`.
+    Sharded {
+        /// Shard count; must be in `1..=8`.
+        threads: u8,
+    },
+}
+
+impl EngineSel {
+    /// Stable lowercase token for job ids and CLI surfaces: `heap`,
+    /// `cal`, `cala`, or `sh<threads>`.
+    pub fn token(self) -> String {
+        match self {
+            EngineSel::Heap => "heap".to_string(),
+            EngineSel::Calendar => "cal".to_string(),
+            EngineSel::CalendarAdaptive => "cala".to_string(),
+            EngineSel::Sharded { threads } => format!("sh{threads}"),
+        }
+    }
+
+    /// Inverse of [`EngineSel::token`].
+    pub fn parse_token(tok: &str) -> Option<EngineSel> {
+        match tok {
+            "heap" => Some(EngineSel::Heap),
+            "cal" => Some(EngineSel::Calendar),
+            "cala" => Some(EngineSel::CalendarAdaptive),
+            _ => {
+                let n = tok.strip_prefix("sh")?;
+                let threads: u8 = n.parse().ok()?;
+                (1..=8)
+                    .contains(&threads)
+                    .then_some(EngineSel::Sharded { threads })
+            }
+        }
+    }
+}
+
 /// Which base arbitration algorithm orders candidates within a queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Arbiter {
@@ -141,17 +201,27 @@ pub struct SystemConfig {
     pub mshrs: usize,
     /// Record a detailed access timeline (examples/diagnostics only).
     pub record_timeline: bool,
-    /// Drive the simulation with the original `BinaryHeap` event engine
-    /// instead of the calendar queue. Results are bit-identical either
-    /// way (both deliver in `(time, seq)` order); the toggle exists for
-    /// A/B determinism tests and the `perf_smoke` baseline measurement.
-    pub baseline_engine: bool,
-    /// log2 of the calendar-queue slot width in picoseconds (default
-    /// [`dca_sim_core::events::SLOT_SHIFT`] = 10, i.e. ~1 ns slots). A
-    /// pure performance knob — delivery order, and hence every result,
-    /// is identical for any value; the `event_clustered_*` and
+    /// Event engine driving the run ([`EngineSel`]; default calendar).
+    /// Results are bit-identical for every variant; the knob exists for
+    /// A/B determinism tests and `perf_smoke` measurements.
+    pub engine: EngineSel,
+    /// **log2 of the calendar-queue slot width, in picoseconds** — shift
+    /// 10 means `2^10 ps ≈ 1 ns` slots, so the 1024-bucket ring spans
+    /// ~1 µs. A pure performance knob — delivery order, and hence every
+    /// result, is identical for any value; the `event_clustered_*` and
     /// `event_rolling_window_*` microbenches bracket the trade-off.
-    /// Ignored when `baseline_engine` is set.
+    ///
+    /// Valid range is `0..=`[`dca_sim_core::events::MAX_SLOT_SHIFT`]
+    /// (40, a ring slot of ~18 minutes of simulated time): beyond that
+    /// the slot-index computation `time >> shift` would exceed what the
+    /// u64 picosecond clock can address and, in release builds, silently
+    /// wrap the shift amount. [`SystemConfig::validate`] rejects such
+    /// values up front instead of leaving them to a debug-only assert.
+    ///
+    /// Used by [`EngineSel::Calendar`] (fixed width) and as the starting
+    /// width for [`EngineSel::Sharded`] shard queues; ignored by the
+    /// heap engine, and only the *initial* width for
+    /// [`EngineSel::CalendarAdaptive`].
     pub event_slot_shift: u32,
 }
 
@@ -186,9 +256,31 @@ impl SystemConfig {
             l2_lat_cycles: 20,
             mshrs: 32,
             record_timeline: false,
-            baseline_engine: false,
+            engine: EngineSel::Calendar,
             event_slot_shift: dca_sim_core::events::SLOT_SHIFT,
         }
+    }
+
+    /// Check knob ranges that would otherwise surface only as a panic
+    /// (or, for oversized slot shifts in release builds, a silently
+    /// wrapped shift amount) deep inside `System::assemble`.
+    pub fn validate(&self) -> Result<(), String> {
+        let max = dca_sim_core::events::MAX_SLOT_SHIFT;
+        if self.event_slot_shift > max {
+            return Err(format!(
+                "event_slot_shift {} exceeds MAX_SLOT_SHIFT {} (log2 picoseconds; \
+                 larger shifts overflow the ring-width computation)",
+                self.event_slot_shift, max
+            ));
+        }
+        if let EngineSel::Sharded { threads } = self.engine {
+            if threads == 0 || threads > 8 {
+                return Err(format!(
+                    "sharded engine thread count {threads} outside 1..=8"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Convenience: the paper config with the XOR remapping enabled.
@@ -271,6 +363,42 @@ mod tests {
         assert_eq!(d.flushing_factor, 4);
         assert_eq!(d.read_q_hi, 0.85);
         assert_eq!(d.read_q_lo, 0.75);
+    }
+
+    #[test]
+    fn engine_tokens_round_trip() {
+        let all = [
+            EngineSel::Heap,
+            EngineSel::Calendar,
+            EngineSel::CalendarAdaptive,
+            EngineSel::Sharded { threads: 1 },
+            EngineSel::Sharded { threads: 4 },
+        ];
+        for e in all {
+            assert_eq!(EngineSel::parse_token(&e.token()), Some(e));
+        }
+        assert_eq!(EngineSel::parse_token("sh0"), None);
+        assert_eq!(EngineSel::parse_token("sh9"), None);
+        assert_eq!(EngineSel::parse_token("sh"), None);
+        assert_eq!(EngineSel::parse_token("turbo"), None);
+        assert_eq!(EngineSel::default(), EngineSel::Calendar);
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_slot_shift_and_bad_threads() {
+        let mut cfg = SystemConfig::paper(Design::Dca, OrgKind::DirectMapped);
+        assert!(cfg.validate().is_ok());
+        cfg.event_slot_shift = dca_sim_core::events::MAX_SLOT_SHIFT;
+        assert!(cfg.validate().is_ok());
+        cfg.event_slot_shift = dca_sim_core::events::MAX_SLOT_SHIFT + 1;
+        assert!(cfg.validate().is_err());
+        cfg.event_slot_shift = dca_sim_core::events::SLOT_SHIFT;
+        cfg.engine = EngineSel::Sharded { threads: 0 };
+        assert!(cfg.validate().is_err());
+        cfg.engine = EngineSel::Sharded { threads: 9 };
+        assert!(cfg.validate().is_err());
+        cfg.engine = EngineSel::Sharded { threads: 4 };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

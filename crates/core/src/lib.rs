@@ -113,7 +113,7 @@ pub mod system;
 pub mod timeline;
 pub mod warm;
 
-pub use config::{Arbiter, DcaParams, Design, SystemConfig};
+pub use config::{Arbiter, DcaParams, Design, EngineSel, SystemConfig};
 pub use controller::{ChannelController, CtrlStats};
 pub use report::{ChannelReport, CoreReport, SystemReport};
 pub use rrpc::Rrpc;

@@ -337,7 +337,8 @@ mod tests {
             c.design = design;
             c.mapping = dca_dram::MappingScheme::XorRemap;
             c.target_insts = 999_999;
-            c.baseline_engine = true;
+            c.engine = crate::config::EngineSel::Sharded { threads: 4 };
+            c.event_slot_shift = 4;
             c.lee_writeback = true;
             assert_eq!(WarmState::fingerprint_for(&c, &BENCHES), fp);
         }

@@ -1,0 +1,22 @@
+//! Seeded T01 + R01 violations in the parallel engine.
+
+use std::sync::mpsc;
+
+pub fn bad_channel() {
+    let (tx, rx) = mpsc::channel::<u64>();
+    tx.send(1).unwrap();
+    let _ = rx.recv();
+}
+
+#[cfg(test)]
+mod tests {
+    // mpsc and unwrap in tests are fine:
+    use std::sync::mpsc;
+
+    #[test]
+    fn t() {
+        let (tx, rx) = mpsc::channel::<u64>();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

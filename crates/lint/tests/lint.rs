@@ -91,6 +91,9 @@ fn violations_fixture_trips_every_rule() {
         ("D02", "crates/sim-core/src/maps.rs", 20),
         ("D01", "crates/sim-core/src/maps.rs", 24),
         ("D01", "crates/sim-core/src/maps.rs", 26),
+        ("T01", "crates/sim-core/src/shardloop.rs", 3),
+        ("T01", "crates/sim-core/src/shardloop.rs", 6),
+        ("R01", "crates/sim-core/src/shardloop.rs", 7),
     ];
     assert_eq!(got, expected);
     assert!(report.pragmas.is_empty());
@@ -209,7 +212,7 @@ fn json_output_matches_schema_golden() {
     assert_eq!(code, 1);
     let golden = r#"{
   "schema": 1,
-  "files_scanned": 3,
+  "files_scanned": 4,
   "findings": [
     {"rule": "R01", "path": "crates/bench/src/shard/server.rs", "line": 5, "message": "expect in crash-recoverable shard code: degrade via retry/quarantine, do not abort"},
     {"rule": "R01", "path": "crates/bench/src/shard/server.rs", "line": 7, "message": "panic! in crash-recoverable shard code: degrade via retry/quarantine, do not abort"},
@@ -222,7 +225,10 @@ fn json_output_matches_schema_golden() {
     {"rule": "D03", "path": "crates/sim-core/src/maps.rs", "line": 13, "message": "unsorted iteration (iter) over hash map `counts`: order leaks into results; collect & sort, or use BTreeMap"},
     {"rule": "D02", "path": "crates/sim-core/src/maps.rs", "line": 20, "message": "wall-clock read (Instant::now) outside the bench-timing allowlist: host timing must not reach sim code"},
     {"rule": "D01", "path": "crates/sim-core/src/maps.rs", "line": 24, "message": "std HashMap in sim-crate code: SipHash keys differ per process; use FastHashMap or BTreeMap"},
-    {"rule": "D01", "path": "crates/sim-core/src/maps.rs", "line": 26, "message": "std HashMap in sim-crate code: SipHash keys differ per process; use FastHashMap or BTreeMap"}
+    {"rule": "D01", "path": "crates/sim-core/src/maps.rs", "line": 26, "message": "std HashMap in sim-crate code: SipHash keys differ per process; use FastHashMap or BTreeMap"},
+    {"rule": "T01", "path": "crates/sim-core/src/shardloop.rs", "line": 3, "message": "std::sync::mpsc in the parallel engine: the safe-time protocol's determinism proof assumes the module's own bounded SPSC rings, not mutex-backed channels"},
+    {"rule": "T01", "path": "crates/sim-core/src/shardloop.rs", "line": 6, "message": "std::sync::mpsc in the parallel engine: the safe-time protocol's determinism proof assumes the module's own bounded SPSC rings, not mutex-backed channels"},
+    {"rule": "R01", "path": "crates/sim-core/src/shardloop.rs", "line": 7, "message": "unwrap in crash-recoverable shard code: degrade via retry/quarantine, do not abort"}
   ],
   "allow_pragmas": []
 }

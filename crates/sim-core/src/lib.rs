@@ -22,33 +22,52 @@
 //!   tuple derives an independent deterministic RNG stream, plus the
 //!   xoshiro-based [`rng::Prng`] the workload generators sample from.
 //!
-//! Everything here is intentionally dependency-free and single-threaded:
-//! determinism is a correctness requirement for the experiment harness
-//! (identical seeds must yield identical figures).
+//! Everything here is intentionally dependency-free, and determinism is
+//! a correctness requirement for the experiment harness (identical seeds
+//! must yield identical figures). One module — [`shardloop`] — uses
+//! `std::thread`; its whole design exists to keep that determinism
+//! guarantee under parallel execution.
 //!
 //! ## Engine architecture (hot paths)
 //!
-//! Three structures carry essentially all of the simulator's inner-loop
-//! work; all three are O(1) per operation and allocation-free at steady
-//! state:
+//! Four structures carry essentially all of the simulator's inner-loop
+//! work:
 //!
 //! 1. **Calendar event queue** ([`events::EventQueue`]). A two-level
-//!    scheduler: a ring of 1024 one-nanosecond FIFO buckets covers the
-//!    next ~1 µs, and a far-future binary heap absorbs the rare event
-//!    beyond the horizon (events migrate into the ring as the cursor
-//!    approaches). Delivery order is exactly `(time, insertion seq)` —
-//!    bit-identical to the original heap engine, which survives as
-//!    [`events::BaselineEventQueue`] for A/B determinism tests and perf
-//!    baselines. Buckets sort lazily, and only when an out-of-order push
-//!    actually dirtied them, so the common nondecreasing-time push is a
-//!    plain FIFO append.
-//! 2. **Generational slabs** ([`slab::Slab`]). Request and access ids in
+//!    scheduler: a ring of 1024 FIFO buckets covers the near future, and
+//!    a far-future binary heap absorbs the rare event beyond the horizon
+//!    (events migrate into the ring as the cursor approaches). Delivery
+//!    order is exactly `(time, seq)` — bit-identical to the original heap
+//!    engine, which survives as [`events::BaselineEventQueue`] for A/B
+//!    determinism tests and perf baselines. Buckets sort lazily, and only
+//!    when an out-of-order push actually dirtied them, so the common
+//!    nondecreasing-time push is a plain FIFO append. The slot width is
+//!    **self-tuning** ([`events::EventQueue::adaptive`]): the pop path
+//!    samples events-per-scanned-slot into an integer EWMA and, when
+//!    density leaves a wide hysteresis band, rebuilds the ring one
+//!    power-of-two step narrower or wider — the classic calendar-queue
+//!    resize — while preserving exact `(time, seq)` order across the
+//!    rebuild. `with_slot_shift` pins the knob for A/B experiments.
+//! 2. **Sharded event loop** ([`shardloop`]). A conservative-time
+//!    parallel engine for event traffic that partitions into static
+//!    *domains* (per DRAM-cache channel, the main-memory device, the
+//!    CPU/uncore front-end). Each shard runs the calendar queues of its
+//!    domains on its own thread; cross-shard events travel through
+//!    bounded SPSC rings, and shards synchronize barrier-free by
+//!    publishing monotone *safe times*: `bound = min(local head, min
+//!    peer bound) + L`, where the lookahead `L` is the minimum
+//!    cross-domain latency (a bus transfer plus the tag-access floor —
+//!    no domain can affect another sooner). A shard processes events
+//!    strictly below the minimum peer bound; ties break on
+//!    content-derived keys, so results are bit-identical across 1, 2,
+//!    and 4 threads and the sequential reference.
+//! 3. **Generational slabs** ([`slab::Slab`]). Request and access ids in
 //!    `dca::system` are packed `(index, generation)` slab keys
 //!    ([`slab::SlabKey`]), so per-request state lookups are direct array
 //!    indexing — no hashing anywhere on the request path; stale ids from
 //!    in-flight events are caught by the generation check rather than
 //!    aliasing recycled slots.
-//! 3. **Slotted command queues** (`dca_sched::AccessQueue`). Controller
+//! 4. **Slotted command queues** (`dca_sched::AccessQueue`). Controller
 //!    read/write queues are sparse sets: entries live contiguously in a
 //!    dense array (arbitration scans touch only live entries, in cache
 //!    order) while stable slot ids from a free stack make removal an
@@ -83,11 +102,16 @@
 //!   "added a field, forgot the codec" class that forced the `WarmState`
 //!   v2→v3→v4 bumps now fails the lint instead of corrupting warm
 //!   restores.
-//! * **No panics on crash-recoverable paths (R01).** The sweep fabric
-//!   (`shard::{net,server,agent,supervisor,journal}` in `dca-bench`)
-//!   exists to survive worker crashes, torn frames, and dead agents; its
-//!   own code must degrade through the retry/quarantine machinery, never
-//!   abort.
+//! * **No panics on crash-recoverable or cross-thread paths (R01).**
+//!   The sweep fabric (`shard::{net,server,agent,supervisor,journal}`
+//!   in `dca-bench`) exists to survive worker crashes, torn frames, and
+//!   dead agents; [`shardloop`] runs handlers on worker threads where a
+//!   panic would poison the whole run. Both degrade through error
+//!   values (`ShardError`, retry/quarantine machinery), never abort.
+//! * **No `std::sync::mpsc` in the parallel engine (T01).** The shard
+//!   loop's determinism rests on bounded SPSC rings plus the safe-time
+//!   protocol; an unbounded std channel would hide back-pressure and
+//!   reintroduce wall-clock-dependent arrival order.
 //!
 //! Violations carry a `// dca-lint: allow(<rule>) <reason>` escape hatch,
 //! but every pragma is pinned by the linter's workspace self-test — see
@@ -97,6 +121,7 @@ pub mod codec;
 pub mod events;
 pub mod hash;
 pub mod rng;
+pub mod shardloop;
 pub mod slab;
 pub mod stats;
 pub mod time;
@@ -105,6 +130,7 @@ pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use events::{BaselineEventQueue, EventQueue};
 pub use hash::{digest64, FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use rng::SeedSplitter;
+pub use shardloop::{Domain, Outbox, ShardConfig, ShardError, ShardRun, ShardSim};
 pub use slab::{Slab, SlabKey};
 pub use stats::{Counter, Histogram, RunningMean};
 pub use time::{Duration, SimTime};

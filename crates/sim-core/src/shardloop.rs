@@ -1,0 +1,862 @@
+//! Conservative-time-synchronization sharded event loop.
+//!
+//! A parallel discrete-event engine (`std::thread` only) for models whose
+//! event traffic partitions into **static domains** — in this workspace:
+//! one domain per DRAM-cache channel, one for the main-memory device, one
+//! for the CPU/uncore front-end. Each shard owns the calendar queues of
+//! its domains and runs them on its own thread; shards exchange events
+//! through bounded SPSC rings and synchronize with a barrier-free
+//! safe-time protocol.
+//!
+//! # The protocol
+//!
+//! The engine is a classic conservative (Chandy–Misra–Bryant-style)
+//! scheme built on a **lookahead window** `L`: a cross-*domain* send
+//! scheduled while processing an event at time `t` must carry a
+//! timestamp `≥ t + L`. In the DCA system model, `L` is derived from the
+//! minimum cross-domain latency — an off-chip bus transfer plus the
+//! tag-access floor — because no channel, memory, or front-end handler
+//! can affect another domain sooner than that.
+//!
+//! Each shard `s` publishes a monotone **safe time** `bound_s`: a lower
+//! bound on the timestamp of any event it may still send. With `head_s`
+//! the earliest pending local event and `snap_s` the minimum of the peer
+//! bounds `s` last read,
+//!
+//! ```text
+//! bound_s = min(head_s, snap_s) + L
+//! ```
+//!
+//! (`snap_s` covers in-flight ring messages: a message still undrained
+//! when `s` snapshots its peers is timestamped at or above the bound the
+//! sender had published when it sent — reading a peer's bound with
+//! `Acquire` ordering after the peer's `Release` publish also makes the
+//! preceding ring pushes visible, so everything below the snapshot is
+//! already drained.) A shard may process its head event at time `t`
+//! only while `t <` the minimum peer bound it snapshotted. Positive
+//! lookahead makes the scheme deadlock-free: every published bound is
+//! at least `t* + L` where `t*` is the globally earliest unprocessed
+//! event, so the shard holding `t*` can always run.
+//!
+//! # Determinism
+//!
+//! Wall-clock arrival order of ring messages is racy, so delivery order
+//! cannot lean on insertion sequence. Every event instead carries a
+//! **content-derived key** — `(per-domain send sequence, source domain)`
+//! packed into a u64 — and queues deliver by `(time, key)` via
+//! [`EventQueue::push_keyed`]. Because the safe-time rule admits time
+//! `t` only after every event with timestamp `≤ t` has been drained,
+//! each shard's processing order is exactly ascending `(time, key)`:
+//! independent of thread count, scheduling, and ring timing. The
+//! property tests pin sequential vs 1/2/4-thread runs to identical
+//! final states.
+//!
+//! This module is on the linter's R01 list: it must not panic on
+//! cross-thread paths — protocol violations (lookahead too small,
+//! scheduling into the past, unknown domains) surface as
+//! [`ShardError`]s through a shared stop flag instead.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::events::EventQueue;
+use crate::time::{Duration, SimTime};
+
+/// A static partition index: events are tagged with the domain whose
+/// state they touch, and domains are assigned to shards round-robin.
+pub type Domain = u16;
+
+/// Source tag reserved for initial (pre-run) events in the merge key.
+const INIT_SRC: u64 = 0xFFFF;
+
+/// Bits of the merge key holding the source domain.
+const SRC_BITS: u32 = 16;
+
+/// Pack a `(per-domain send seq, source domain)` pair into the delivery
+/// tiebreak key. Both halves are thread-count-invariant, so the total
+/// `(time, key)` order — and therefore every result — is too.
+#[inline]
+fn merge_key(seq: u64, src: u64) -> u64 {
+    (seq << SRC_BITS) | src
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Worker threads (= shards). Clamped to the domain count at run
+    /// time; `1` degenerates to a single-threaded loop with no rings.
+    pub threads: usize,
+    /// The lookahead window: minimum latency of any cross-domain
+    /// interaction. Must be positive — zero lookahead admits no safe
+    /// parallel window at all.
+    pub lookahead: Duration,
+    /// Capacity of each SPSC ring (power of two).
+    pub ring_capacity: usize,
+}
+
+impl ShardConfig {
+    /// A config with the default ring capacity.
+    pub fn new(threads: usize, lookahead: Duration) -> Self {
+        ShardConfig {
+            threads,
+            lookahead,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+/// Why a sharded run could not start or finish.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The model declared no domains.
+    NoDomains,
+    /// More domains than the merge key can address.
+    TooManyDomains(usize),
+    /// `threads == 0`.
+    ZeroThreads,
+    /// Lookahead must be positive for conservative sync to make progress.
+    ZeroLookahead,
+    /// Ring capacity must be a power of two of at least 2.
+    BadRingCapacity(usize),
+    /// A handler sent to a domain the model never declared.
+    UnknownDomain(Domain),
+    /// A send was scheduled before the event that produced it.
+    PastSend { now: SimTime, at: SimTime },
+    /// A cross-domain send violated the declared lookahead window.
+    LookaheadViolation {
+        now: SimTime,
+        at: SimTime,
+        lookahead: Duration,
+    },
+    /// A worker thread died without completing its shard.
+    WorkerFailed,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoDomains => write!(f, "shardloop: no domains declared"),
+            ShardError::TooManyDomains(n) => {
+                write!(f, "shardloop: {n} domains exceed the 65535 key space")
+            }
+            ShardError::ZeroThreads => write!(f, "shardloop: thread count must be >= 1"),
+            ShardError::ZeroLookahead => {
+                write!(f, "shardloop: lookahead must be positive")
+            }
+            ShardError::BadRingCapacity(c) => {
+                write!(f, "shardloop: ring capacity {c} is not a power of two >= 2")
+            }
+            ShardError::UnknownDomain(d) => write!(f, "shardloop: send to unknown domain {d}"),
+            ShardError::PastSend { now, at } => {
+                write!(f, "shardloop: send at {at:?} is before now {now:?}")
+            }
+            ShardError::LookaheadViolation { now, at, lookahead } => write!(
+                f,
+                "shardloop: cross-domain send at {at:?} from {now:?} undercuts lookahead {lookahead:?}"
+            ),
+            ShardError::WorkerFailed => write!(f, "shardloop: a worker thread failed"),
+        }
+    }
+}
+
+/// Sends a handler wants to make; flushed — and validated — by the
+/// engine after the handler returns.
+pub struct Outbox<E> {
+    msgs: Vec<(Domain, SimTime, E)>,
+}
+
+impl<E> Outbox<E> {
+    /// Schedule `event` for `dst` at absolute time `at`. Sends to the
+    /// current domain may be at any `at >= now`; sends to any other
+    /// domain must respect the lookahead window (`at >= now + L`).
+    pub fn send(&mut self, dst: Domain, at: SimTime, event: E) {
+        self.msgs.push((dst, at, event));
+    }
+}
+
+/// One cross-shard message.
+struct Msg<E> {
+    dst: Domain,
+    at: SimTime,
+    key: u64,
+    event: E,
+}
+
+/// Pad to a cache line so the producer and consumer cursors of a ring
+/// never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// A bounded single-producer single-consumer ring (Lamport queue).
+/// Producer/consumer roles are fixed by construction: ring `(i, j)` is
+/// pushed only by shard `i`'s thread and popped only by shard `j`'s.
+struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer reads.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer writes.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// Safety: the protocol is the standard SPSC contract — `try_push` is
+// called by exactly one thread and `try_pop` by exactly one other; the
+// Release store of each cursor publishes the slot contents the opposite
+// side then reads under Acquire.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    fn with_capacity(cap: usize) -> Self {
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscRing {
+            buf,
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Producer side: enqueue or hand the value back if full.
+    fn try_push(&self, v: T) -> Result<(), T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return Err(v);
+        }
+        // Safety: SPSC — this thread is the only producer, and the slot
+        // at `tail` is unoccupied (consumer is at or past `head`).
+        unsafe { (*self.buf[tail & self.mask].get()).write(v) };
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: dequeue if non-empty.
+    fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // Safety: SPSC — this thread is the only consumer, and the slot
+        // at `head` was fully written before the producer's Release
+        // store of `tail` made it visible.
+        let v = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+/// Result of a completed sharded (or sequential-reference) run.
+#[derive(Debug)]
+pub struct ShardRun<S> {
+    /// Final per-domain states, in domain order.
+    pub states: Vec<S>,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// Events that crossed a shard boundary through a ring.
+    pub cross_sends: u64,
+    /// Adaptive calendar-queue resizes summed over the shards.
+    pub resizes: u64,
+}
+
+/// A sharded simulation: per-domain states plus the initial event set.
+pub struct ShardSim<S, E> {
+    cfg: ShardConfig,
+    states: Vec<S>,
+    initial: Vec<(Domain, SimTime, E)>,
+    init_seq: u64,
+}
+
+/// Shared synchronization surfaces, one allocation each, borrowed by
+/// every worker.
+struct Shared<E> {
+    /// `bounds[s]`: shard `s`'s published safe time, in ps.
+    bounds: Vec<AtomicU64>,
+    /// Ring from shard `i` to shard `j` at `rings[i][j]` (unused when
+    /// `i == j`, kept square for O(1) addressing).
+    rings: Vec<Vec<SpscRing<Msg<E>>>>,
+    /// Undelivered events across the whole simulation; 0 is the stable
+    /// termination condition (incremented before the decrement of the
+    /// event that produced each send).
+    active: AtomicU64,
+    /// Cooperative abort (first error wins).
+    stop: AtomicBool,
+    error: Mutex<Option<ShardError>>,
+}
+
+impl<E> Shared<E> {
+    fn fail(&self, e: ShardError) {
+        if let Ok(mut slot) = self.error.lock() {
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// What one worker thread hands back.
+struct WorkerOut<S> {
+    /// `(domain, state)` for each domain the shard owned.
+    states: Vec<(Domain, S)>,
+    popped: u64,
+    cross_sends: u64,
+    resizes: u64,
+}
+
+impl<S: Send, E: Send> ShardSim<S, E> {
+    /// A simulation over `states.len()` domains (domain `d`'s state is
+    /// `states[d]`).
+    pub fn new(cfg: ShardConfig, states: Vec<S>) -> Result<Self, ShardError> {
+        if states.is_empty() {
+            return Err(ShardError::NoDomains);
+        }
+        if states.len() >= INIT_SRC as usize {
+            return Err(ShardError::TooManyDomains(states.len()));
+        }
+        if cfg.threads == 0 {
+            return Err(ShardError::ZeroThreads);
+        }
+        if cfg.lookahead.ps() == 0 {
+            return Err(ShardError::ZeroLookahead);
+        }
+        if cfg.ring_capacity < 2 || !cfg.ring_capacity.is_power_of_two() {
+            return Err(ShardError::BadRingCapacity(cfg.ring_capacity));
+        }
+        Ok(ShardSim {
+            cfg,
+            states,
+            initial: Vec::new(),
+            init_seq: 0,
+        })
+    }
+
+    /// Schedule an initial event before the run starts. Initial events
+    /// carry a reserved source tag, so their order is their schedule
+    /// order regardless of domain or thread count.
+    pub fn schedule(&mut self, dst: Domain, at: SimTime, event: E) -> Result<(), ShardError> {
+        if (dst as usize) >= self.states.len() {
+            return Err(ShardError::UnknownDomain(dst));
+        }
+        self.initial.push((dst, at, event));
+        self.init_seq += 1;
+        Ok(())
+    }
+
+    /// Run to completion on `min(threads, ndomains)` worker threads.
+    ///
+    /// `handler` is invoked as `(state, domain, time, event, outbox)`;
+    /// it must be deterministic for the run to be reproducible. The
+    /// final states are bit-identical to [`ShardSim::run_sequential`]
+    /// for every thread count — the engine's core contract.
+    pub fn run<H>(self, handler: H) -> Result<ShardRun<S>, ShardError>
+    where
+        H: Fn(&mut S, Domain, SimTime, E, &mut Outbox<E>) + Sync,
+    {
+        let ndomains = self.states.len();
+        let nshards = self.cfg.threads.min(ndomains);
+        if nshards == 1 {
+            return self.run_sequential(handler);
+        }
+        let lookahead = self.cfg.lookahead;
+        let shared = Shared {
+            bounds: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            rings: (0..nshards)
+                .map(|_| {
+                    (0..nshards)
+                        .map(|_| SpscRing::with_capacity(self.cfg.ring_capacity))
+                        .collect()
+                })
+                .collect(),
+            active: AtomicU64::new(self.initial.len() as u64),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+        };
+
+        // Partition domains round-robin and pre-load each shard's queue.
+        let mut shard_states: Vec<Vec<(Domain, S)>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (d, s) in self.states.into_iter().enumerate() {
+            shard_states[d % nshards].push((d as Domain, s));
+        }
+        let mut shard_queues: Vec<EventQueue<(Domain, u64, E)>> =
+            (0..nshards).map(|_| EventQueue::adaptive()).collect();
+        for (i, (dst, at, ev)) in self.initial.into_iter().enumerate() {
+            let key = merge_key(i as u64, INIT_SRC);
+            shard_queues[dst as usize % nshards].push_keyed(at, key, (dst, key, ev));
+        }
+        // Seed every bound before any thread starts: a shard with work
+        // can send no earlier than head + L; an idle shard only reacts
+        // to others, so the global minimum head + L bounds it too.
+        let global_min = shard_queues
+            .iter()
+            .filter_map(|q| q.peek_time())
+            .map(|t| t.ps())
+            .min()
+            .unwrap_or(u64::MAX);
+        for (s, q) in shard_queues.iter().enumerate() {
+            let head = q.peek_time().map_or(global_min, |t| t.ps());
+            shared.bounds[s].store(head.saturating_add(lookahead.ps()), Ordering::Release);
+        }
+
+        let shared = &shared;
+        let handler = &handler;
+        let outs: Vec<Result<WorkerOut<S>, ()>> = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nshards);
+            for (me, (states, queue)) in shard_states
+                .drain(..)
+                .zip(shard_queues.drain(..))
+                .enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    run_worker(
+                        me, nshards, ndomains, lookahead, states, queue, shared, handler,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| ()))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<S>> = (0..ndomains).map(|_| None).collect();
+        let (mut events, mut cross_sends, mut resizes) = (0u64, 0u64, 0u64);
+        let mut worker_failed = false;
+        for out in outs {
+            match out {
+                Ok(w) => {
+                    events += w.popped;
+                    cross_sends += w.cross_sends;
+                    resizes += w.resizes;
+                    for (d, s) in w.states {
+                        slots[d as usize] = Some(s);
+                    }
+                }
+                Err(()) => worker_failed = true,
+            }
+        }
+        if let Ok(mut slot) = shared.error.lock() {
+            if let Some(e) = slot.take() {
+                return Err(e);
+            }
+        }
+        if worker_failed {
+            return Err(ShardError::WorkerFailed);
+        }
+        let states: Result<Vec<S>, ShardError> = slots
+            .into_iter()
+            .map(|s| s.ok_or(ShardError::WorkerFailed))
+            .collect();
+        Ok(ShardRun {
+            states: states?,
+            events,
+            cross_sends,
+            resizes,
+        })
+    }
+
+    /// The single-threaded reference: one adaptive calendar queue, the
+    /// same content-derived keys, no rings, no atomics. Bit-identical to
+    /// [`ShardSim::run`] at any thread count, and the baseline the
+    /// speedup numbers in `BENCH_engine.json` are measured against.
+    pub fn run_sequential<H>(self, handler: H) -> Result<ShardRun<S>, ShardError>
+    where
+        H: Fn(&mut S, Domain, SimTime, E, &mut Outbox<E>),
+    {
+        let ndomains = self.states.len();
+        let lookahead = self.cfg.lookahead;
+        let mut states = self.states;
+        let mut queue: EventQueue<(Domain, u64, E)> = EventQueue::adaptive();
+        for (i, (dst, at, ev)) in self.initial.into_iter().enumerate() {
+            let key = merge_key(i as u64, INIT_SRC);
+            queue.push_keyed(at, key, (dst, key, ev));
+        }
+        let mut send_seq: Vec<u64> = vec![0; ndomains];
+        let mut outbox = Outbox { msgs: Vec::new() };
+        let mut events = 0u64;
+        while let Some((t, (dst, _key, ev))) = queue.pop() {
+            handler(&mut states[dst as usize], dst, t, ev, &mut outbox);
+            events += 1;
+            for (to, at, msg) in outbox.msgs.drain(..) {
+                if (to as usize) >= ndomains {
+                    return Err(ShardError::UnknownDomain(to));
+                }
+                if at < t {
+                    return Err(ShardError::PastSend { now: t, at });
+                }
+                if to != dst && at < t + lookahead {
+                    return Err(ShardError::LookaheadViolation {
+                        now: t,
+                        at,
+                        lookahead,
+                    });
+                }
+                let key = merge_key(send_seq[dst as usize], dst as u64);
+                send_seq[dst as usize] += 1;
+                queue.push_keyed(at, key, (to, key, msg));
+            }
+        }
+        Ok(ShardRun {
+            states,
+            events,
+            cross_sends: 0,
+            resizes: queue.resizes(),
+        })
+    }
+}
+
+/// One shard's event loop. See the module docs for the protocol.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<S, E: Send, H>(
+    me: usize,
+    nshards: usize,
+    ndomains: usize,
+    lookahead: Duration,
+    states: Vec<(Domain, S)>,
+    mut queue: EventQueue<(Domain, u64, E)>,
+    shared: &Shared<E>,
+    handler: &H,
+) -> WorkerOut<S>
+where
+    H: Fn(&mut S, Domain, SimTime, E, &mut Outbox<E>) + Sync,
+{
+    let la_ps = lookahead.ps();
+    let mut states = states;
+    // Per-owned-domain send sequence numbers (domain d lives at local
+    // index d / nshards under the round-robin partition).
+    let mut send_seq: Vec<u64> = vec![0; states.len()];
+    let mut outbox = Outbox { msgs: Vec::new() };
+    let (mut popped, mut cross_sends) = (0u64, 0u64);
+
+    'main: loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // 1. Snapshot peer bounds *before* draining: everything below
+        //    the snapshot is guaranteed drained afterwards (Acquire on
+        //    the bound pairs with the sender's Release publish, which
+        //    follows its ring pushes).
+        let mut snap_min = u64::MAX;
+        for (r, b) in shared.bounds.iter().enumerate() {
+            if r != me {
+                snap_min = snap_min.min(b.load(Ordering::Acquire));
+            }
+        }
+        // 2. Drain inbound rings into the local calendar queue.
+        for r in 0..nshards {
+            if r == me {
+                continue;
+            }
+            while let Some(m) = shared.rings[r][me].try_pop() {
+                queue.push_keyed(m.at, m.key, (m.dst, m.key, m.event));
+            }
+        }
+        // 3. Stable termination: every event everywhere delivered and
+        //    handled (sends are counted before their cause is retired).
+        if shared.active.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // 4. Process every event strictly below the snapshot: nothing
+        //    at or above it is complete — a peer may still send a tying
+        //    timestamp, and ties order by content key.
+        let mut progressed = false;
+        while let Some((t, _)) = queue.peek_key() {
+            if t.ps() >= snap_min {
+                break;
+            }
+            let Some((now, (dst, _key, ev))) = queue.pop() else {
+                break;
+            };
+            let local = dst as usize / nshards;
+            handler(&mut states[local].1, dst, now, ev, &mut outbox);
+            popped += 1;
+            progressed = true;
+            // Flush sends before retiring the event so `active` can
+            // never dip to 0 with work still in flight.
+            for (to, at, msg) in outbox.msgs.drain(..) {
+                if (to as usize) >= ndomains {
+                    shared.fail(ShardError::UnknownDomain(to));
+                    break 'main;
+                }
+                if at < now {
+                    shared.fail(ShardError::PastSend { now, at });
+                    break 'main;
+                }
+                if to != dst && at < now + lookahead {
+                    shared.fail(ShardError::LookaheadViolation { now, at, lookahead });
+                    break 'main;
+                }
+                let key = merge_key(send_seq[local], dst as u64);
+                send_seq[local] += 1;
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                let target = to as usize % nshards;
+                if target == me {
+                    queue.push_keyed(at, key, (to, key, msg));
+                } else {
+                    cross_sends += 1;
+                    let mut m = Msg {
+                        dst: to,
+                        at,
+                        key,
+                        event: msg,
+                    };
+                    // Bounded ring: on full, drain own inbound (the
+                    // peer may be blocked on *our* ring) and retry.
+                    // `active > 0` keeps the receiver alive meanwhile.
+                    loop {
+                        match shared.rings[me][target].try_push(m) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                m = back;
+                                if shared.stop.load(Ordering::Acquire) {
+                                    break 'main;
+                                }
+                                for r in 0..nshards {
+                                    if r == me {
+                                        continue;
+                                    }
+                                    while let Some(inb) = shared.rings[r][me].try_pop() {
+                                        queue.push_keyed(
+                                            inb.at,
+                                            inb.key,
+                                            (inb.dst, inb.key, inb.event),
+                                        );
+                                    }
+                                }
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+        }
+        // 5. Publish the new safe time (monotone; only this thread
+        //    writes bounds[me], so load-then-store does not race).
+        let head = queue.peek_time().map_or(u64::MAX, |t| t.ps());
+        let bound = head.min(snap_min).saturating_add(la_ps);
+        if bound > shared.bounds[me].load(Ordering::Relaxed) {
+            shared.bounds[me].store(bound, Ordering::Release);
+        }
+        if !progressed {
+            thread::yield_now();
+        }
+    }
+
+    WorkerOut {
+        states,
+        popped,
+        cross_sends,
+        resizes: queue.resizes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: Duration = Duration::from_ns(8);
+
+    /// Per-domain test state: (events handled, running hash).
+    type HopState = (u64, u64);
+    /// Test event payload: (remaining hop budget, tag).
+    type HopEv = (u32, u64);
+
+    /// A deterministic mixing step (SplitMix64 finalizer).
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Workload: every event hashes into its domain's accumulator and
+    /// fans out 0–2 follow-ups (cross-domain at `t + L + jitter`,
+    /// same-domain at `t + jitter`) until a per-event hop budget runs
+    /// out. Exercises ties, fan-out, rings, and both send kinds.
+    fn hopper(
+        ndomains: usize,
+    ) -> impl Fn(&mut HopState, Domain, SimTime, HopEv, &mut Outbox<HopEv>) + Sync {
+        move |state, d, t, (hops, tag), out| {
+            state.0 += 1;
+            state.1 = mix(state.1 ^ tag ^ t.ps() ^ d as u64);
+            if hops == 0 {
+                return;
+            }
+            let r = mix(tag ^ state.1);
+            let fan = (r % 3) as u32; // 0, 1 or 2 follow-ups
+            for k in 0..fan {
+                let rr = mix(r ^ k as u64);
+                let dst = (rr % ndomains as u64) as Domain;
+                let jitter = Duration::from_ps(rr % 2_000);
+                let at = if dst == d { t + jitter } else { t + L + jitter };
+                out.send(dst, at, (hops - 1, rr));
+            }
+        }
+    }
+
+    fn build(ndomains: usize, threads: usize, seeds: u64) -> ShardSim<(u64, u64), (u32, u64)> {
+        let mut sim =
+            ShardSim::new(ShardConfig::new(threads, L), vec![(0u64, 0u64); ndomains]).unwrap();
+        for i in 0..seeds {
+            let d = (mix(i) % ndomains as u64) as Domain;
+            sim.schedule(d, SimTime(1 + (mix(i ^ 0xABCD) % 50_000)), (6, mix(i)))
+                .unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn ring_roundtrips_and_reports_full() {
+        let ring: SpscRing<u32> = SpscRing::with_capacity(4);
+        assert!(ring.try_pop().is_none());
+        for i in 0..4 {
+            assert!(ring.try_push(i).is_ok());
+        }
+        assert_eq!(ring.try_push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert!(ring.try_pop().is_none());
+        // Wrap-around across the index mask.
+        for round in 0..10u32 {
+            assert!(ring.try_push(round).is_ok());
+            assert_eq!(ring.try_pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn sequential_reference_is_reproducible() {
+        let a = build(6, 1, 64).run_sequential(hopper(6)).unwrap();
+        let b = build(6, 1, 64).run_sequential(hopper(6)).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.events, b.events);
+        assert!(a.events >= 64, "fan-out must generate work");
+    }
+
+    #[test]
+    fn threaded_matches_sequential_for_every_thread_count() {
+        let reference = build(6, 1, 128).run_sequential(hopper(6)).unwrap();
+        for threads in [1usize, 2, 4] {
+            let run = build(6, threads, 128).run(hopper(6)).unwrap();
+            assert_eq!(
+                run.states, reference.states,
+                "{threads} threads diverged from the sequential reference"
+            );
+            assert_eq!(run.events, reference.events);
+        }
+    }
+
+    #[test]
+    fn threaded_run_is_reproducible_across_invocations() {
+        let a = build(5, 4, 96).run(hopper(5)).unwrap();
+        let b = build(5, 4, 96).run(hopper(5)).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn more_threads_than_domains_is_clamped() {
+        let run = build(2, 16, 32).run(hopper(2)).unwrap();
+        let reference = build(2, 1, 32).run_sequential(hopper(2)).unwrap();
+        assert_eq!(run.states, reference.states);
+    }
+
+    #[test]
+    fn tiny_rings_still_complete() {
+        let mut cfg = ShardConfig::new(3, L);
+        cfg.ring_capacity = 2; // force constant back-pressure
+        let mut sim = ShardSim::new(cfg, vec![(0u64, 0u64); 4]).unwrap();
+        for i in 0..96u64 {
+            sim.schedule((i % 4) as Domain, SimTime(1 + i * 7), (6, mix(i)))
+                .unwrap();
+        }
+        let run = sim.run(hopper(4)).unwrap();
+        let reference = build_with(4, 96).run_sequential(hopper(4)).unwrap();
+        assert_eq!(run.states, reference.states);
+
+        fn build_with(nd: usize, seeds: u64) -> ShardSim<(u64, u64), (u32, u64)> {
+            let mut sim = ShardSim::new(ShardConfig::new(1, L), vec![(0u64, 0u64); nd]).unwrap();
+            for i in 0..seeds {
+                sim.schedule((i % nd as u64) as Domain, SimTime(1 + i * 7), (6, mix(i)))
+                    .unwrap();
+            }
+            sim
+        }
+    }
+
+    #[test]
+    fn lookahead_violation_is_an_error_not_a_panic() {
+        let mut sim = ShardSim::new(ShardConfig::new(2, L), vec![0u64; 2]).unwrap();
+        sim.schedule(0, SimTime(10), ()).unwrap();
+        let out = sim.run(|_s: &mut u64, _d, t, _e, out: &mut Outbox<()>| {
+            out.send(1, t + Duration::from_ps(1), ()); // undercuts L
+        });
+        assert!(matches!(out, Err(ShardError::LookaheadViolation { .. })));
+    }
+
+    #[test]
+    fn past_send_is_an_error() {
+        let mut sim = ShardSim::new(ShardConfig::new(2, L), vec![0u64; 2]).unwrap();
+        sim.schedule(0, SimTime(100), ()).unwrap();
+        let out = sim.run_sequential(|_s, _d, _t, _e, out: &mut Outbox<()>| {
+            out.send(0, SimTime(5), ());
+        });
+        assert_eq!(
+            out.err(),
+            Some(ShardError::PastSend {
+                now: SimTime(100),
+                at: SimTime(5)
+            })
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(
+            ShardSim::<u64, ()>::new(ShardConfig::new(2, L), vec![]).err(),
+            Some(ShardError::NoDomains)
+        );
+        assert_eq!(
+            ShardSim::<u64, ()>::new(ShardConfig::new(0, L), vec![0; 2]).err(),
+            Some(ShardError::ZeroThreads)
+        );
+        assert_eq!(
+            ShardSim::<u64, ()>::new(ShardConfig::new(2, Duration::from_ps(0)), vec![0; 2]).err(),
+            Some(ShardError::ZeroLookahead)
+        );
+        let mut cfg = ShardConfig::new(2, L);
+        cfg.ring_capacity = 3;
+        assert_eq!(
+            ShardSim::<u64, ()>::new(cfg, vec![0; 2]).err(),
+            Some(ShardError::BadRingCapacity(3))
+        );
+    }
+
+    #[test]
+    fn unknown_domain_is_an_error() {
+        let mut sim = ShardSim::new(ShardConfig::new(2, L), vec![0u64; 2]).unwrap();
+        assert_eq!(
+            sim.schedule(9, SimTime(1), ()).err(),
+            Some(ShardError::UnknownDomain(9))
+        );
+        sim.schedule(0, SimTime(1), ()).unwrap();
+        let out = sim.run(|_s, _d, t, _e, out: &mut Outbox<()>| {
+            out.send(7, t + L, ());
+        });
+        assert_eq!(out.err(), Some(ShardError::UnknownDomain(7)));
+    }
+}

@@ -228,14 +228,26 @@ fn fingerprint(r: &SystemReport) -> Vec<u64> {
 #[test]
 fn cycle_backend_is_engine_independent() {
     // The cycle-level device's MemPump/MemArrive events must behave
-    // identically under the calendar queue and the baseline heap.
+    // identically under every engine: calendar (default), heap,
+    // adaptive calendar, and the domain-sharded merge.
     let mut cfg =
         SystemConfig::paper_cycle_mem(Design::Dca, OrgKind::DirectMapped).scaled(20_000, 80_000);
     let calendar = System::new(cfg, &mix(3).benches).run();
-    cfg.baseline_engine = true;
-    let heap = System::new(cfg, &mix(3).benches).run();
-    assert_eq!(fingerprint(&calendar), fingerprint(&heap));
     assert_eq!(calendar.main_mem.backend, "cycle");
+    for engine in [
+        dca::EngineSel::Heap,
+        dca::EngineSel::CalendarAdaptive,
+        dca::EngineSel::Sharded { threads: 2 },
+    ] {
+        cfg.engine = engine;
+        let r = System::new(cfg, &mix(3).benches).run();
+        assert_eq!(
+            fingerprint(&calendar),
+            fingerprint(&r),
+            "cycle backend diverges under {:?}",
+            engine
+        );
+    }
 }
 
 #[test]
